@@ -1,0 +1,105 @@
+//! CPU benchmarks of the block-sparse kernels against their dense
+//! equivalents — the execution-substrate counterpart of Figure 9 (the
+//! A100-model version lives in `repro fig9`).
+//!
+//! The interesting comparisons:
+//! * SDD on a block-diagonal topology vs a full dense GEMM of the same
+//!   output shape (the sparse kernel should win by ~the sparsity factor);
+//! * SDD vs batched matmul of the same useful FLOPs (near parity);
+//! * DS^TD through transpose indices vs explicit transposition (§5.1.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use megablocks_sparse::{ops, BlockSize, BlockSparseMatrix, Topology};
+use megablocks_tensor::{batched_matmul, init, matmul, BatchedMatrix};
+
+struct Setup {
+    topo: Topology,
+    x: megablocks_tensor::Matrix,
+    w1: megablocks_tensor::Matrix,
+    h: BlockSparseMatrix,
+    w2: megablocks_tensor::Matrix,
+    dy: megablocks_tensor::Matrix,
+    xb: BatchedMatrix,
+    w1b: BatchedMatrix,
+}
+
+fn setup() -> Setup {
+    // 8 experts, 64 tokens each, hidden 128, ffn 256, block 32.
+    let experts = 8;
+    let per_expert = 64;
+    let hidden = 128;
+    let ffn = 256;
+    let block = BlockSize::new(32).expect("nonzero");
+    let tokens = experts * per_expert;
+    let topo = Topology::for_moe(&vec![per_expert; experts], ffn, block).expect("aligned");
+    let mut rng = init::seeded_rng(0);
+    let x = init::normal(tokens, hidden, 1.0, &mut rng);
+    let w1 = init::normal(hidden, experts * ffn, 0.05, &mut rng);
+    let w2 = init::normal(experts * ffn, hidden, 0.05, &mut rng);
+    let h = ops::sdd(&x, &w1, &topo);
+    let dy = init::normal(tokens, hidden, 1.0, &mut rng);
+    let xb = BatchedMatrix::from_matrices(
+        (0..experts)
+            .map(|_| init::normal(per_expert, hidden, 1.0, &mut rng))
+            .collect(),
+    )
+    .expect("uniform batch");
+    let w1b = BatchedMatrix::from_matrices(
+        (0..experts)
+            .map(|_| init::normal(hidden, ffn, 0.05, &mut rng))
+            .collect(),
+    )
+    .expect("uniform batch");
+    Setup {
+        topo,
+        x,
+        w1,
+        h,
+        w2,
+        dy,
+        xb,
+        w1b,
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let s = setup();
+    let mut g = c.benchmark_group("blocksparse");
+
+    g.bench_function("sdd_block_diagonal", |b| {
+        b.iter(|| ops::sdd(&s.x, &s.w1, &s.topo))
+    });
+    g.bench_function("dense_gemm_same_shape", |b| {
+        // Computes the full (mostly discarded) dense product.
+        b.iter(|| matmul(&s.x, &s.w1))
+    });
+    g.bench_function("batched_matmul_same_flops", |b| {
+        b.iter(|| batched_matmul(&s.xb, &s.w1b))
+    });
+    g.bench_function("dsd", |b| b.iter(|| ops::dsd(&s.h, &s.w2)));
+    g.bench_function("sdd_t", |b| b.iter(|| ops::sdd_t(&s.dy, &s.w2, &s.topo)));
+    g.bench_function("dst_d_transpose_indices", |b| {
+        b.iter(|| ops::dst_d(&s.h, &s.dy))
+    });
+    g.bench_function("dst_d_explicit_transpose", |b| {
+        b.iter(|| ops::dst_d_explicit(&s.h, &s.dy))
+    });
+    g.bench_function("ddt_s", |b| b.iter(|| ops::ddt_s(&s.x, &s.h)));
+    g.finish();
+}
+
+
+/// Short measurement settings: the CI box has one core and the benches
+/// exist for regression *tracking*, not publication-grade statistics.
+fn short_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Layer-level CPU benchmarks: dropless MoE vs token-dropping MoE vs dense
+//! FFN, forward and forward+backward.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use megablocks_core::{CapacityFactor, DenseFfn, DroplessMoe, DroppingMoe, MoeConfig};
+use megablocks_tensor::init;
+
+fn cfg() -> MoeConfig {
+    MoeConfig::new(64, 128, 8).with_block_size(16)
+}
+
+fn bench_moe_layers(c: &mut Criterion) {
+    let mut rng = init::seeded_rng(0);
+    let dropless = DroplessMoe::new(cfg(), &mut rng);
+    let dropping = DroppingMoe::new(cfg().with_capacity(CapacityFactor::Fixed(1.0)), &mut rng);
+    let dynamic = DroppingMoe::new(cfg().with_capacity(CapacityFactor::Dynamic), &mut rng);
+    let dense = DenseFfn::new(64, 8 * 128, &mut rng); // parameter-matched expert total
+    let x = init::normal(256, 64, 1.0, &mut rng);
+
+    let mut g = c.benchmark_group("moe_forward");
+    g.bench_function("dmoe", |b| b.iter(|| dropless.forward(&x)));
+    g.bench_function("dropping_cf1", |b| b.iter(|| dropping.forward(&x)));
+    g.bench_function("dropping_dynamic", |b| b.iter(|| dynamic.forward(&x)));
+    g.bench_function("dense_ffn", |b| b.iter(|| dense.forward(&x)));
+    g.finish();
+
+    let mut g = c.benchmark_group("moe_forward_backward");
+    let dy = init::normal(256, 64, 0.1, &mut rng);
+    g.bench_function("dmoe", |b| {
+        b.iter_batched(
+            || dropless.clone(),
+            |mut layer| {
+                let out = layer.forward(&x);
+                layer.backward(&out.cache, &dy)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("dropping_dynamic", |b| {
+        b.iter_batched(
+            || dynamic.clone(),
+            |mut layer| {
+                let out = layer.forward(&x);
+                layer.backward(&out.cache, &dy)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+
+/// Short measurement settings: the CI box has one core and the benches
+/// exist for regression *tracking*, not publication-grade statistics.
+fn short_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_moe_layers
+}
+criterion_main!(benches);

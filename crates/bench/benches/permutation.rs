@@ -1,0 +1,55 @@
+//! Routing and permutation benchmarks: topology metadata construction
+//! (including the transpose secondary index, §5.2's custom kernel),
+//! padded gather/scatter, and the router itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use megablocks_core::{padded_gather, padded_scatter, PermuteInfo, Router};
+use megablocks_sparse::{BlockSize, Topology};
+use megablocks_tensor::init;
+use rand::Rng;
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut rng = init::seeded_rng(0);
+    let experts = 16;
+    let tokens = 4096;
+    let hidden = 128;
+    let block = BlockSize::new(32).expect("nonzero");
+
+    let expert_indices: Vec<usize> = (0..tokens).map(|_| rng.gen_range(0..experts)).collect();
+    let routing_weights = vec![1.0f32; tokens];
+    let x = init::normal(tokens, hidden, 1.0, &mut rng);
+
+    let mut g = c.benchmark_group("permutation");
+    g.bench_function("permute_info_build", |b| {
+        b.iter(|| PermuteInfo::with_alignment(&expert_indices, experts, 1, block.get()))
+    });
+    let info = PermuteInfo::with_alignment(&expert_indices, experts, 1, block.get());
+    g.bench_function("topology_build_with_transpose_index", |b| {
+        b.iter(|| Topology::for_moe(info.padded_tokens_per_expert(), 256, block).expect("aligned"))
+    });
+    g.bench_function("padded_gather", |b| b.iter(|| padded_gather(&x, &info)));
+    let gathered = padded_gather(&x, &info);
+    g.bench_function("padded_scatter", |b| {
+        b.iter(|| padded_scatter(&gathered, &info, &routing_weights))
+    });
+    g.finish();
+
+    let router = Router::new(hidden, experts, 1, &mut rng);
+    c.bench_function("router_forward_4096_tokens", |b| b.iter(|| router.forward(&x)));
+}
+
+
+/// Short measurement settings: the CI box has one core and the benches
+/// exist for regression *tracking*, not publication-grade statistics.
+fn short_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_permutation
+}
+criterion_main!(benches);

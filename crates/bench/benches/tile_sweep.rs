@@ -1,0 +1,52 @@
+//! Figure 4 companion: GEMM throughput scaling on the CPU substrate, plus
+//! the analytic A100 tile sweep itself (to keep its cost visible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use megablocks_gpusim::dense::gemm_throughput_tflops;
+use megablocks_gpusim::{DeviceSpec, TileShape};
+use megablocks_tensor::{init, matmul};
+
+fn bench_cpu_gemm_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_gemm");
+    let mut rng = init::seeded_rng(1);
+    for size in [64usize, 128, 256, 512] {
+        let a = init::normal(size, size, 1.0, &mut rng);
+        let b = init::normal(size, size, 1.0, &mut rng);
+        g.throughput(Throughput::Elements((2 * size * size * size) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |bench, _| {
+            bench.iter(|| matmul(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_tile_model(c: &mut Criterion) {
+    let dev = DeviceSpec::a100_sxm4_80gb();
+    c.bench_function("a100_model_fig4_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for size in [512usize, 1024, 2048, 4096, 8192, 16384] {
+                for tile in TileShape::CUTLASS_SWEEP {
+                    acc += gemm_throughput_tflops(&dev, tile, size, size, size);
+                }
+            }
+            acc
+        })
+    });
+}
+
+
+/// Short measurement settings: the CI box has one core and the benches
+/// exist for regression *tracking*, not publication-grade statistics.
+fn short_config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400))
+}
+criterion_group! {
+    name = benches;
+    config = short_config();
+    targets = bench_cpu_gemm_sizes, bench_tile_model
+}
+criterion_main!(benches);

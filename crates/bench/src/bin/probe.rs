@@ -1,0 +1,24 @@
+//! Internal hyperparameter probe for the scaled experiment family.
+//! Not part of the reproduction surface; used to calibrate the
+//! scaled-run learning rates (see EXPERIMENTS.md).
+
+use megablocks_bench::{train_scaled, ScaledConfig, ScaledKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let hidden: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(96);
+    let lr: f32 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(2e-3);
+    let steps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(500);
+    let mut cfg = ScaledConfig::default_family();
+    cfg.hidden = hidden;
+    cfg.ffn_hidden = hidden * 2;
+    cfg.lr_max = lr;
+    cfg.steps = steps;
+    for kind in [ScaledKind::Dense, ScaledKind::Dropless] {
+        let r = train_scaled(&cfg, kind);
+        println!(
+            "hidden {hidden} lr {lr} steps {steps}: {:<22} val {:.4}",
+            r.kind_label, r.final_val_loss
+        );
+    }
+}

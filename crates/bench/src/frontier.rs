@@ -1,0 +1,87 @@
+//! Loss-frontier interpolation for the equal-quality speedup comparisons
+//! of Figures 7 and 8.
+//!
+//! The paper compares systems "for the same validation loss" by reading
+//! the time a baseline family needs to reach a target loss off its
+//! (time, loss) Pareto frontier. [`hours_at_loss`] linearly interpolates
+//! within the frontier and extrapolates past its last segment (the paper
+//! does the same when the dMoE's loss lies below every baseline point).
+
+/// Hours needed on a `(hours, loss)` frontier to reach `target` loss.
+///
+/// Points may arrive unsorted. Returns `None` when the frontier has
+/// fewer than two points or the extrapolation is degenerate
+/// (non-decreasing loss or a non-finite/negative answer).
+pub fn hours_at_loss(frontier: &[(f64, f32)], target: f32) -> Option<f64> {
+    let mut pts: Vec<(f64, f32)> = frontier.to_vec();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    if pts.len() < 2 {
+        return None;
+    }
+    for w in pts.windows(2) {
+        let (h0, l0) = w[0];
+        let (h1, l1) = w[1];
+        if (l1 <= target && target <= l0) || (l0 <= target && target <= l1) {
+            if (l1 - l0).abs() < f32::EPSILON {
+                return Some(h0);
+            }
+            let f = (target - l0) / (l1 - l0);
+            return Some(h0 + f64::from(f) * (h1 - h0));
+        }
+    }
+    // Extrapolate from the last segment (target beyond every point).
+    let (h0, l0) = pts[pts.len() - 2];
+    let (h1, l1) = pts[pts.len() - 1];
+    if (l1 - l0).abs() < 1e-9 {
+        return None;
+    }
+    let f = (target - l0) / (l1 - l0);
+    let h = h0 + f64::from(f) * (h1 - h0);
+    (h.is_finite() && h > 0.0).then_some(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frontier() -> Vec<(f64, f32)> {
+        // Hours grow, loss falls: a well-formed Pareto frontier.
+        vec![(1.0, 5.0), (2.0, 4.0), (4.0, 3.5)]
+    }
+
+    #[test]
+    fn interpolates_inside_segments() {
+        assert_eq!(hours_at_loss(&frontier(), 4.5), Some(1.5));
+        assert_eq!(hours_at_loss(&frontier(), 4.0), Some(2.0));
+        let h = hours_at_loss(&frontier(), 3.75).unwrap();
+        assert!((h - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_unsorted_input() {
+        let mut f = frontier();
+        f.reverse();
+        assert_eq!(hours_at_loss(&f, 4.5), Some(1.5));
+    }
+
+    #[test]
+    fn extrapolates_past_the_best_point() {
+        // Target 3.25 extends the last segment's slope (0.5 loss per 2h).
+        let h = hours_at_loss(&frontier(), 3.25).unwrap();
+        assert!((h - 5.0).abs() < 1e-6, "{h}");
+    }
+
+    #[test]
+    fn degenerate_frontiers_return_none() {
+        assert_eq!(hours_at_loss(&[], 1.0), None);
+        assert_eq!(hours_at_loss(&[(1.0, 2.0)], 1.0), None);
+        // Flat last segment cannot extrapolate.
+        assert_eq!(hours_at_loss(&[(1.0, 2.0), (2.0, 2.0)], 1.0), None);
+    }
+
+    #[test]
+    fn negative_extrapolation_is_rejected() {
+        // A target far above the frontier would need negative hours.
+        assert_eq!(hours_at_loss(&frontier(), 100.0), None);
+    }
+}

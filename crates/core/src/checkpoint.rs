@@ -1,0 +1,200 @@
+//! Parameter checkpointing: save and restore the trainable state of any
+//! layer stack through its ordered parameter list.
+//!
+//! The format is a minimal, versioned binary layout (magic, version,
+//! parameter count, then per-parameter shape + little-endian f32 data).
+//! Loading validates the architecture implicitly: parameter counts and
+//! shapes must match the saved file exactly, so loading a checkpoint into
+//! the wrong model configuration fails loudly instead of silently
+//! scrambling weights.
+
+use std::io::{self, Read, Write};
+
+use megablocks_tensor::Matrix;
+
+use crate::Param;
+
+const MAGIC: [u8; 4] = *b"MBRS";
+const VERSION: u32 = 1;
+
+/// Error type for checkpoint save/load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a MegaBlocks-RS checkpoint.
+    BadMagic,
+    /// The checkpoint version is unsupported.
+    BadVersion(u32),
+    /// The checkpoint does not match the model architecture.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a MegaBlocks-RS checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Mismatch(s) => write!(f, "checkpoint/model mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes the parameter values (not gradients or optimizer state) to `w`.
+///
+/// A `&mut` writer works too (std's blanket `Write for &mut W`).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on write failure.
+pub fn save_params<W: Write>(params: &[&mut Param], mut w: W) -> Result<(), CheckpointError> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u64).to_le_bytes())?;
+    for p in params {
+        let v = p.value();
+        w.write_all(&(v.rows() as u64).to_le_bytes())?;
+        w.write_all(&(v.cols() as u64).to_le_bytes())?;
+        for x in v.as_slice() {
+            w.write_all(&x.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Restores parameter values from `r` into `params` (in the same stable
+/// order they were saved).
+///
+/// # Errors
+///
+/// Returns an error if the stream is not a checkpoint, the version is
+/// unsupported, or the parameter count/shapes differ from the model's.
+pub fn load_params<R: Read>(params: &mut [&mut Param], mut r: R) -> Result<(), CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = read_u64(&mut r)? as usize;
+    if count != params.len() {
+        return Err(CheckpointError::Mismatch(format!(
+            "checkpoint has {count} parameters, model has {}",
+            params.len()
+        )));
+    }
+    for (i, p) in params.iter_mut().enumerate() {
+        let rows = read_u64(&mut r)? as usize;
+        let cols = read_u64(&mut r)? as usize;
+        if (rows, cols) != p.value().shape() {
+            return Err(CheckpointError::Mismatch(format!(
+                "parameter {i}: checkpoint shape {rows}x{cols}, model shape {:?}",
+                p.value().shape()
+            )));
+        }
+        let mut data = vec![0.0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for x in &mut data {
+            r.read_exact(&mut buf)?;
+            *x = f32::from_le_bytes(buf);
+        }
+        *p.value_mut() = Matrix::from_vec(rows, cols, data)
+            .expect("length matches shape by construction");
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DroplessMoe, MoeConfig};
+    use megablocks_tensor::init::{normal, seeded_rng};
+
+    fn layer(seed: u64) -> DroplessMoe {
+        let mut rng = seeded_rng(seed);
+        DroplessMoe::new(MoeConfig::new(6, 8, 2).with_block_size(4), &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_behaviour() {
+        let mut a = layer(1);
+        let mut b = layer(2); // different weights
+        let mut rng = seeded_rng(3);
+        let x = normal(9, 6, 1.0, &mut rng);
+        let before = a.forward(&x).output;
+        assert!(!b.forward(&x).output.approx_eq(&before, 1e-6));
+
+        let mut buf = Vec::new();
+        save_params(&a.params_mut(), &mut buf).expect("save");
+        load_params(&mut b.params_mut(), buf.as_slice()).expect("load");
+        let after = b.forward(&x).output;
+        assert!(after.approx_eq(&before, 0.0), "bit-exact restore expected");
+    }
+
+    #[test]
+    fn rejects_wrong_architecture() {
+        let mut a = layer(1);
+        let mut buf = Vec::new();
+        save_params(&a.params_mut(), &mut buf).expect("save");
+        // A layer with a different expert count has different shapes.
+        let mut rng = seeded_rng(4);
+        let mut other = DroplessMoe::new(MoeConfig::new(6, 8, 3).with_block_size(4), &mut rng);
+        let err = load_params(&mut other.params_mut(), buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_garbage_and_wrong_version() {
+        let mut l = layer(5);
+        let err = load_params(&mut l.params_mut(), &b"nope"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic | CheckpointError::Io(_)), "{err}");
+
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"MBRS");
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        let err = load_params(&mut l.params_mut(), buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadVersion(99)), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut a = layer(6);
+        let mut buf = Vec::new();
+        save_params(&a.params_mut(), &mut buf).expect("save");
+        buf.truncate(buf.len() / 2);
+        let err = load_params(&mut a.params_mut(), buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+}

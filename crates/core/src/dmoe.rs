@@ -1,0 +1,426 @@
+//! The dropless-MoE (dMoE) layer — the paper's core contribution (§4, §5).
+//!
+//! The forward pass follows the pseudo-code of Figure 6 line for line:
+//!
+//! 1. route tokens to experts;
+//! 2. build the block-sparse topology from the expert assignments;
+//! 3. permute tokens into expert-grouped, block-padded order;
+//! 4. compute the 2-layer MLP experts as an SDD followed by a DSD;
+//! 5. un-permute and scale by the router confidence weights.
+//!
+//! The backward pass uses the four remaining products the paper lists in
+//! §5.1: SDD^T and DS^TD for the second expert layer, DSD^T and DD^TS for
+//! the first. No tokens are ever dropped and no expert batch is padded
+//! beyond the next block boundary.
+
+use megablocks_sparse::{ops, BlockSparseMatrix, Topology};
+use megablocks_tensor::ops::{gelu_grad_scalar, gelu_scalar};
+use megablocks_tensor::{init, Matrix};
+use rand::rngs::StdRng;
+
+use crate::{
+    load_balancing_loss, padded_gather, padded_gather_backward, padded_scatter,
+    padded_scatter_backward, MoeConfig, MoeStats, Param, PermuteInfo, Router, Routing,
+};
+
+/// Everything the backward pass needs from a forward invocation.
+///
+/// Holding the cache in a separate value (rather than layer state) keeps
+/// the layer reentrant under gradient accumulation: each micro-batch owns
+/// its cache.
+#[derive(Debug, Clone)]
+pub struct DmoeCache {
+    x: Matrix,
+    routing: Routing,
+    permute: PermuteInfo,
+    xg: Matrix,
+    h_pre: BlockSparseMatrix,
+    h_act: BlockSparseMatrix,
+    y: Matrix,
+    d_probs_aux: Matrix,
+}
+
+/// Result of [`DroplessMoe::forward`].
+#[derive(Debug, Clone)]
+pub struct DmoeOutput {
+    /// Layer output, `num_tokens x hidden_size`.
+    pub output: Matrix,
+    /// Forward-pass statistics (dropping is always zero here).
+    pub stats: MoeStats,
+    /// Cache to pass to [`DroplessMoe::backward`].
+    pub cache: DmoeCache,
+}
+
+/// The dropless Mixture-of-Experts layer.
+///
+/// Expert weights are stored concatenated: `w1` is
+/// `hidden_size x (num_experts * ffn_hidden_size)` and `w2` is the mirror
+/// shape, exactly as in Figure 6 — expert `e` owns the column (resp. row)
+/// slice `e * ffn_hidden_size ..`.
+#[derive(Debug, Clone)]
+pub struct DroplessMoe {
+    cfg: MoeConfig,
+    router: Router,
+    w1: Param,
+    w2: Param,
+}
+
+impl DroplessMoe {
+    /// Creates a dMoE layer with GPT-2-style initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ffn_hidden_size` is not a multiple of the configured
+    /// block size (required for whole-block expert columns, §5.2).
+    pub fn new(cfg: MoeConfig, rng: &mut StdRng) -> Self {
+        assert!(
+            cfg.ffn_hidden_size % cfg.block_size.get() == 0,
+            "ffn_hidden_size {} must be a multiple of block size {}",
+            cfg.ffn_hidden_size,
+            cfg.block_size.get()
+        );
+        let inner = cfg.num_experts * cfg.ffn_hidden_size;
+        let router = Router::new(cfg.hidden_size, cfg.num_experts, cfg.top_k, rng);
+        let w1 = Param::new(init::gpt2_normal(cfg.hidden_size, inner, rng));
+        let w2 = Param::new(init::gpt2_normal(inner, cfg.hidden_size, rng));
+        Self { cfg, router, w1, w2 }
+    }
+
+    /// The layer configuration.
+    pub fn config(&self) -> &MoeConfig {
+        &self.cfg
+    }
+
+    /// The router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// All trainable parameters (router, w1, w2), for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![self.router.weight_mut(), &mut self.w1, &mut self.w2]
+    }
+
+    /// The first expert-layer weight (`hidden x num_experts*ffn`).
+    pub fn w1(&self) -> &Param {
+        &self.w1
+    }
+
+    /// The second expert-layer weight (`num_experts*ffn x hidden`).
+    pub fn w2(&self) -> &Param {
+        &self.w2
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        self.cfg.param_count()
+    }
+
+    /// Runs the dMoE forward pass on `x` (`num_tokens x hidden_size`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != hidden_size`.
+    pub fn forward(&self, x: &Matrix) -> DmoeOutput {
+        assert_eq!(x.cols(), self.cfg.hidden_size, "input feature size mismatch");
+
+        // (1) Assign tokens to experts.
+        let routing = self.router.forward(x);
+
+        // (2) Create the sparse matrix topology (Figure 3C).
+        let permute = PermuteInfo::new(&routing, self.cfg.num_experts, self.cfg.block_size);
+        let topology = Topology::for_moe(
+            permute.padded_tokens_per_expert(),
+            self.cfg.ffn_hidden_size,
+            self.cfg.block_size,
+        )
+        .expect("padded counts are block-aligned by construction");
+
+        // (3) Permute the tokens to group by expert.
+        let xg = padded_gather(x, &permute);
+
+        // (4) Compute the expert layers: SDD -> GeLU -> DSD.
+        let h_pre = ops::sdd(&xg, self.w1.value(), &topology);
+        let h_act = h_pre.map(gelu_scalar);
+        let y = ops::dsd(&h_act, self.w2.value());
+
+        // (5) Un-permute the tokens and scale by router confidence.
+        let output = padded_scatter(&y, &permute, &routing.weights);
+
+        let lb = load_balancing_loss(&routing, self.cfg.load_balance_weight);
+        let stats = MoeStats {
+            dropped_tokens: 0,
+            padding_rows: permute.padding_rows(),
+            tokens_per_expert: permute.tokens_per_expert().to_vec(),
+            load_balancing_loss: lb.loss,
+        };
+        DmoeOutput {
+            output,
+            stats,
+            cache: DmoeCache {
+                x: x.clone(),
+                routing,
+                permute,
+                xg,
+                h_pre,
+                h_act,
+                y,
+                d_probs_aux: lb.d_probs,
+            },
+        }
+    }
+
+    /// Runs the backward pass for one forward invocation.
+    ///
+    /// Accumulates parameter gradients (including the load-balancing loss
+    /// contribution to the router) and returns the gradient with respect to
+    /// the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_out` does not match the forward output shape.
+    pub fn backward(&mut self, cache: &DmoeCache, d_out: &Matrix) -> Matrix {
+        assert_eq!(
+            d_out.shape(),
+            (cache.permute.num_tokens(), self.cfg.hidden_size),
+            "d_out shape mismatch"
+        );
+
+        // Un-permutation backward: per-assignment output grads and router
+        // confidence-weight grads.
+        let (dy, d_weights) =
+            padded_scatter_backward(d_out, &cache.y, &cache.permute, &cache.routing.weights);
+
+        // Second expert layer: data grad SDD^T, weight grad DS^TD.
+        let dh_act = ops::sdd_t(&dy, self.w2.value(), cache.h_pre.topology());
+        let dw2 = ops::dst_d(&cache.h_act, &dy);
+        self.w2.accumulate(&dw2);
+
+        // Activation backward on the stored blocks.
+        let mut dh = dh_act;
+        for (g, &pre) in dh.as_mut_slice().iter_mut().zip(cache.h_pre.as_slice()) {
+            *g *= gelu_grad_scalar(pre);
+        }
+
+        // First expert layer: data grad DSD^T, weight grad DD^TS.
+        let dxg = ops::dsd_t(&dh, self.w1.value());
+        let dw1 = ops::ddt_s(&cache.xg, &dh);
+        self.w1.accumulate(&dw1);
+
+        // Permutation backward.
+        let mut dx = padded_gather_backward(&dxg, &cache.permute);
+
+        // Router backward (confidence weights + load-balancing loss).
+        let dx_router = self.router.backward(
+            &cache.x,
+            &cache.routing,
+            &d_weights,
+            Some(&cache.d_probs_aux),
+        );
+        dx.add_assign(&dx_router);
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megablocks_tensor::init::seeded_rng;
+    use megablocks_tensor::ops::cross_entropy;
+
+    fn small_layer(seed: u64) -> (DroplessMoe, StdRng) {
+        let cfg = MoeConfig::new(6, 8, 3).with_block_size(4);
+        let mut rng = seeded_rng(seed);
+        let layer = DroplessMoe::new(cfg, &mut rng);
+        (layer, rng)
+    }
+
+    #[test]
+    fn forward_shapes_and_no_drops() {
+        let (layer, mut rng) = small_layer(1);
+        let x = init::normal(10, 6, 1.0, &mut rng);
+        let out = layer.forward(&x);
+        assert_eq!(out.output.shape(), (10, 6));
+        assert_eq!(out.stats.dropped_tokens, 0);
+        assert_eq!(out.stats.tokens_per_expert.iter().sum::<usize>(), 10);
+        assert!(out.stats.load_balancing_loss > 0.0);
+        // Padding rounds each nonzero expert group to a multiple of 4.
+        for (&t, &p) in out
+            .stats
+            .tokens_per_expert
+            .iter()
+            .zip(out.cache.permute.padded_tokens_per_expert())
+        {
+            assert_eq!(p, t.div_ceil(4) * 4);
+        }
+    }
+
+    #[test]
+    fn dmoe_matches_per_expert_dense_reference() {
+        // Compute the same MoE densely: for each token, run its expert MLP
+        // directly and scale by the router weight.
+        let (layer, mut rng) = small_layer(2);
+        let x = init::normal(9, 6, 1.0, &mut rng);
+        let out = layer.forward(&x);
+        let routing = &out.cache.routing;
+        let ffn = layer.cfg.ffn_hidden_size;
+
+        for t in 0..9 {
+            let e = routing.expert_indices[t];
+            let w = routing.weights[t];
+            // h = gelu(x_t @ w1_e); y = h @ w2_e
+            let mut h = vec![0.0f32; ffn];
+            for (j, hv) in h.iter_mut().enumerate() {
+                let col = e * ffn + j;
+                let mut acc = 0.0;
+                for p in 0..6 {
+                    acc += x[(t, p)] * layer.w1.value()[(p, col)];
+                }
+                *hv = gelu_scalar(acc);
+            }
+            for q in 0..6 {
+                let mut acc = 0.0;
+                for (j, hv) in h.iter().enumerate() {
+                    acc += hv * layer.w2.value()[(e * ffn + j, q)];
+                }
+                let want = w * acc;
+                let got = out.output[(t, q)];
+                assert!(
+                    (got - want).abs() < 1e-4,
+                    "token {t} feature {q}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_difference() {
+        // Objective: cross-entropy of a linear readout of the layer output,
+        // plus the load-balancing loss (which backward includes).
+        let (mut layer, mut rng) = small_layer(3);
+        let x = init::normal(8, 6, 0.5, &mut rng);
+        let targets: Vec<usize> = (0..8).map(|t| t % 3).collect();
+        let readout = init::normal(6, 3, 0.5, &mut rng);
+
+        let objective = |layer: &DroplessMoe, x: &Matrix| -> f32 {
+            let out = layer.forward(x);
+            let logits = megablocks_tensor::matmul(&out.output, &readout);
+            let (ce, _) = cross_entropy(&logits, &targets, None);
+            ce + out.stats.load_balancing_loss
+        };
+
+        let out = layer.forward(&x);
+        let logits = megablocks_tensor::matmul(&out.output, &readout);
+        let (_, dlogits) = cross_entropy(&logits, &targets, None);
+        let d_out = megablocks_tensor::matmul_nt(&dlogits, &readout);
+        let dx = layer.backward(&out.cache, &d_out);
+
+        let base_assignment = out.cache.routing.expert_indices.clone();
+        let eps = 2e-3;
+
+        // Input gradient, skipping points where routing flips.
+        let mut checked = 0;
+        for i in 0..x.rows() {
+            for j in [0usize, 3, 5] {
+                let mut xp = x.clone();
+                xp[(i, j)] += eps;
+                let mut xm = x.clone();
+                xm[(i, j)] -= eps;
+                if layer.router().forward(&xp).expert_indices != base_assignment
+                    || layer.router().forward(&xm).expert_indices != base_assignment
+                {
+                    continue;
+                }
+                let num = (objective(&layer, &xp) - objective(&layer, &xm)) / (2.0 * eps);
+                let ana = dx[(i, j)];
+                assert!(
+                    (num - ana).abs() < 5e-2 * (1.0 + num.abs()),
+                    "dx({i},{j}): numeric {num}, analytic {ana}"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked >= 10, "only {checked} stable finite-diff points");
+
+        // Weight gradients: spot-check a handful of entries of w1, w2 and
+        // the router weight.
+        let spots_w1 = [(0usize, 0usize), (3, 7), (5, 20)];
+        for &(r, c) in &spots_w1 {
+            let ana = layer.w1.grad()[(r, c)];
+            let orig = layer.w1.value()[(r, c)];
+            layer.w1.value_mut()[(r, c)] = orig + eps;
+            let fp = objective(&layer, &x);
+            layer.w1.value_mut()[(r, c)] = orig - eps;
+            let fm = objective(&layer, &x);
+            layer.w1.value_mut()[(r, c)] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + num.abs()),
+                "dw1({r},{c}): numeric {num}, analytic {ana}"
+            );
+        }
+        let spots_w2 = [(0usize, 0usize), (10, 3), (23, 5)];
+        for &(r, c) in &spots_w2 {
+            let ana = layer.w2.grad()[(r, c)];
+            let orig = layer.w2.value()[(r, c)];
+            layer.w2.value_mut()[(r, c)] = orig + eps;
+            let fp = objective(&layer, &x);
+            layer.w2.value_mut()[(r, c)] = orig - eps;
+            let fm = objective(&layer, &x);
+            layer.w2.value_mut()[(r, c)] = orig;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + num.abs()),
+                "dw2({r},{c}): numeric {num}, analytic {ana}"
+            );
+        }
+        for &(r, c) in &[(1usize, 0usize), (4, 2)] {
+            let ana = layer.router.weight().grad()[(r, c)];
+            let orig = layer.router.weight().value()[(r, c)];
+            layer.router.weight_mut().value_mut()[(r, c)] = orig + eps;
+            let routing_p = layer.router().forward(&x).expert_indices.clone();
+            let fp = objective(&layer, &x);
+            layer.router.weight_mut().value_mut()[(r, c)] = orig - eps;
+            let routing_m = layer.router().forward(&x).expert_indices.clone();
+            let fm = objective(&layer, &x);
+            layer.router.weight_mut().value_mut()[(r, c)] = orig;
+            if routing_p != base_assignment || routing_m != base_assignment {
+                continue;
+            }
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + num.abs()),
+                "d_router({r},{c}): numeric {num}, analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn top2_routing_sums_two_experts() {
+        let cfg = MoeConfig::new(6, 8, 3).with_block_size(4).with_top_k(2);
+        let mut rng = seeded_rng(5);
+        let layer = DroplessMoe::new(cfg, &mut rng);
+        let x = init::normal(5, 6, 1.0, &mut rng);
+        let out = layer.forward(&x);
+        assert_eq!(out.cache.routing.expert_indices.len(), 10);
+        assert_eq!(out.output.shape(), (5, 6));
+        // Total assignments = tokens * 2.
+        assert_eq!(out.stats.tokens_per_expert.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn gradient_accumulation_is_additive() {
+        let (mut layer, mut rng) = small_layer(6);
+        let x = init::normal(6, 6, 1.0, &mut rng);
+        let d = Matrix::full(6, 6, 0.1);
+        let out1 = layer.forward(&x);
+        let _ = layer.backward(&out1.cache, &d);
+        let g1 = layer.w1.grad().clone();
+        let out2 = layer.forward(&x);
+        let _ = layer.backward(&out2.cache, &d);
+        let g2 = layer.w1.grad().clone();
+        let mut doubled = g1.clone();
+        doubled.scale(2.0);
+        assert!(g2.approx_eq(&doubled, 1e-4));
+    }
+}

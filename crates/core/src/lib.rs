@@ -1,0 +1,83 @@
+//! Dropless Mixture-of-Experts layers — the layer-level contribution of the
+//! MegaBlocks paper.
+//!
+//! The crate provides:
+//!
+//! * [`Router`] — the learned top-k router of Shazeer et al. (2017) used by
+//!   the paper (§2.1), with full backward pass.
+//! * [`load_balancing_loss`] — the Switch-Transformer auxiliary loss the
+//!   paper trains with (§2.2).
+//! * [`PermuteInfo`], [`padded_gather`], [`padded_scatter`] — permutation
+//!   that groups tokens by expert and pads each group to a multiple of the
+//!   block size, fused exactly like the custom kernels of §5.2.
+//! * [`DroplessMoe`] — the paper's dMoE layer: expert computation as
+//!   SDD/DSD block-sparse products over a per-step topology (Figure 6).
+//! * [`DroppingMoe`] — the token-dropping baseline (GShard/Switch/Tutel
+//!   formulation, §2–3) computed with batched matrix multiplication,
+//!   including Tutel's dynamic capacity factor.
+//! * [`DenseFfn`] — the dense FFN layer a standard Transformer uses, for
+//!   the Megatron-LM baseline.
+//!
+//! # Example: a dMoE layer never drops tokens
+//!
+//! ```
+//! use megablocks_core::{DroplessMoe, MoeConfig};
+//! use megablocks_tensor::init::{normal, seeded_rng};
+//!
+//! let cfg = MoeConfig::new(16, 32, 4).with_block_size(8);
+//! let mut rng = seeded_rng(0);
+//! let mut layer = DroplessMoe::new(cfg, &mut rng);
+//! let x = normal(24, 16, 1.0, &mut rng);
+//! let out = layer.forward(&x);
+//! assert_eq!(out.output.shape(), (24, 16));
+//! assert_eq!(out.stats.dropped_tokens, 0); // dropless, by construction
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod checkpoint;
+mod config;
+mod dmoe;
+mod dropping;
+mod expert_choice;
+mod ffn;
+mod loss;
+mod parallel;
+mod param;
+mod permute;
+mod router;
+mod sinkhorn;
+mod variable;
+
+pub use config::{CapacityFactor, MoeConfig};
+pub use dmoe::{DmoeCache, DmoeOutput, DroplessMoe};
+pub use dropping::{DroppingMoe, DroppingMoeCache, DroppingMoeOutput};
+pub use expert_choice::{
+    ExpertChoiceAssignment, ExpertChoiceCache, ExpertChoiceMoe, ExpertChoiceOutput,
+};
+pub use ffn::{DenseFfn, FfnCache};
+pub use loss::{load_balancing_loss, LoadBalance};
+pub use parallel::{expert_parallel_forward, AllToAllBuffers, EpStats};
+pub use param::Param;
+pub use permute::{
+    padded_gather, padded_gather_backward, padded_scatter, padded_scatter_backward, PermuteInfo,
+};
+pub use router::{Router, Routing};
+pub use sinkhorn::{load_imbalance, SinkhornRouter};
+pub use variable::{
+    VariableDmoeCache, VariableDmoeOutput, VariableDroplessMoe, VariableMoeConfig,
+};
+
+/// Statistics recorded by an MoE layer's forward pass, used by the
+/// experiments to report dropping behaviour and padding waste.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MoeStats {
+    /// Token-assignments that were dropped (always 0 for dMoE).
+    pub dropped_tokens: usize,
+    /// Rows of padding added to satisfy block-size or capacity constraints.
+    pub padding_rows: usize,
+    /// Tokens assigned to each expert before dropping/padding.
+    pub tokens_per_expert: Vec<usize>,
+    /// The load-balancing auxiliary loss value.
+    pub load_balancing_loss: f32,
+}

@@ -1,0 +1,129 @@
+//! Load-balancing auxiliary loss (paper §2.2).
+//!
+//! The Switch-Transformer formulation: with `E` experts, dispatch fractions
+//! `f_e` (fraction of assignments routed to expert `e`) and mean router
+//! probabilities `P_e`, the loss is `alpha * E * sum_e f_e * P_e`. It is
+//! minimized by a uniform assignment, incentivizing the router to balance
+//! load — which both improves hardware efficiency and (for the dropping
+//! baseline) reduces dropped tokens.
+
+use megablocks_tensor::Matrix;
+
+use crate::Routing;
+
+/// Result of [`load_balancing_loss`]: the loss value and its gradient with
+/// respect to the full router probability matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadBalance {
+    /// The (already `alpha`-scaled) auxiliary loss value.
+    pub loss: f32,
+    /// Gradient with respect to the router probabilities
+    /// (`num_tokens x num_experts`). The dispatch fractions `f_e` are
+    /// treated as constants (they are not differentiable), matching the
+    /// standard implementation.
+    pub d_probs: Matrix,
+}
+
+/// Computes the Switch-Transformer load-balancing loss for a routing
+/// decision.
+///
+/// A perfectly uniform router yields `loss == alpha` (since
+/// `E * sum_e (1/E) * (1/E) = 1/E * E ... = 1`); a fully collapsed router
+/// that sends everything to one expert yields `loss ≈ alpha * E`.
+pub fn load_balancing_loss(routing: &Routing, alpha: f32) -> LoadBalance {
+    let num_experts = routing.num_experts();
+    let num_tokens = routing.num_tokens();
+    let num_assignments = routing.expert_indices.len().max(1);
+
+    let counts = routing.tokens_per_expert();
+    let f: Vec<f32> = counts
+        .iter()
+        .map(|&c| c as f32 / num_assignments as f32)
+        .collect();
+
+    let mut p = vec![0.0f32; num_experts];
+    for t in 0..num_tokens {
+        for (pe, v) in p.iter_mut().zip(routing.probs.row(t)) {
+            *pe += v;
+        }
+    }
+    let inv_t = if num_tokens == 0 { 0.0 } else { 1.0 / num_tokens as f32 };
+    for pe in &mut p {
+        *pe *= inv_t;
+    }
+
+    let scale = alpha * num_experts as f32;
+    let loss = scale * f.iter().zip(&p).map(|(fe, pe)| fe * pe).sum::<f32>();
+
+    // dL/dprobs[t, e] = scale * f_e / num_tokens
+    let mut d_probs = Matrix::zeros(num_tokens, num_experts);
+    for t in 0..num_tokens {
+        for (d, fe) in d_probs.row_mut(t).iter_mut().zip(&f) {
+            *d = scale * fe * inv_t;
+        }
+    }
+    LoadBalance { loss, d_probs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn routing_from(probs: Matrix, expert_indices: Vec<usize>, top_k: usize) -> Routing {
+        let weights = expert_indices
+            .iter()
+            .enumerate()
+            .map(|(a, &e)| probs[(a / top_k, e)])
+            .collect();
+        Routing {
+            probs,
+            expert_indices,
+            weights,
+            top_k,
+        }
+    }
+
+    #[test]
+    fn uniform_routing_gives_alpha() {
+        // 4 tokens, 2 experts, uniform probs, balanced assignment.
+        let probs = Matrix::full(4, 2, 0.5);
+        let r = routing_from(probs, vec![0, 1, 0, 1], 1);
+        let lb = load_balancing_loss(&r, 0.01);
+        assert!((lb.loss - 0.01).abs() < 1e-6, "loss {}", lb.loss);
+    }
+
+    #[test]
+    fn collapsed_routing_is_penalized() {
+        let mut probs = Matrix::zeros(4, 2);
+        for t in 0..4 {
+            probs[(t, 0)] = 0.9;
+            probs[(t, 1)] = 0.1;
+        }
+        let r = routing_from(probs, vec![0, 0, 0, 0], 1);
+        let lb = load_balancing_loss(&r, 0.01);
+        // f = (1, 0); P = (0.9, 0.1); loss = 0.01 * 2 * 0.9 = 0.018
+        assert!((lb.loss - 0.018).abs() < 1e-6, "loss {}", lb.loss);
+        assert!(lb.loss > 0.01);
+    }
+
+    #[test]
+    fn gradient_matches_formula() {
+        let probs = Matrix::from_fn(3, 2, |_, j| if j == 0 { 0.7 } else { 0.3 });
+        let r = routing_from(probs, vec![0, 0, 1], 1);
+        let lb = load_balancing_loss(&r, 0.01);
+        // f = (2/3, 1/3); scale = 0.02; dprobs[t,0] = 0.02 * (2/3) / 3
+        let want0 = 0.02 * (2.0 / 3.0) / 3.0;
+        let want1 = 0.02 * (1.0 / 3.0) / 3.0;
+        for t in 0..3 {
+            assert!((lb.d_probs[(t, 0)] - want0).abs() < 1e-7);
+            assert!((lb.d_probs[(t, 1)] - want1).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn empty_routing_is_zero() {
+        let r = routing_from(Matrix::zeros(0, 4), vec![], 1);
+        let lb = load_balancing_loss(&r, 0.01);
+        assert_eq!(lb.loss, 0.0);
+    }
+}

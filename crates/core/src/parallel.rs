@@ -1,0 +1,205 @@
+//! Expert model parallelism, executed (paper §5: "our system supports
+//! distributed training of MoEs with both data and expert model
+//! parallelism").
+//!
+//! [`expert_parallel_forward`] runs a [`DroplessMoe`] forward pass the way
+//! an expert-parallel deployment would: experts are partitioned across
+//! `num_shards` virtual devices, tokens travel to their expert's shard
+//! through an explicit all-to-all exchange, each shard runs the
+//! block-sparse expert computation over *its own* block-diagonal
+//! topology, and a second all-to-all brings the results home. Everything
+//! executes in-process, but the data movement is materialized in
+//! [`AllToAllBuffers`], so tests can assert both numerical equivalence
+//! with the single-device layer and the communication volumes the
+//! `gpusim` timeline model charges for.
+
+use megablocks_sparse::{ops, Topology};
+use megablocks_tensor::ops::gelu_scalar;
+use megablocks_tensor::Matrix;
+
+use crate::{padded_gather, padded_scatter, DroplessMoe, PermuteInfo};
+
+/// The materialized all-to-all exchange of one expert-parallel layer
+/// invocation.
+#[derive(Debug, Clone)]
+pub struct AllToAllBuffers {
+    /// For each shard: the (padded) token rows sent to it.
+    pub shard_inputs: Vec<Matrix>,
+    /// For each shard: its expert outputs, before the return exchange.
+    pub shard_outputs: Vec<Matrix>,
+    /// Total f32 elements moved in the dispatch direction.
+    pub dispatch_elements: usize,
+}
+
+/// Statistics of an expert-parallel forward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpStats {
+    /// Shards (virtual devices).
+    pub num_shards: usize,
+    /// Experts owned by each shard.
+    pub experts_per_shard: usize,
+    /// Padded token rows processed by each shard.
+    pub rows_per_shard: Vec<usize>,
+    /// Elements exchanged per all-to-all direction.
+    pub alltoall_elements: usize,
+}
+
+/// Runs the dMoE forward pass with `num_shards`-way expert parallelism
+/// and returns `(output, stats, buffers)`.
+///
+/// The output is numerically identical to [`DroplessMoe::forward`] up to
+/// floating-point summation order (tests pin a 1e-4 agreement).
+///
+/// # Panics
+///
+/// Panics if `num_shards` does not divide the expert count, or if
+/// `x.cols()` differs from the layer's hidden size.
+pub fn expert_parallel_forward(
+    layer: &DroplessMoe,
+    x: &Matrix,
+    num_shards: usize,
+) -> (Matrix, EpStats, AllToAllBuffers) {
+    let cfg = layer.config();
+    assert!(
+        num_shards >= 1 && cfg.num_experts % num_shards == 0,
+        "num_shards {num_shards} must divide num_experts {}",
+        cfg.num_experts
+    );
+    assert_eq!(x.cols(), cfg.hidden_size, "input feature size mismatch");
+    let experts_per_shard = cfg.num_experts / num_shards;
+    let ffn = cfg.ffn_hidden_size;
+    let hidden = cfg.hidden_size;
+
+    // Routing and the global permutation happen where the tokens live.
+    let routing = layer.router().forward(x);
+    let permute = PermuteInfo::new(&routing, cfg.num_experts, cfg.block_size);
+    let xg = padded_gather(x, &permute);
+    let padded = permute.padded_tokens_per_expert();
+
+    // Dispatch all-to-all: each shard receives the contiguous row range
+    // of its experts (the expert-major layout makes this a pure slice).
+    let mut shard_inputs = Vec::with_capacity(num_shards);
+    let mut rows_per_shard = Vec::with_capacity(num_shards);
+    let mut offsets = vec![0usize; cfg.num_experts + 1];
+    for e in 0..cfg.num_experts {
+        offsets[e + 1] = offsets[e] + padded[e];
+    }
+    for s in 0..num_shards {
+        let lo = offsets[s * experts_per_shard];
+        let hi = offsets[(s + 1) * experts_per_shard];
+        shard_inputs.push(xg.rows_range(lo, hi));
+        rows_per_shard.push(hi - lo);
+    }
+    let dispatch_elements: usize = rows_per_shard.iter().map(|r| r * hidden).sum();
+
+    // Each shard computes its local experts over a local topology using
+    // its slice of the concatenated weights.
+    let mut shard_outputs = Vec::with_capacity(num_shards);
+    for s in 0..num_shards {
+        let local_padded = &padded[s * experts_per_shard..(s + 1) * experts_per_shard];
+        let topo = Topology::for_moe(local_padded, ffn, cfg.block_size)
+            .expect("padded counts are block-aligned");
+        // Weight slices for this shard's experts.
+        let col0 = s * experts_per_shard * ffn;
+        let cols = experts_per_shard * ffn;
+        let w1_local = Matrix::from_fn(hidden, cols, |i, j| layer.w1().value()[(i, col0 + j)]);
+        let w2_local = layer.w2().value().rows_range(col0, col0 + cols);
+        let h = ops::sdd(&shard_inputs[s], &w1_local, &topo).map(gelu_scalar);
+        shard_outputs.push(ops::dsd(&h, &w2_local));
+    }
+
+    // Combine all-to-all: concatenate shard outputs back into the global
+    // padded row space and un-permute.
+    let mut y = Matrix::zeros(permute.padded_rows(), hidden);
+    for (s, out) in shard_outputs.iter().enumerate() {
+        let lo = offsets[s * experts_per_shard];
+        for i in 0..out.rows() {
+            y.row_mut(lo + i).copy_from_slice(out.row(i));
+        }
+    }
+    let output = padded_scatter(&y, &permute, &routing.weights);
+
+    let stats = EpStats {
+        num_shards,
+        experts_per_shard,
+        rows_per_shard,
+        alltoall_elements: dispatch_elements,
+    };
+    let buffers = AllToAllBuffers {
+        shard_inputs,
+        shard_outputs,
+        dispatch_elements,
+    };
+    (output, stats, buffers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MoeConfig;
+    use megablocks_tensor::init::{normal, seeded_rng};
+
+    fn layer(seed: u64) -> DroplessMoe {
+        let mut rng = seeded_rng(seed);
+        DroplessMoe::new(MoeConfig::new(6, 8, 4).with_block_size(4), &mut rng)
+    }
+
+    #[test]
+    fn matches_single_device_for_every_shard_count() {
+        let l = layer(1);
+        let mut rng = seeded_rng(2);
+        let x = normal(18, 6, 1.0, &mut rng);
+        let reference = l.forward(&x).output;
+        for shards in [1usize, 2, 4] {
+            let (out, stats, _) = expert_parallel_forward(&l, &x, shards);
+            assert!(
+                out.approx_eq(&reference, 1e-4),
+                "{shards} shards diverged by {}",
+                out.max_abs_diff(&reference)
+            );
+            assert_eq!(stats.num_shards, shards);
+            assert_eq!(stats.experts_per_shard, 4 / shards);
+        }
+    }
+
+    #[test]
+    fn alltoall_volume_accounts_all_padded_rows() {
+        let l = layer(3);
+        let mut rng = seeded_rng(4);
+        let x = normal(25, 6, 1.0, &mut rng);
+        let (_, stats, buffers) = expert_parallel_forward(&l, &x, 2);
+        let total_rows: usize = stats.rows_per_shard.iter().sum();
+        assert_eq!(stats.alltoall_elements, total_rows * 6);
+        assert_eq!(buffers.dispatch_elements, stats.alltoall_elements);
+        // Shard buffers have the advertised shapes.
+        for (inp, &rows) in buffers.shard_inputs.iter().zip(&stats.rows_per_shard) {
+            assert_eq!(inp.shape(), (rows, 6));
+        }
+        for (out, &rows) in buffers.shard_outputs.iter().zip(&stats.rows_per_shard) {
+            assert_eq!(out.shape(), (rows, 6));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn shard_count_must_divide_experts() {
+        let l = layer(5);
+        let mut rng = seeded_rng(6);
+        let x = normal(8, 6, 1.0, &mut rng);
+        let _ = expert_parallel_forward(&l, &x, 3);
+    }
+
+    #[test]
+    fn imbalanced_shards_carry_their_actual_load() {
+        // With heavy imbalance, shard row counts differ — no padding to a
+        // worst-case shard (the dropless property survives distribution).
+        let l = layer(7);
+        let mut rng = seeded_rng(8);
+        let x = normal(40, 6, 1.0, &mut rng);
+        let (_, stats, _) = expert_parallel_forward(&l, &x, 2);
+        let tokens = l.forward(&x).stats.tokens_per_expert;
+        let padded: Vec<usize> = tokens.iter().map(|&t| t.div_ceil(4) * 4).collect();
+        assert_eq!(stats.rows_per_shard[0], padded[0] + padded[1]);
+        assert_eq!(stats.rows_per_shard[1], padded[2] + padded[3]);
+    }
+}

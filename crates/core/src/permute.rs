@@ -1,0 +1,361 @@
+//! Token permutation for dMoE layers (paper §5.2).
+//!
+//! The dMoE groups token rows by expert and pads each group with zero rows
+//! to the next multiple of the block size, so the block-sparse kernels only
+//! ever see whole blocks. The paper fuses the padding into custom
+//! permutation kernels (`padded_gather` / `padded_scatter` in Figure 6);
+//! this module reproduces them as plain functions.
+
+use megablocks_sparse::BlockSize;
+use megablocks_tensor::Matrix;
+
+use crate::Routing;
+
+/// Precomputed permutation metadata for one routing decision.
+///
+/// Built once per layer invocation (like the sparse [`Topology`]'s
+/// metadata, its cost is amortized over the forward and backward passes).
+///
+/// [`Topology`]: megablocks_sparse::Topology
+#[derive(Debug, Clone, PartialEq)]
+pub struct PermuteInfo {
+    num_tokens: usize,
+    top_k: usize,
+    tokens_per_expert: Vec<usize>,
+    padded_tokens_per_expert: Vec<usize>,
+    assignment_row: Vec<usize>,
+    padded_rows: usize,
+}
+
+impl PermuteInfo {
+    /// Builds permutation metadata from a routing decision, padding each
+    /// expert's token group to a multiple of `block_size`.
+    pub fn new(routing: &Routing, num_experts: usize, block_size: BlockSize) -> Self {
+        Self::with_alignment(
+            &routing.expert_indices,
+            num_experts,
+            routing.top_k,
+            block_size.get(),
+        )
+    }
+
+    /// Builds permutation metadata with an arbitrary row alignment.
+    ///
+    /// `alignment = 1` produces an unpadded grouping (useful for the
+    /// dropping baseline's bookkeeping and for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alignment == 0`, if any expert index is out of range, or
+    /// if the assignment count is not a multiple of `top_k`.
+    pub fn with_alignment(
+        expert_indices: &[usize],
+        num_experts: usize,
+        top_k: usize,
+        alignment: usize,
+    ) -> Self {
+        assert!(alignment > 0, "alignment must be nonzero");
+        assert!(top_k > 0, "top_k must be nonzero");
+        assert!(
+            expert_indices.len() % top_k == 0,
+            "assignment count {} is not a multiple of top_k {}",
+            expert_indices.len(),
+            top_k
+        );
+        let num_tokens = expert_indices.len() / top_k;
+
+        let mut tokens_per_expert = vec![0usize; num_experts];
+        for &e in expert_indices {
+            assert!(e < num_experts, "expert index {e} out of range");
+            tokens_per_expert[e] += 1;
+        }
+        let padded_tokens_per_expert: Vec<usize> = tokens_per_expert
+            .iter()
+            .map(|&c| c.div_ceil(alignment) * alignment)
+            .collect();
+
+        let mut offsets = vec![0usize; num_experts];
+        let mut acc = 0usize;
+        for (o, &p) in offsets.iter_mut().zip(&padded_tokens_per_expert) {
+            *o = acc;
+            acc += p;
+        }
+        let padded_rows = acc;
+
+        // Stable grouping: assignments keep token order within each expert.
+        let mut fill = vec![0usize; num_experts];
+        let assignment_row = expert_indices
+            .iter()
+            .map(|&e| {
+                let row = offsets[e] + fill[e];
+                fill[e] += 1;
+                row
+            })
+            .collect();
+
+        Self {
+            num_tokens,
+            top_k,
+            tokens_per_expert,
+            padded_tokens_per_expert,
+            assignment_row,
+            padded_rows,
+        }
+    }
+
+    /// Number of tokens in the batch.
+    pub fn num_tokens(&self) -> usize {
+        self.num_tokens
+    }
+
+    /// Assignments per token.
+    pub fn top_k(&self) -> usize {
+        self.top_k
+    }
+
+    /// Unpadded per-expert assignment counts.
+    pub fn tokens_per_expert(&self) -> &[usize] {
+        &self.tokens_per_expert
+    }
+
+    /// Per-expert counts after padding to the alignment.
+    pub fn padded_tokens_per_expert(&self) -> &[usize] {
+        &self.padded_tokens_per_expert
+    }
+
+    /// Total rows of the permuted (gathered) matrix.
+    pub fn padded_rows(&self) -> usize {
+        self.padded_rows
+    }
+
+    /// Rows of pure padding in the permuted matrix.
+    pub fn padding_rows(&self) -> usize {
+        self.padded_rows - self.assignment_row.len()
+    }
+
+    /// Destination row of assignment `a` in the permuted matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn row_of(&self, a: usize) -> usize {
+        self.assignment_row[a]
+    }
+
+    /// Source token of assignment `a`.
+    pub fn token_of(&self, a: usize) -> usize {
+        a / self.top_k
+    }
+
+    /// Number of assignments (`num_tokens * top_k`).
+    pub fn num_assignments(&self) -> usize {
+        self.assignment_row.len()
+    }
+}
+
+/// Permutes token rows into expert-grouped, block-padded order (Figure 6,
+/// line 15). Padding rows are zero.
+///
+/// # Panics
+///
+/// Panics if `x.rows() != info.num_tokens()`.
+pub fn padded_gather(x: &Matrix, info: &PermuteInfo) -> Matrix {
+    assert_eq!(x.rows(), info.num_tokens(), "padded_gather token count mismatch");
+    let mut out = Matrix::zeros(info.padded_rows(), x.cols());
+    for a in 0..info.num_assignments() {
+        let src = x.row(info.token_of(a));
+        out.row_mut(info.row_of(a)).copy_from_slice(src);
+    }
+    out
+}
+
+/// Backward of [`padded_gather`]: scatters gradient rows back to tokens,
+/// summing over a token's `top_k` assignments. Padding-row gradients are
+/// discarded (those rows hold no data).
+///
+/// # Panics
+///
+/// Panics if `d_gathered.rows() != info.padded_rows()`.
+pub fn padded_gather_backward(d_gathered: &Matrix, info: &PermuteInfo) -> Matrix {
+    assert_eq!(
+        d_gathered.rows(),
+        info.padded_rows(),
+        "padded_gather_backward row count mismatch"
+    );
+    let mut dx = Matrix::zeros(info.num_tokens(), d_gathered.cols());
+    for a in 0..info.num_assignments() {
+        let src = d_gathered.row(info.row_of(a));
+        let dst = dx.row_mut(info.token_of(a));
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+    dx
+}
+
+/// Un-permutes expert outputs back to token order, scaling each
+/// assignment's rows by its router confidence weight and summing a token's
+/// `top_k` contributions (Figure 6, lines 27-28).
+///
+/// # Panics
+///
+/// Panics if shapes or weight counts are inconsistent with `info`.
+pub fn padded_scatter(y: &Matrix, info: &PermuteInfo, weights: &[f32]) -> Matrix {
+    assert_eq!(y.rows(), info.padded_rows(), "padded_scatter row count mismatch");
+    assert_eq!(
+        weights.len(),
+        info.num_assignments(),
+        "one weight per assignment required"
+    );
+    let mut out = Matrix::zeros(info.num_tokens(), y.cols());
+    for a in 0..info.num_assignments() {
+        let w = weights[a];
+        let src = y.row(info.row_of(a));
+        let dst = out.row_mut(info.token_of(a));
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += w * s;
+        }
+    }
+    out
+}
+
+/// Backward of [`padded_scatter`].
+///
+/// Returns `(d_y, d_weights)`: the gradient flowing to the permuted expert
+/// outputs (zero on padding rows) and the gradient of each assignment's
+/// confidence weight (`dot(d_out[token], y[row])`).
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with `info`.
+pub fn padded_scatter_backward(
+    d_out: &Matrix,
+    y: &Matrix,
+    info: &PermuteInfo,
+    weights: &[f32],
+) -> (Matrix, Vec<f32>) {
+    assert_eq!(d_out.rows(), info.num_tokens(), "d_out token count mismatch");
+    assert_eq!(y.rows(), info.padded_rows(), "y row count mismatch");
+    assert_eq!(weights.len(), info.num_assignments(), "weights count mismatch");
+    let mut dy = Matrix::zeros(info.padded_rows(), d_out.cols());
+    let mut d_weights = vec![0.0f32; info.num_assignments()];
+    for a in 0..info.num_assignments() {
+        let t = info.token_of(a);
+        let r = info.row_of(a);
+        let d_row = d_out.row(t);
+        let y_row = y.row(r);
+        d_weights[a] = d_row.iter().zip(y_row).map(|(d, v)| d * v).sum();
+        let w = weights[a];
+        let dst = dy.row_mut(r);
+        for (o, d) in dst.iter_mut().zip(d_row) {
+            *o = w * d;
+        }
+    }
+    (dy, d_weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(indices: &[usize], experts: usize, top_k: usize, align: usize) -> PermuteInfo {
+        PermuteInfo::with_alignment(indices, experts, top_k, align)
+    }
+
+    #[test]
+    fn grouping_is_stable_and_padded() {
+        // tokens 0..5 routed: [1, 0, 1, 1, 0] with alignment 2.
+        let p = info(&[1, 0, 1, 1, 0], 3, 1, 2);
+        assert_eq!(p.tokens_per_expert(), &[2, 3, 0]);
+        assert_eq!(p.padded_tokens_per_expert(), &[2, 4, 0]);
+        assert_eq!(p.padded_rows(), 6);
+        assert_eq!(p.padding_rows(), 1);
+        // expert 0 occupies rows 0..2: tokens 1 then 4 (stable order)
+        assert_eq!(p.row_of(1), 0);
+        assert_eq!(p.row_of(4), 1);
+        // expert 1 occupies rows 2..6: tokens 0, 2, 3
+        assert_eq!(p.row_of(0), 2);
+        assert_eq!(p.row_of(2), 3);
+        assert_eq!(p.row_of(3), 4);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip_top1_unit_weights() {
+        let p = info(&[1, 0, 1, 1, 0], 2, 1, 4);
+        let x = Matrix::from_fn(5, 3, |i, j| (i * 3 + j) as f32);
+        let g = padded_gather(&x, &p);
+        assert_eq!(g.rows(), p.padded_rows());
+        let back = padded_scatter(&g, &p, &[1.0; 5]);
+        assert!(back.approx_eq(&x, 1e-6));
+    }
+
+    #[test]
+    fn padding_rows_are_zero() {
+        let p = info(&[0, 0, 1], 2, 1, 4);
+        let x = Matrix::full(3, 2, 7.0);
+        let g = padded_gather(&x, &p);
+        // expert 0: rows 0..4 (2 data + 2 pad), expert 1: rows 4..8 (1 + 3 pad)
+        assert_eq!(g.row(0), &[7.0, 7.0]);
+        assert_eq!(g.row(1), &[7.0, 7.0]);
+        assert_eq!(g.row(2), &[0.0, 0.0]);
+        assert_eq!(g.row(3), &[0.0, 0.0]);
+        assert_eq!(g.row(4), &[7.0, 7.0]);
+        assert!(g.row(7).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scatter_applies_weights_and_sums_top_k() {
+        // 2 tokens, top_k = 2: token 0 -> experts (0, 1), token 1 -> (1, 0).
+        let p = info(&[0, 1, 1, 0], 2, 2, 1);
+        let mut y = Matrix::zeros(4, 1);
+        for a in 0..4 {
+            y[(p.row_of(a), 0)] = (a + 1) as f32; // assignment a produced value a+1
+        }
+        let out = padded_scatter(&y, &p, &[0.5, 0.25, 1.0, 2.0]);
+        // token 0 = 0.5 * 1 + 0.25 * 2 = 1.0; token 1 = 1.0 * 3 + 2.0 * 4 = 11.0
+        assert!((out[(0, 0)] - 1.0).abs() < 1e-6);
+        assert!((out[(1, 0)] - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scatter_backward_produces_weight_grads_and_zero_padding_grad() {
+        let p = info(&[0, 1], 2, 1, 2);
+        let y = Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f32);
+        let d_out = Matrix::full(2, 2, 1.0);
+        let (dy, dw) = padded_scatter_backward(&d_out, &y, &p, &[2.0, 3.0]);
+        // d_weights[a] = dot(d_out[t], y[row]) = sum of y row.
+        assert!((dw[0] - (0.0 + 1.0)).abs() < 1e-6);
+        assert!((dw[1] - (4.0 + 5.0)).abs() < 1e-6);
+        // dy rows scaled by weights; padding rows (1 and 3) zero.
+        assert_eq!(dy.row(0), &[2.0, 2.0]);
+        assert_eq!(dy.row(2), &[3.0, 3.0]);
+        assert!(dy.row(1).iter().all(|&v| v == 0.0));
+        assert!(dy.row(3).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gather_backward_sums_assignments() {
+        let p = info(&[0, 1, 1, 0], 2, 2, 1);
+        let d_g = Matrix::from_fn(4, 1, |i, _| (i + 1) as f32);
+        let dx = padded_gather_backward(&d_g, &p);
+        assert_eq!(dx.rows(), 2);
+        // token 0's assignments land at rows row_of(0), row_of(1).
+        let want0 = d_g[(p.row_of(0), 0)] + d_g[(p.row_of(1), 0)];
+        let want1 = d_g[(p.row_of(2), 0)] + d_g[(p.row_of(3), 0)];
+        assert!((dx[(0, 0)] - want0).abs() < 1e-6);
+        assert!((dx[(1, 0)] - want1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_token_experts_occupy_no_rows() {
+        let p = info(&[2, 2], 4, 1, 8);
+        assert_eq!(p.padded_tokens_per_expert(), &[0, 0, 8, 0]);
+        assert_eq!(p.padded_rows(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_expert_index_panics() {
+        let _ = info(&[5], 2, 1, 1);
+    }
+}

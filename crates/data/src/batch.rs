@@ -1,0 +1,174 @@
+//! Sequence batching over a token stream.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A batch of next-token-prediction training sequences.
+///
+/// `inputs` and `targets` are flattened `(batch * seq_len)` slices in
+/// sequence-major order; `targets[i]` is the token following `inputs[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Batch {
+    /// Input token ids, `batch_size * seq_len` entries.
+    pub inputs: Vec<usize>,
+    /// Next-token targets aligned with `inputs`.
+    pub targets: Vec<usize>,
+    /// Number of sequences in the batch.
+    pub batch_size: usize,
+    /// Tokens per sequence.
+    pub seq_len: usize,
+}
+
+/// A token stream with known vocabulary, sliceable into training batches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenDataset {
+    tokens: Vec<u32>,
+    vocab_size: usize,
+}
+
+impl TokenDataset {
+    /// Wraps a token stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any token id is outside the vocabulary.
+    pub fn new(tokens: Vec<u32>, vocab_size: usize) -> Self {
+        assert!(
+            tokens.iter().all(|&t| (t as usize) < vocab_size),
+            "token id out of vocabulary"
+        );
+        Self { tokens, vocab_size }
+    }
+
+    /// Number of tokens in the stream.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// `true` if the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// The underlying tokens.
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// Samples `batch_size` random windows of `seq_len` tokens (plus one
+    /// for the shifted targets) — the training iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is shorter than `seq_len + 1`.
+    pub fn sample_batch(&self, batch_size: usize, seq_len: usize, rng: &mut StdRng) -> Batch {
+        assert!(
+            self.tokens.len() > seq_len,
+            "stream of {} tokens too short for seq_len {seq_len}",
+            self.tokens.len()
+        );
+        let mut inputs = Vec::with_capacity(batch_size * seq_len);
+        let mut targets = Vec::with_capacity(batch_size * seq_len);
+        for _ in 0..batch_size {
+            let start = rng.gen_range(0..self.tokens.len() - seq_len);
+            self.push_window(start, seq_len, &mut inputs, &mut targets);
+        }
+        Batch {
+            inputs,
+            targets,
+            batch_size,
+            seq_len,
+        }
+    }
+
+    /// Iterates sequential non-overlapping evaluation batches covering the
+    /// stream (last partial window dropped).
+    pub fn sequential_batches(&self, batch_size: usize, seq_len: usize) -> Vec<Batch> {
+        let mut batches = Vec::new();
+        let stride = seq_len;
+        let mut starts: Vec<usize> = Vec::new();
+        let mut s = 0;
+        while s + seq_len < self.tokens.len() {
+            starts.push(s);
+            s += stride;
+        }
+        for chunk in starts.chunks(batch_size) {
+            if chunk.len() < batch_size {
+                break;
+            }
+            let mut inputs = Vec::with_capacity(batch_size * seq_len);
+            let mut targets = Vec::with_capacity(batch_size * seq_len);
+            for &start in chunk {
+                self.push_window(start, seq_len, &mut inputs, &mut targets);
+            }
+            batches.push(Batch {
+                inputs,
+                targets,
+                batch_size,
+                seq_len,
+            });
+        }
+        batches
+    }
+
+    fn push_window(&self, start: usize, seq_len: usize, inputs: &mut Vec<usize>, targets: &mut Vec<usize>) {
+        for i in 0..seq_len {
+            inputs.push(self.tokens[start + i] as usize);
+            targets.push(self.tokens[start + i + 1] as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    fn dataset(n: usize) -> TokenDataset {
+        TokenDataset::new((0..n as u32).map(|i| i % 50).collect(), 50)
+    }
+
+    #[test]
+    fn targets_are_shifted_inputs() {
+        let ds = dataset(200);
+        let mut rng = seeded_rng(1);
+        let b = ds.sample_batch(3, 8, &mut rng);
+        assert_eq!(b.inputs.len(), 24);
+        for s in 0..3 {
+            for i in 0..7 {
+                // within a sequence, target[i] == input[i+1]
+                assert_eq!(b.targets[s * 8 + i], b.inputs[s * 8 + i + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_batches_cover_stream_without_overlap() {
+        let ds = dataset(101);
+        let batches = ds.sequential_batches(2, 10);
+        // starts: 0,10,...,90 -> 10 windows -> 5 full batches of 2
+        assert_eq!(batches.len(), 5);
+        let first = &batches[0];
+        assert_eq!(first.inputs[0..10], (0..10).collect::<Vec<_>>()[..]);
+        assert_eq!(first.inputs[10..20], (10..20).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn vocabulary_is_validated() {
+        let _ = TokenDataset::new(vec![100], 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_stream_panics() {
+        let ds = dataset(5);
+        let mut rng = seeded_rng(2);
+        let _ = ds.sample_batch(1, 10, &mut rng);
+    }
+}

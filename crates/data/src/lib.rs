@@ -1,0 +1,42 @@
+//! Synthetic Pile-like corpus for MegaBlocks-RS.
+//!
+//! The paper trains on The Pile (Gao et al. 2020), 800 GB of diverse text.
+//! That corpus is unavailable here, so this crate generates a synthetic
+//! stand-in that preserves the two properties the MoE experiments depend
+//! on:
+//!
+//! 1. **Cluster structure** — documents come from distinct latent clusters
+//!    with different token statistics, so a router can learn to specialize
+//!    experts to parts of the data distribution (the mechanism behind MoE
+//!    quality gains, §2).
+//! 2. **Predictable sequential structure** — tokens follow per-cluster
+//!    Markov dynamics with Zipfian marginals, so a language model's loss
+//!    decreases with capacity and *dropping tokens measurably hurts*.
+//!
+//! See DESIGN.md ("Hardware / data substitutions") for the full rationale.
+//!
+//! # Example
+//!
+//! ```
+//! use megablocks_data::{PileConfig, SyntheticPile};
+//!
+//! let pile = SyntheticPile::generate(&PileConfig::tiny(), 42);
+//! let (train, valid) = pile.split(0.9);
+//! let batch = train.sample_batch(4, 16, &mut megablocks_data::seeded_rng(0));
+//! assert_eq!(batch.inputs.len(), 4 * 16);
+//! ```
+
+#![deny(missing_docs)]
+
+mod batch;
+mod pile;
+
+pub use batch::{Batch, TokenDataset};
+pub use pile::{PileConfig, SyntheticPile};
+
+/// Creates a seeded RNG (re-exported convenience so callers don't need
+/// `rand` traits in scope).
+pub fn seeded_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,290 @@
+//! Cluster-mixture Markov corpus generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::TokenDataset;
+
+/// Configuration for [`SyntheticPile::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PileConfig {
+    /// Vocabulary size (the paper's experiments use 51200; scaled-down
+    /// experiments use less).
+    pub vocab_size: usize,
+    /// Number of latent document clusters (think: Pile subsets — code, web
+    /// text, papers, ...). Experts can specialize per cluster.
+    pub num_clusters: usize,
+    /// Total number of tokens to generate.
+    pub num_tokens: usize,
+    /// Mean document length in tokens; documents are separated by the
+    /// end-of-document token `0`.
+    pub mean_doc_len: usize,
+    /// Branching factor of the Markov dynamics: from each (cluster, token)
+    /// state the next token is drawn from this many candidates with
+    /// Zipfian weights. Smaller = more predictable text = lower achievable
+    /// loss.
+    pub branching: usize,
+    /// Probability of an i.i.d. "noise" token (drawn Zipfian from the whole
+    /// vocabulary) instead of a Markov transition. This bounds the best
+    /// achievable loss away from zero, like natural text entropy.
+    pub noise: f64,
+}
+
+impl PileConfig {
+    /// A laptop-scale configuration used by tests and examples.
+    pub fn tiny() -> Self {
+        Self {
+            vocab_size: 256,
+            num_clusters: 8,
+            num_tokens: 20_000,
+            mean_doc_len: 64,
+            branching: 4,
+            noise: 0.1,
+        }
+    }
+
+    /// The configuration used by the scaled-down paper-reproduction runs:
+    /// more clusters than experts so routing stays non-trivial.
+    pub fn repro() -> Self {
+        Self {
+            vocab_size: 512,
+            num_clusters: 16,
+            num_tokens: 200_000,
+            mean_doc_len: 128,
+            branching: 6,
+            noise: 0.15,
+        }
+    }
+}
+
+/// A generated synthetic corpus plus its provenance.
+#[derive(Debug, Clone)]
+pub struct SyntheticPile {
+    config: PileConfig,
+    tokens: Vec<u32>,
+    cluster_of_token: Vec<u16>,
+}
+
+impl SyntheticPile {
+    /// Generates a corpus deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has a zero vocab, zero clusters or zero
+    /// branching.
+    pub fn generate(config: &PileConfig, seed: u64) -> Self {
+        assert!(config.vocab_size >= 2, "vocab must include EOD + content tokens");
+        assert!(config.num_clusters >= 1, "need at least one cluster");
+        assert!(config.branching >= 1, "need at least one branch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tokens = Vec::with_capacity(config.num_tokens);
+        let mut cluster_of_token = Vec::with_capacity(config.num_tokens);
+
+        while tokens.len() < config.num_tokens {
+            let cluster = rng.gen_range(0..config.num_clusters);
+            // Geometric-ish document length around the mean.
+            let len = 1 + rng.gen_range(config.mean_doc_len / 2..=config.mean_doc_len * 3 / 2);
+            let mut cur: u32 = Self::cluster_start(cluster, config.vocab_size);
+            tokens.push(0); // end-of-document separator starts each doc
+            cluster_of_token.push(cluster as u16);
+            for _ in 0..len {
+                if tokens.len() >= config.num_tokens {
+                    break;
+                }
+                let next = if rng.gen_bool(config.noise) {
+                    Self::zipf_token(&mut rng, config.vocab_size)
+                } else {
+                    let slot = Self::zipf_slot(&mut rng, config.branching);
+                    Self::transition(cluster, cur, slot, config.vocab_size)
+                };
+                tokens.push(next);
+                cluster_of_token.push(cluster as u16);
+                cur = next;
+            }
+        }
+        tokens.truncate(config.num_tokens);
+        cluster_of_token.truncate(config.num_tokens);
+        Self {
+            config: config.clone(),
+            tokens,
+            cluster_of_token,
+        }
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &PileConfig {
+        &self.config
+    }
+
+    /// The raw token stream.
+    pub fn tokens(&self) -> &[u32] {
+        &self.tokens
+    }
+
+    /// The latent cluster of each token (ground truth, used by routing
+    /// diagnostics — a real corpus would not expose this).
+    pub fn cluster_of_token(&self) -> &[u16] {
+        &self.cluster_of_token
+    }
+
+    /// Splits into train/validation [`TokenDataset`]s at `fraction` of the
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1)`.
+    pub fn split(&self, fraction: f64) -> (TokenDataset, TokenDataset) {
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        let cut = ((self.tokens.len() as f64) * fraction) as usize;
+        (
+            TokenDataset::new(self.tokens[..cut].to_vec(), self.config.vocab_size),
+            TokenDataset::new(self.tokens[cut..].to_vec(), self.config.vocab_size),
+        )
+    }
+
+    /// Deterministic per-cluster start token.
+    fn cluster_start(cluster: usize, vocab: usize) -> u32 {
+        (1 + mix(cluster as u64, 0, 0) as usize % (vocab - 1)) as u32
+    }
+
+    /// Deterministic Markov transition table, evaluated lazily by hashing —
+    /// equivalent to a `num_clusters x vocab x branching` lookup table
+    /// without materializing it.
+    fn transition(cluster: usize, cur: u32, slot: usize, vocab: usize) -> u32 {
+        (1 + mix(cluster as u64, u64::from(cur), slot as u64) as usize % (vocab - 1)) as u32
+    }
+
+    /// Zipfian slot choice among the branching candidates (slot 0 most
+    /// likely).
+    fn zipf_slot(rng: &mut StdRng, branching: usize) -> usize {
+        let weights: Vec<f64> = (1..=branching).map(|r| 1.0 / r as f64).collect();
+        weighted_choice(rng, &weights)
+    }
+
+    /// Zipfian token over the whole vocabulary (token 1 most likely).
+    fn zipf_token(rng: &mut StdRng, vocab: usize) -> u32 {
+        // Inverse-CDF sampling of P(r) ∝ 1/r via the approximation
+        // r = exp(u * ln(V)) which gives a discrete log-uniform (Zipf s≈1).
+        let u: f64 = rng.gen();
+        let r = ((vocab - 1) as f64).powf(u).floor() as usize;
+        (1 + r.min(vocab - 2)) as u32
+    }
+}
+
+/// SplitMix64-style mixing of three words into one.
+fn mix(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58476D1CE4E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D049BB133111EB))
+        .wrapping_add(0x2545F4914F6CDD1D);
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58476D1CE4E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        if u < *w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = PileConfig::tiny();
+        let a = SyntheticPile::generate(&cfg, 1);
+        let b = SyntheticPile::generate(&cfg, 1);
+        assert_eq!(a.tokens(), b.tokens());
+        let c = SyntheticPile::generate(&cfg, 2);
+        assert_ne!(a.tokens(), c.tokens());
+    }
+
+    #[test]
+    fn tokens_are_in_vocab() {
+        let cfg = PileConfig::tiny();
+        let pile = SyntheticPile::generate(&cfg, 3);
+        assert_eq!(pile.tokens().len(), cfg.num_tokens);
+        assert!(pile.tokens().iter().all(|&t| (t as usize) < cfg.vocab_size));
+    }
+
+    #[test]
+    fn stream_contains_document_separators() {
+        let pile = SyntheticPile::generate(&PileConfig::tiny(), 4);
+        let eods = pile.tokens().iter().filter(|&&t| t == 0).count();
+        // ~ num_tokens / mean_doc_len documents
+        assert!(eods > 100, "only {eods} documents");
+    }
+
+    #[test]
+    fn clusters_have_distinct_statistics() {
+        // The per-cluster unigram distributions should differ: measure the
+        // most frequent content token per cluster and require diversity.
+        let cfg = PileConfig::tiny();
+        let pile = SyntheticPile::generate(&cfg, 5);
+        let mut top_token = Vec::new();
+        for cl in 0..cfg.num_clusters {
+            let mut hist = vec![0usize; cfg.vocab_size];
+            for (&t, &c) in pile.tokens().iter().zip(pile.cluster_of_token()) {
+                if c as usize == cl && t != 0 {
+                    hist[t as usize] += 1;
+                }
+            }
+            top_token.push(hist.iter().enumerate().max_by_key(|(_, &n)| n).unwrap().0);
+        }
+        top_token.sort_unstable();
+        top_token.dedup();
+        assert!(
+            top_token.len() >= cfg.num_clusters / 2,
+            "cluster statistics collapsed: {top_token:?}"
+        );
+    }
+
+    #[test]
+    fn markov_structure_is_predictable() {
+        // Transitions must repeat: P(next | cluster, cur) concentrated on
+        // `branching` candidates. Check that the empirical number of
+        // distinct successors of a frequent state is near the branching
+        // factor (plus noise).
+        let cfg = PileConfig {
+            noise: 0.0,
+            ..PileConfig::tiny()
+        };
+        let pile = SyntheticPile::generate(&cfg, 6);
+        use std::collections::{HashMap, HashSet};
+        let mut successors: HashMap<(u16, u32), HashSet<u32>> = HashMap::new();
+        let toks = pile.tokens();
+        let clus = pile.cluster_of_token();
+        for i in 0..toks.len() - 1 {
+            if toks[i] == 0 || toks[i + 1] == 0 || clus[i] != clus[i + 1] {
+                continue;
+            }
+            successors.entry((clus[i], toks[i])).or_default().insert(toks[i + 1]);
+        }
+        let max_succ = successors.values().map(|s| s.len()).max().unwrap();
+        assert!(
+            max_succ <= cfg.branching,
+            "state had {max_succ} successors, branching is {}",
+            cfg.branching
+        );
+    }
+
+    #[test]
+    fn split_partitions_stream() {
+        let pile = SyntheticPile::generate(&PileConfig::tiny(), 7);
+        let (train, valid) = pile.split(0.9);
+        assert_eq!(train.len() + valid.len(), pile.tokens().len());
+        assert!(train.len() > valid.len());
+    }
+}

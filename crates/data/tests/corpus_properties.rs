@@ -1,0 +1,192 @@
+//! Statistical and structural properties of the synthetic Pile that the
+//! MoE experiments rely on (see DESIGN.md's substitution table).
+
+use megablocks_data::{seeded_rng, PileConfig, SyntheticPile, TokenDataset};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn small_cfg(seed_dependent_tokens: usize) -> PileConfig {
+    PileConfig {
+        vocab_size: 128,
+        num_clusters: 4,
+        num_tokens: seed_dependent_tokens,
+        mean_doc_len: 32,
+        branching: 3,
+        noise: 0.1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn generation_respects_config(seed in 0u64..500, tokens in 500usize..5000) {
+        let cfg = small_cfg(tokens);
+        let pile = SyntheticPile::generate(&cfg, seed);
+        prop_assert_eq!(pile.tokens().len(), tokens);
+        prop_assert_eq!(pile.cluster_of_token().len(), tokens);
+        prop_assert!(pile.tokens().iter().all(|&t| (t as usize) < cfg.vocab_size));
+        prop_assert!(pile
+            .cluster_of_token()
+            .iter()
+            .all(|&c| (c as usize) < cfg.num_clusters));
+    }
+
+    #[test]
+    fn split_fraction_is_respected(frac in 0.05f64..0.95) {
+        let pile = SyntheticPile::generate(&small_cfg(2000), 9);
+        let (train, valid) = pile.split(frac);
+        prop_assert_eq!(train.len() + valid.len(), 2000);
+        let got = train.len() as f64 / 2000.0;
+        prop_assert!((got - frac).abs() < 0.01);
+    }
+
+    #[test]
+    fn sampled_batches_are_within_vocab(seed in 0u64..100) {
+        let pile = SyntheticPile::generate(&small_cfg(3000), seed);
+        let (train, _) = pile.split(0.9);
+        let mut rng = seeded_rng(seed + 1);
+        let b = train.sample_batch(3, 17, &mut rng);
+        prop_assert_eq!(b.inputs.len(), 51);
+        prop_assert!(b.inputs.iter().chain(&b.targets).all(|&t| t < 128));
+    }
+}
+
+#[test]
+fn bigram_structure_is_far_from_iid() {
+    // The Markov dynamics must make next-token entropy conditioned on the
+    // current token substantially lower than the unigram entropy —
+    // otherwise an LM could not improve on unigram statistics and the
+    // training figures would be flat.
+    let cfg = PileConfig {
+        vocab_size: 128,
+        num_clusters: 4,
+        num_tokens: 60_000,
+        mean_doc_len: 64,
+        branching: 3,
+        noise: 0.05,
+    };
+    let pile = SyntheticPile::generate(&cfg, 1);
+    let toks = pile.tokens();
+
+    let mut unigram: HashMap<u32, usize> = HashMap::new();
+    let mut bigram: HashMap<(u32, u32), usize> = HashMap::new();
+    let mut context: HashMap<u32, usize> = HashMap::new();
+    for w in toks.windows(2) {
+        unigram.entry(w[0]).and_modify(|c| *c += 1).or_insert(1);
+        bigram.entry((w[0], w[1])).and_modify(|c| *c += 1).or_insert(1);
+        context.entry(w[0]).and_modify(|c| *c += 1).or_insert(1);
+    }
+    let n = (toks.len() - 1) as f64;
+    let h_unigram: f64 = unigram
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum();
+    let h_cond: f64 = bigram
+        .iter()
+        .map(|(&(a, _), &c)| {
+            let p_joint = c as f64 / n;
+            let p_cond = c as f64 / context[&a] as f64;
+            -p_joint * p_cond.ln()
+        })
+        .sum();
+    assert!(
+        h_cond < h_unigram - 1.0,
+        "conditional entropy {h_cond:.3} should be far below unigram {h_unigram:.3}"
+    );
+}
+
+#[test]
+fn clusters_make_routing_learnable() {
+    // Cluster identity must carry information about the next token beyond
+    // the current token alone — that is what experts can exploit.
+    let cfg = PileConfig {
+        vocab_size: 64,
+        num_clusters: 4,
+        num_tokens: 80_000,
+        mean_doc_len: 64,
+        branching: 2,
+        noise: 0.0,
+    };
+    let pile = SyntheticPile::generate(&cfg, 2);
+    let toks = pile.tokens();
+    let clus = pile.cluster_of_token();
+    // For a frequent current-token value, the successor distribution must
+    // differ across clusters.
+    let mut by_cluster: HashMap<(u16, u32), HashMap<u32, usize>> = HashMap::new();
+    for i in 0..toks.len() - 1 {
+        if toks[i] == 0 || toks[i + 1] == 0 || clus[i] != clus[i + 1] {
+            continue;
+        }
+        by_cluster
+            .entry((clus[i], toks[i]))
+            .or_default()
+            .entry(toks[i + 1])
+            .and_modify(|c| *c += 1)
+            .or_insert(1);
+    }
+    // Find a token observed in at least 2 clusters with enough counts and
+    // check their top successors differ for at least one such token.
+    let mut checked = 0;
+    let mut differed = 0;
+    for tok in 1..64u32 {
+        let mut tops = Vec::new();
+        for cl in 0..4u16 {
+            if let Some(succ) = by_cluster.get(&(cl, tok)) {
+                if succ.values().sum::<usize>() >= 20 {
+                    let top = succ.iter().max_by_key(|(_, &c)| c).map(|(&t, _)| t);
+                    tops.push(top);
+                }
+            }
+        }
+        if tops.len() >= 2 {
+            checked += 1;
+            if tops.windows(2).any(|w| w[0] != w[1]) {
+                differed += 1;
+            }
+        }
+    }
+    assert!(checked >= 10, "not enough overlapping tokens to compare ({checked})");
+    assert!(
+        differed * 2 >= checked,
+        "cluster-conditional transitions should usually differ: {differed}/{checked}"
+    );
+}
+
+#[test]
+fn sequential_batches_do_not_overlap_or_cross_split() {
+    let pile = SyntheticPile::generate(&small_cfg(4000), 3);
+    let (train, valid) = pile.split(0.8);
+    let batches = valid.sequential_batches(2, 25);
+    let mut seen = std::collections::HashSet::new();
+    for b in &batches {
+        for (i, &tok) in b.inputs.iter().enumerate() {
+            let _ = tok;
+            let _ = i;
+        }
+    }
+    // Starts are strided by seq_len: reconstruct and verify.
+    let mut covered = 0usize;
+    for b in &batches {
+        covered += b.inputs.len();
+        for s in 0..b.batch_size {
+            let window = &b.inputs[s * b.seq_len..(s + 1) * b.seq_len];
+            let key = window.to_vec();
+            assert!(seen.insert(key), "window duplicated across batches");
+        }
+    }
+    assert!(covered <= valid.len());
+    let _ = train;
+}
+
+#[test]
+fn dataset_accessors_are_consistent() {
+    let ds = TokenDataset::new(vec![1, 2, 3, 4, 5], 10);
+    assert_eq!(ds.len(), 5);
+    assert!(!ds.is_empty());
+    assert_eq!(ds.vocab_size(), 10);
+    assert_eq!(ds.tokens(), &[1, 2, 3, 4, 5]);
+}

@@ -1,0 +1,167 @@
+//! Dense GEMM timing: the cuBLAS/CUTLASS stand-in.
+//!
+//! `gemm_time` is the workhorse of the whole performance model: block
+//! tiles are scheduled over SMs in waves, the roofline binds compute
+//! against HBM traffic, and kernel launch latency is added once. Figure 4
+//! is `gemm_throughput_tflops` swept over [`TileShape::CUTLASS_SWEEP`].
+
+use crate::{DeviceSpec, TileShape};
+
+/// Bytes per element at mixed precision (FP16 storage).
+pub const ELEM_BYTES: f64 = 2.0;
+
+/// Time in seconds for a single `m x n x k` GEMM using `tile`, including
+/// one kernel launch.
+pub fn gemm_time(device: &DeviceSpec, tile: TileShape, m: usize, n: usize, k: usize) -> f64 {
+    gemm_time_batched(device, tile, m, n, k, 1)
+}
+
+/// Time for a batch of identical GEMMs launched as one kernel (cuBLAS
+/// batched / CUTLASS grouped style): the tile grids concatenate, so waves
+/// pack across batch entries.
+pub fn gemm_time_batched(
+    device: &DeviceSpec,
+    tile: TileShape,
+    m: usize,
+    n: usize,
+    k: usize,
+    batch: usize,
+) -> f64 {
+    if m == 0 || n == 0 || k == 0 || batch == 0 {
+        return device.kernel_launch;
+    }
+    let tiles = tile.tiles_m(m) * tile.tiles_n(n) * batch;
+    let waves = tiles.div_ceil(device.sm_count);
+    // A tile multiplies the full (padded) K dimension.
+    let tile_flops = 2.0 * tile.area() as f64 * k as f64;
+    let tile_time = tile_flops / (device.sm_peak_flops() * tile.efficiency());
+    let compute = waves as f64 * tile_time;
+
+    // Ideal HBM traffic: operands once, output once (good L2 reuse).
+    let traffic = ELEM_BYTES * batch as f64 * (m * k + k * n + m * n) as f64;
+    let mem = traffic / device.mem_bandwidth;
+
+    compute.max(mem) + device.kernel_launch
+}
+
+/// Realized throughput of a square-ish GEMM in TFLOP/s (useful FLOPs over
+/// modeled time) — the y-axis of Figure 4.
+pub fn gemm_throughput_tflops(
+    device: &DeviceSpec,
+    tile: TileShape,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> f64 {
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    flops / gemm_time(device, tile, m, n, k) / 1e12
+}
+
+/// Time with the best tile shape from the CUTLASS sweep — how cuBLAS's
+/// heuristic behaves for well-shaped problems.
+pub fn best_gemm_time(device: &DeviceSpec, m: usize, n: usize, k: usize) -> f64 {
+    TileShape::CUTLASS_SWEEP
+        .iter()
+        .map(|&t| gemm_time(device, t, m, n, k))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// cuBLAS batched-GEMM time for the MoE baseline (Figure 3A): `batch`
+/// experts, each `m x n x k`, launched together. Includes the per-entry
+/// pointer-array indirection cuBLAS batched interfaces pay.
+pub fn cublas_batched_time(device: &DeviceSpec, m: usize, n: usize, k: usize, batch: usize) -> f64 {
+    let base = gemm_time_batched(device, TileShape::PAPER, m, n, k, batch);
+    // Pointer/stride setup per batch entry (measured microseconds-scale
+    // for large batches; tiny but nonzero).
+    base + batch as f64 * 2e-8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::a100_sxm4_80gb()
+    }
+
+    #[test]
+    fn large_gemm_reaches_high_fraction_of_peak() {
+        // 128x128 tiles on a 8192^3 problem should land in the ~200-280
+        // TFLOP/s band a real A100 shows.
+        let t = gemm_throughput_tflops(&dev(), TileShape::PAPER, 8192, 8192, 8192);
+        assert!((185.0..290.0).contains(&t), "throughput {t}");
+    }
+
+    #[test]
+    fn paper_tile_is_on_par_or_better() {
+        // Figure 4's claim: 128x128 performs consistently on-par or better.
+        // Wave quantization produces a sawtooth where another tile can edge
+        // ahead at individual sizes (visible in the paper's plot too), so
+        // the check is: within 12% of the best everywhere, and the best on
+        // geometric mean across the sweep.
+        let sizes = [512usize, 1024, 2048, 4096, 8192, 16384];
+        let mut geomean = std::collections::HashMap::new();
+        for &size in &sizes {
+            let paper = gemm_throughput_tflops(&dev(), TileShape::PAPER, size, size, size);
+            for tile in TileShape::CUTLASS_SWEEP {
+                let other = gemm_throughput_tflops(&dev(), tile, size, size, size);
+                if size >= 1024 {
+                    assert!(
+                        paper >= other * 0.88,
+                        "at {size}: 128x128 = {paper:.1} TF but {tile} = {other:.1} TF"
+                    );
+                }
+                *geomean.entry(tile).or_insert(0.0f64) += other.ln();
+            }
+        }
+        let best = geomean
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(t, _)| *t)
+            .unwrap();
+        assert_eq!(best, TileShape::PAPER, "geomean winner should be 128x128");
+    }
+
+    #[test]
+    fn throughput_increases_with_size() {
+        let d = dev();
+        let small = gemm_throughput_tflops(&d, TileShape::PAPER, 512, 512, 512);
+        let big = gemm_throughput_tflops(&d, TileShape::PAPER, 8192, 8192, 8192);
+        assert!(big > small * 3.0, "small {small}, big {big}");
+    }
+
+    #[test]
+    fn wave_quantization_hurts_odd_grids() {
+        let d = dev();
+        // 109 SMs' worth of tiles needs 2 waves; 108 needs 1.
+        let just_fits = gemm_time(&d, TileShape::PAPER, 128 * 108, 128, 4096);
+        let one_more = gemm_time(&d, TileShape::PAPER, 128 * 109, 128, 4096);
+        assert!(one_more > just_fits * 1.5);
+    }
+
+    #[test]
+    fn batched_packs_waves_across_entries() {
+        let d = dev();
+        // 64 experts x 1 tile each = 64 tiles -> 1 wave, almost as fast as
+        // a single-tile gemm.
+        let batched = gemm_time_batched(&d, TileShape::PAPER, 128, 128, 1024, 64);
+        let single = gemm_time_batched(&d, TileShape::PAPER, 128, 128, 1024, 1);
+        assert!(batched < single * 1.5);
+    }
+
+    #[test]
+    fn tiny_problems_are_launch_dominated() {
+        let d = dev();
+        let t = gemm_time(&d, TileShape::PAPER, 64, 64, 64);
+        assert!(t < 3.0 * d.kernel_launch && t >= d.kernel_launch);
+    }
+
+    #[test]
+    fn memory_bound_regime_respects_bandwidth() {
+        let d = dev();
+        // Skinny K: almost no compute, traffic dominates.
+        let time = gemm_time(&d, TileShape::PAPER, 8192, 8192, 8) - d.kernel_launch;
+        let traffic = ELEM_BYTES * (8192.0 * 8.0 * 2.0 + 8192.0 * 8192.0);
+        assert!(time >= traffic / d.mem_bandwidth * 0.99);
+    }
+}

@@ -1,0 +1,75 @@
+/// Hardware parameters of the simulated accelerator.
+///
+/// Defaults describe the paper's testbed: an NVIDIA A100 SXM4 80GB at
+/// mixed precision (FP16 inputs, FP32 accumulation).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceSpec {
+    /// Marketing name, for report labels.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: usize,
+    /// Peak mixed-precision tensor-core throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// HBM bandwidth in bytes/s.
+    pub mem_bandwidth: f64,
+    /// Device memory capacity in bytes.
+    pub mem_capacity: f64,
+    /// Kernel launch latency in seconds.
+    pub kernel_launch: f64,
+    /// Scheduling cost of one (possibly idle) threadblock in seconds —
+    /// what an early-exiting block in the dense-grid SDD strategy costs.
+    pub threadblock_overhead: f64,
+    /// Per-device share of inter-GPU (NVLink) bandwidth in bytes/s, used
+    /// by the expert-parallel all-to-all model.
+    pub interconnect_bandwidth: f64,
+    /// Number of devices in the training system (the paper uses 8).
+    pub device_count: usize,
+}
+
+impl DeviceSpec {
+    /// The paper's testbed: 8x A100 SXM4 80GB, CUDA 11.5.
+    pub fn a100_sxm4_80gb() -> Self {
+        Self {
+            name: "A100-SXM4-80GB".to_string(),
+            sm_count: 108,
+            peak_flops: 312e12,
+            mem_bandwidth: 2.039e12,
+            mem_capacity: 80e9,
+            kernel_launch: 4e-6,
+            threadblock_overhead: 0.15e-6,
+            interconnect_bandwidth: 300e9, // NVLink3 per-direction, per GPU
+            device_count: 8,
+        }
+    }
+
+    /// Aggregate peak FLOP/s of the whole system
+    /// (`device_count * peak_flops`), the 2.5 petaFLOP figure of §6.1.
+    pub fn system_peak_flops(&self) -> f64 {
+        self.peak_flops * self.device_count as f64
+    }
+
+    /// Per-SM peak FLOP/s.
+    pub fn sm_peak_flops(&self) -> f64 {
+        self.peak_flops / self.sm_count as f64
+    }
+}
+
+impl Default for DeviceSpec {
+    fn default() -> Self {
+        Self::a100_sxm4_80gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_matches_paper_system() {
+        let d = DeviceSpec::a100_sxm4_80gb();
+        // "2.5 petaFLOP peak throughput of this 8-GPU system" (§6.1).
+        assert!((d.system_peak_flops() - 2.496e15).abs() < 1e13);
+        assert_eq!(d.sm_count, 108);
+        assert!((d.mem_capacity - 80e9).abs() < 1.0);
+    }
+}

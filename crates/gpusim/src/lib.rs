@@ -1,0 +1,45 @@
+//! Analytic A100 performance and memory model for MegaBlocks-RS.
+//!
+//! The paper's evaluation runs on NVIDIA A100 GPUs; a pure-Rust, CPU-only
+//! reproduction cannot execute those kernels, so throughput figures
+//! (Figures 4 and 9), memory-derived micro-batch limits (Table 3) and
+//! end-to-end step times (Figures 7 and 8) are regenerated from an
+//! analytic device model instead (see DESIGN.md, "Hardware / data
+//! substitutions").
+//!
+//! The model is a tile-level roofline:
+//!
+//! * GEMMs execute as grids of `tm x tn` output tiles over
+//!   [`DeviceSpec::sm_count`] SMs in waves ([`dense`]). Per-tile pipeline
+//!   efficiency grows with tile size; tiles past 128x128 pay a
+//!   register/shared-memory pressure penalty. Both wave quantization and
+//!   padding waste fall out of the grid arithmetic. This reproduces the
+//!   CUTLASS tile study of Figure 4 — including its conclusion that
+//!   128x128 is the sweet spot.
+//! * Block-sparse kernels ([`sparse`]) run the same tile model over the
+//!   nonzero blocks of a block-diagonal MoE topology, plus the metadata
+//!   costs the paper describes: O(1) coordinate loads with the hybrid
+//!   blocked-CSR-COO encoding versus a dense grid of mostly-idle
+//!   threadblocks (the Gale-2020 alternative, §5.1.3), and an L2-locality
+//!   penalty for iterating through transpose indices (§5.1.4, the DS^TD
+//!   effect visible in Figure 9).
+//! * Training memory ([`memory`]) follows the Megatron mixed-precision
+//!   accounting (fp16 weights/grads + fp32 master/Adam moments) and the
+//!   activation formulas of Korthikanti et al. (2022), with the capacity
+//!   padding of token-dropping MoEs inflating the MLP activations — the
+//!   mechanism that forces Tutel to smaller micro-batches in Table 3.
+//! * End-to-end step time ([`timeline`]) composes per-layer GEMM times,
+//!   permutation/all-to-all traffic and gradient accumulation into the
+//!   training-time axis of Figures 7 and 8.
+
+#![deny(missing_docs)]
+
+pub mod dense;
+mod device;
+pub mod memory;
+pub mod sparse;
+pub mod tile;
+pub mod timeline;
+
+pub use device::DeviceSpec;
+pub use tile::TileShape;

@@ -1,0 +1,391 @@
+//! Block-sparse kernel timing for the dMoE products, and the ablations of
+//! §5.1.3 (hybrid blocked-CSR-COO vs dense-grid launch) and §5.1.4
+//! (transpose indices vs explicit transposition).
+
+use crate::dense::{cublas_batched_time, ELEM_BYTES};
+use crate::{DeviceSpec, TileShape};
+
+/// The six matrix products of a 2-layer dMoE FFN (paper §5.1): forward
+/// (SDD, DSD) and backward (SDD^T and DS^TD for layer 2, DSD^T and DD^TS
+/// for layer 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MoeOp {
+    /// Layer-1 forward: sparse = tokens x w1.
+    Sdd,
+    /// Layer-2 forward: dense = sparse x w2.
+    Dsd,
+    /// Layer-2 data gradient: sparse = dy x w2^T.
+    SddT,
+    /// Layer-2 weight gradient: dense = sparse^T x dy (transpose-indexed).
+    DstD,
+    /// Layer-1 data gradient: dense = sparse x w1^T.
+    DsdT,
+    /// Layer-1 weight gradient: dense = x^T x sparse (transpose-indexed).
+    DdtS,
+}
+
+impl MoeOp {
+    /// All six ops in forward-then-backward order — one Figure 9 problem
+    /// group.
+    pub const ALL: [MoeOp; 6] = [
+        MoeOp::Sdd,
+        MoeOp::Dsd,
+        MoeOp::SddT,
+        MoeOp::DstD,
+        MoeOp::DsdT,
+        MoeOp::DdtS,
+    ];
+
+    /// Short label used in reports ("SDD", "DS^TD", ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            MoeOp::Sdd => "SDD",
+            MoeOp::Dsd => "DSD",
+            MoeOp::SddT => "SDD^T",
+            MoeOp::DstD => "DS^TD",
+            MoeOp::DsdT => "DSD^T",
+            MoeOp::DdtS => "DD^TS",
+        }
+    }
+
+    /// Whether this op traverses the sparse operand in transposed order
+    /// through the secondary index (§5.1.4) — the ops the paper observes
+    /// extra overhead on.
+    pub fn uses_transpose_index(self) -> bool {
+        matches!(self, MoeOp::DstD | MoeOp::DdtS)
+    }
+}
+
+/// How SDD threadblocks find their output block (§5.1.3 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SddLaunch {
+    /// One threadblock per nonzero block; coordinates come from the hybrid
+    /// blocked-CSR-COO metadata in O(1) — MegaBlocks' strategy.
+    HybridCoo,
+    /// Launch the full dense grid and early-exit empty blocks — the
+    /// Gale et al. (2020) strategy, cheap at 50-90% sparsity but not at
+    /// MoE-level (>98%) sparsity.
+    DenseGrid,
+}
+
+/// One dMoE FFN kernel workload: per-expert (padded) token counts plus the
+/// layer dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoeProblem {
+    /// Padded tokens routed to each expert (multiples of `block`).
+    pub tokens_per_expert: Vec<usize>,
+    /// Model hidden size.
+    pub hidden: usize,
+    /// Per-expert FFN hidden size.
+    pub ffn: usize,
+    /// Sparsity block size (128 in the paper).
+    pub block: usize,
+}
+
+impl MoeProblem {
+    /// A uniform problem: `tokens` split evenly over `num_experts` — the
+    /// distribution Figure 9 benchmarks (so cuBLAS batched is applicable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` is not divisible by `num_experts * block`.
+    pub fn uniform(num_experts: usize, tokens: usize, hidden: usize, ffn: usize, block: usize) -> Self {
+        assert!(
+            tokens % (num_experts * block) == 0,
+            "uniform problem needs tokens divisible by num_experts * block"
+        );
+        Self {
+            tokens_per_expert: vec![tokens / num_experts; num_experts],
+            hidden,
+            ffn,
+            block,
+        }
+    }
+
+    /// Builds a problem from *raw* per-expert loads, padding each to the
+    /// block size (what `padded_gather` does at runtime). Used by the
+    /// block-size ablation: larger blocks waste more rows on padding but
+    /// run at higher per-tile efficiency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ffn` is not a multiple of `block`.
+    pub fn from_loads(loads: &[usize], hidden: usize, ffn: usize, block: usize) -> Self {
+        assert!(ffn % block == 0, "ffn must be a multiple of the block size");
+        Self {
+            tokens_per_expert: loads.iter().map(|&t| t.div_ceil(block) * block).collect(),
+            hidden,
+            ffn,
+            block,
+        }
+    }
+
+    /// Total (padded) tokens.
+    pub fn total_tokens(&self) -> usize {
+        self.tokens_per_expert.iter().sum()
+    }
+
+    /// Time of the full 6-product forward+backward kernel set.
+    pub fn layer_time(&self, device: &DeviceSpec) -> f64 {
+        MoeOp::ALL.iter().map(|&op| moe_op_time(device, self, op)).sum()
+    }
+
+    /// Number of experts.
+    pub fn num_experts(&self) -> usize {
+        self.tokens_per_expert.len()
+    }
+
+    /// Nonzero blocks in the block-diagonal topology.
+    pub fn nnz_blocks(&self) -> usize {
+        let cols = self.ffn / self.block;
+        self.tokens_per_expert
+            .iter()
+            .map(|t| t.div_ceil(self.block) * cols)
+            .sum()
+    }
+
+    /// Useful FLOPs of one op (identical for all six: `2 * T * ffn *
+    /// hidden` summed over experts).
+    pub fn op_flops(&self) -> f64 {
+        2.0 * self.total_tokens() as f64 * self.ffn as f64 * self.hidden as f64
+    }
+}
+
+/// Time of one dMoE block-sparse product with the MegaBlocks strategy.
+pub fn moe_op_time(device: &DeviceSpec, problem: &MoeProblem, op: MoeOp) -> f64 {
+    moe_op_time_with(device, problem, op, SddLaunch::HybridCoo, false)
+}
+
+/// Full-control variant: choose the SDD launch strategy and whether
+/// transposed traversal materializes an explicit transpose (the §5.1.4
+/// ablation) instead of using transpose indices.
+pub fn moe_op_time_with(
+    device: &DeviceSpec,
+    problem: &MoeProblem,
+    op: MoeOp,
+    launch: SddLaunch,
+    explicit_transpose: bool,
+) -> f64 {
+    // Tile dimensions track the sparsity block size (§5.1.2: "for 128x128
+    // blocks the highest performing tile dimensions ... were also
+    // 128x128"); the block-size ablation sweeps this.
+    let bs = problem.block;
+    let tile = TileShape::new(bs, bs);
+    let nnz_tiles = problem.nnz_blocks();
+    let sm = device.sm_count;
+    let per_sm = device.sm_peak_flops() * tile.efficiency();
+
+    let mut time = match op {
+        MoeOp::Sdd | MoeOp::SddT => {
+            // Grid = nonzero output blocks; K = hidden.
+            let waves = nnz_tiles.div_ceil(sm);
+            let tile_time = 2.0 * tile.area() as f64 * problem.hidden as f64 / per_sm;
+            let compute = waves as f64 * tile_time;
+            let traffic = ELEM_BYTES
+                * (problem.total_tokens() * problem.hidden // read tokens
+                    + problem.hidden * problem.ffn * problem.num_experts() // read weights
+                    + problem.nnz_blocks() * bs * bs) as f64; // write sparse output
+            let mut t = compute.max(traffic / device.mem_bandwidth);
+            if launch == SddLaunch::DenseGrid {
+                // Dense grid: (T/bs) x (E*ffn/bs) threadblocks, the empty
+                // ones early-exit but still get scheduled.
+                let grid = problem.total_tokens().div_ceil(bs)
+                    * (problem.ffn * problem.num_experts()).div_ceil(bs);
+                let idle = grid.saturating_sub(nnz_tiles);
+                t += idle as f64 * device.threadblock_overhead / sm as f64;
+            }
+            t
+        }
+        MoeOp::Dsd | MoeOp::DsdT => {
+            // Dense output (T x hidden); each output tile contracts over
+            // the expert's ffn columns.
+            let tiles = tile.tiles_m(problem.total_tokens()) * tile.tiles_n(problem.hidden);
+            let waves = tiles.div_ceil(sm);
+            let tile_time = 2.0 * tile.area() as f64 * problem.ffn as f64 / per_sm;
+            let compute = waves as f64 * tile_time;
+            let traffic = ELEM_BYTES
+                * (problem.nnz_blocks() * bs * bs
+                    + problem.hidden * problem.ffn * problem.num_experts()
+                    + problem.total_tokens() * problem.hidden) as f64;
+            compute.max(traffic / device.mem_bandwidth)
+        }
+        MoeOp::DstD | MoeOp::DdtS => {
+            // Weight gradients: dense output (E*ffn x hidden) or
+            // (hidden x E*ffn); contraction over each expert's tokens.
+            let n_other = problem.hidden;
+            let tiles_weight = (problem.ffn * problem.num_experts()).div_ceil(tile.m)
+                * n_other.div_ceil(tile.n);
+            let waves = tiles_weight.div_ceil(sm);
+            // Per-tile K is that expert's token count; take the mean via
+            // total flops spread over tiles (experts with more tokens own
+            // proportionally slower tiles, but waves interleave).
+            //
+            // Iterating the sparse operand through the transpose secondary
+            // index exposes L2-miss latency in the mainloop (the "little
+            // spatial locality" effect of §6.3) — modeled as a pipeline
+            // efficiency hit unless the matrix was explicitly transposed.
+            let locality = if explicit_transpose { 1.0 } else { 0.93 };
+            let compute_ideal = problem.op_flops() / (per_sm * locality * sm as f64);
+            let wave_quant = waves as f64 / (tiles_weight as f64 / sm as f64).max(1e-9);
+            let compute = compute_ideal * wave_quant.max(1.0);
+
+            // Transposed traversal: each column of output tiles re-reads
+            // the sparse operand through the secondary index with poor L2
+            // reuse (paper: "little spatial locality"). Explicit
+            // transposition instead pays a full copy of the nonzeros.
+            let sparse_bytes = ELEM_BYTES * (problem.nnz_blocks() * bs * bs) as f64;
+            let reuse_columns = n_other.div_ceil(tile.n) as f64;
+            let sparse_traffic = if explicit_transpose {
+                sparse_bytes // read once post-transpose (good locality)
+            } else {
+                sparse_bytes * reuse_columns.min(3.0) // re-fetched per tile column (partial L2 reuse)
+            };
+            let dense_traffic = ELEM_BYTES
+                * (problem.total_tokens() * problem.hidden
+                    + problem.hidden * problem.ffn * problem.num_experts())
+                    as f64;
+            let mut t = compute.max((sparse_traffic + dense_traffic) / device.mem_bandwidth);
+            if explicit_transpose {
+                // The transposition pass itself: read + write every nonzero
+                // value plus a metadata rebuild kernel.
+                t += 2.0 * sparse_bytes / device.mem_bandwidth + device.kernel_launch;
+            }
+            t
+        }
+    };
+
+    // Metadata loads: one column index + one row index per block (hybrid
+    // encoding); transpose-indexed ops read the secondary index too.
+    let meta_entries = if op.uses_transpose_index() { 3 } else { 2 };
+    time += (problem.nnz_blocks() * meta_entries * 4) as f64 / device.mem_bandwidth;
+    time + device.kernel_launch
+}
+
+/// cuBLAS batched-GEMM time for the same op under a *uniform* token
+/// distribution — the Figure 9 baseline.
+///
+/// # Panics
+///
+/// Panics if the problem's experts have unequal token counts (batched
+/// matmul cannot express that — the paper's point).
+pub fn cublas_op_time(device: &DeviceSpec, problem: &MoeProblem, op: MoeOp) -> f64 {
+    let cap = problem.tokens_per_expert[0];
+    assert!(
+        problem.tokens_per_expert.iter().all(|&t| t == cap),
+        "cuBLAS batched requires a uniform distribution"
+    );
+    let e = problem.num_experts();
+    let (m, n, k) = match op {
+        MoeOp::Sdd | MoeOp::SddT => (cap, problem.ffn, problem.hidden),
+        MoeOp::Dsd | MoeOp::DsdT => (cap, problem.hidden, problem.ffn),
+        MoeOp::DstD => (problem.ffn, problem.hidden, cap),
+        MoeOp::DdtS => (problem.hidden, problem.ffn, cap),
+    };
+    cublas_batched_time(device, m, n, k, e)
+}
+
+/// Relative throughput of the block-sparse kernel vs cuBLAS batched for
+/// one op (the y-axis of Figure 9; >1 means the sparse kernel wins).
+pub fn relative_throughput(device: &DeviceSpec, problem: &MoeProblem, op: MoeOp) -> f64 {
+    cublas_op_time(device, problem, op) / moe_op_time(device, problem, op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::a100_sxm4_80gb()
+    }
+
+    /// MoE-XS kernel problem at its Table 3 micro-batch (64 seqs x 1024).
+    fn xs_problem() -> MoeProblem {
+        MoeProblem::uniform(64, 64 * 1024, 512, 2048, 128)
+    }
+
+    #[test]
+    fn uniform_splits_evenly() {
+        let p = xs_problem();
+        assert_eq!(p.total_tokens(), 65536);
+        assert_eq!(p.tokens_per_expert[0], 1024);
+        assert_eq!(p.nnz_blocks(), 64 * 8 * 16);
+    }
+
+    #[test]
+    fn relative_throughput_is_near_parity() {
+        // Figure 9: 98.6% average, min 91%, max 104%.
+        let p = xs_problem();
+        let mut ratios = Vec::new();
+        for op in MoeOp::ALL {
+            let r = relative_throughput(&dev(), &p, op);
+            assert!(
+                (0.85..=1.10).contains(&r),
+                "{}: relative throughput {r}",
+                op.label()
+            );
+            ratios.push(r);
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!((0.93..=1.02).contains(&mean), "mean relative throughput {mean}");
+    }
+
+    #[test]
+    fn transpose_indexed_ops_are_the_slowest() {
+        let p = xs_problem();
+        let d = dev();
+        let worst = MoeOp::ALL
+            .iter()
+            .min_by(|a, b| {
+                relative_throughput(&d, &p, **a)
+                    .partial_cmp(&relative_throughput(&d, &p, **b))
+                    .unwrap()
+            })
+            .copied()
+            .unwrap();
+        assert!(
+            worst.uses_transpose_index(),
+            "worst op should be a weight gradient, got {}",
+            worst.label()
+        );
+    }
+
+    #[test]
+    fn dense_grid_launch_is_costly_at_high_expert_counts() {
+        // §5.1.3: idle-threadblock overhead grows with expert count.
+        let d = dev();
+        let mk = |experts: usize| MoeProblem::uniform(experts, 8192, 1024, 4096, 128);
+        let overhead = |experts: usize| {
+            let p = mk(experts);
+            let hybrid = moe_op_time_with(&d, &p, MoeOp::Sdd, SddLaunch::HybridCoo, false);
+            let dense = moe_op_time_with(&d, &p, MoeOp::Sdd, SddLaunch::DenseGrid, false);
+            dense / hybrid
+        };
+        assert!(overhead(64) > 1.10, "64 experts: {}", overhead(64));
+        assert!(overhead(64) > overhead(4), "overhead should grow with experts");
+    }
+
+    #[test]
+    fn explicit_transpose_is_slower_than_transpose_indices() {
+        let p = xs_problem();
+        let d = dev();
+        let fast = moe_op_time_with(&d, &p, MoeOp::DstD, SddLaunch::HybridCoo, false);
+        let slow = moe_op_time_with(&d, &p, MoeOp::DstD, SddLaunch::HybridCoo, true);
+        assert!(slow > fast, "explicit {slow} vs indices {fast}");
+    }
+
+    #[test]
+    fn imbalanced_problems_cost_their_actual_flops() {
+        // The whole point of dMoE: an imbalanced assignment costs what it
+        // computes, not the worst case.
+        let d = dev();
+        let balanced = MoeProblem::uniform(4, 4096, 512, 2048, 128);
+        let imbalanced = MoeProblem {
+            tokens_per_expert: vec![2048, 1024, 512, 512],
+            ..balanced.clone()
+        };
+        let tb = moe_op_time(&d, &balanced, MoeOp::Sdd);
+        let ti = moe_op_time(&d, &imbalanced, MoeOp::Sdd);
+        // Same total tokens -> nearly the same time.
+        assert!((ti / tb - 1.0).abs() < 0.05, "balanced {tb}, imbalanced {ti}");
+    }
+}

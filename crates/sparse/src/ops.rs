@@ -1,0 +1,750 @@
+//! Block-sparse matrix products: SDD, DSD and DDS with all transpose
+//! variants.
+//!
+//! These are the six products an MoE FFN layer needs (paper §5.1): the
+//! forward pass computes SDD then DSD; the backward pass computes SDD^T and
+//! DS^TD for the second layer and DSD^T and DD^TS for the first layer.
+//!
+//! Implementation notes, mirroring the paper's kernel design:
+//!
+//! * **SDD** parallelizes over nonzero output blocks. Each worker finds its
+//!   block's coordinates with two O(1) metadata loads (`row_indices[k]`,
+//!   `col_indices[k]`) — the hybrid blocked-CSR-COO encoding of §5.1.3 —
+//!   instead of launching a dense grid of mostly-idle workers or searching
+//!   `row_offsets`.
+//! * **DSD / DDS with a transposed sparse operand** iterate the sparse
+//!   matrix in column-major order through the *transpose indices* secondary
+//!   index (§5.1.4); no nonzero values are moved. The explicit-transpose
+//!   alternative ([`dst_d_explicit`]) exists as the ablation baseline.
+//! * Workers are scoped threads over disjoint output bands, standing in for
+//!   threadblocks over output tiles.
+
+use megablocks_tensor::{Matrix, Trans};
+
+use crate::{BlockSparseMatrix, Topology};
+
+/// Work below this many f32 multiply-adds stays single-threaded.
+const PARALLEL_THRESHOLD: usize = 1 << 16;
+
+fn thread_count(work: usize) -> usize {
+    if work < PARALLEL_THRESHOLD {
+        1
+    } else {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SDD: sparse output = dense x dense
+// ---------------------------------------------------------------------------
+
+/// SDD: computes `out = a * b` restricted to the nonzero blocks of `topo`.
+///
+/// This is the first product in the dMoE forward pass (Figure 6, line 22):
+/// `a` holds the permuted tokens, `b` the concatenated expert weights, and
+/// the output's block-diagonal topology assigns each token block to its
+/// expert's weight columns.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != topo` rows, `b.cols() != topo` cols, or
+/// `a.cols() != b.rows()`.
+pub fn sdd(a: &Matrix, b: &Matrix, topo: &Topology) -> BlockSparseMatrix {
+    sdd_op(a, Trans::N, b, Trans::N, topo)
+}
+
+/// SDD^T: computes `out = a * b^T` restricted to `topo` — the second-layer
+/// data gradient of a dMoE FFN (paper §5.1).
+///
+/// # Panics
+///
+/// Panics if logical shapes are incompatible with the topology.
+pub fn sdd_t(a: &Matrix, b: &Matrix, topo: &Topology) -> BlockSparseMatrix {
+    sdd_op(a, Trans::N, b, Trans::T, topo)
+}
+
+/// General SDD with transpose control over both dense inputs:
+/// `out = op_a(a) * op_b(b)` restricted to the nonzero blocks of `topo`.
+///
+/// # Panics
+///
+/// Panics if `op_a(a)` is not `M x K`, `op_b(b)` is not `K x N`, where
+/// `(M, N) = topo.shape()`.
+pub fn sdd_op(a: &Matrix, op_a: Trans, b: &Matrix, op_b: Trans, topo: &Topology) -> BlockSparseMatrix {
+    let (m, n) = topo.shape();
+    let (am, ak) = logical(a, op_a);
+    let (bk, bn) = logical(b, op_b);
+    assert_eq!(am, m, "sdd: op_a(a) has {am} rows, topology expects {m}");
+    assert_eq!(bn, n, "sdd: op_b(b) has {bn} cols, topology expects {n}");
+    assert_eq!(ak, bk, "sdd: inner dimensions differ ({ak} vs {bk})");
+    let k = ak;
+    let bs = topo.block_size().get();
+
+    let mut out = BlockSparseMatrix::zeros(topo);
+    let nnz = topo.nnz_blocks();
+    if nnz == 0 || k == 0 {
+        return out;
+    }
+
+    let threads = thread_count(nnz * bs * bs * k).min(nnz);
+    let area = topo.block_size().area();
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let (_, a_cols) = a.shape();
+    let (_, b_cols) = b.shape();
+    let row_indices = topo.row_indices();
+    let col_indices = topo.col_indices();
+
+    // Each worker owns a contiguous range of nonzero blocks; coordinates
+    // come straight from the COO metadata (no row-offset search).
+    let compute = |blocks: &mut [f32], k0: usize| {
+        for (slot, block) in blocks.chunks_mut(area).enumerate() {
+            let kk = k0 + slot;
+            let r = row_indices[kk];
+            let c = col_indices[kk];
+            match (op_a, op_b) {
+                (Trans::N, Trans::N) => {
+                    for bi in 0..bs {
+                        let arow = &a_data[(r * bs + bi) * a_cols..(r * bs + bi + 1) * a_cols];
+                        let brow_dst = &mut block[bi * bs..(bi + 1) * bs];
+                        for (p, &av) in arow.iter().enumerate() {
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let bsrc = &b_data[p * b_cols + c * bs..p * b_cols + (c + 1) * bs];
+                            for (o, &bv) in brow_dst.iter_mut().zip(bsrc) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                }
+                (Trans::N, Trans::T) => {
+                    for bi in 0..bs {
+                        let arow = &a_data[(r * bs + bi) * a_cols..(r * bs + bi + 1) * a_cols];
+                        for bj in 0..bs {
+                            let brow = &b_data[(c * bs + bj) * b_cols..(c * bs + bj) * b_cols + k];
+                            let mut acc = 0.0f32;
+                            for (av, bv) in arow.iter().zip(brow) {
+                                acc += av * bv;
+                            }
+                            block[bi * bs + bj] = acc;
+                        }
+                    }
+                }
+                (Trans::T, Trans::N) => {
+                    for p in 0..k {
+                        let arow = &a_data[p * a_cols..(p + 1) * a_cols];
+                        let bsrc = &b_data[p * b_cols + c * bs..p * b_cols + (c + 1) * bs];
+                        for bi in 0..bs {
+                            let av = arow[r * bs + bi];
+                            if av == 0.0 {
+                                continue;
+                            }
+                            let dst = &mut block[bi * bs..(bi + 1) * bs];
+                            for (o, &bv) in dst.iter_mut().zip(bsrc) {
+                                *o += av * bv;
+                            }
+                        }
+                    }
+                }
+                (Trans::T, Trans::T) => {
+                    for bi in 0..bs {
+                        for bj in 0..bs {
+                            let brow = &b_data[(c * bs + bj) * b_cols..(c * bs + bj) * b_cols + k];
+                            let mut acc = 0.0f32;
+                            for p in 0..k {
+                                acc += a_data[p * a_cols + r * bs + bi] * brow[p];
+                            }
+                            block[bi * bs + bj] = acc;
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    let data = out.as_mut_slice();
+    if threads <= 1 {
+        compute(data, 0);
+        return out;
+    }
+    let blocks_per_thread = nnz.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (idx, chunk) in data.chunks_mut(blocks_per_thread * area).enumerate() {
+            let compute = &compute;
+            s.spawn(move |_| compute(chunk, idx * blocks_per_thread));
+        }
+    })
+    .expect("sdd worker panicked");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// DSD: dense output = sparse x dense
+// ---------------------------------------------------------------------------
+
+/// DSD: computes `out = s * d` — the second product of the dMoE forward pass
+/// (Figure 6, line 23).
+///
+/// # Panics
+///
+/// Panics if `s.shape().1 != d.rows()`.
+pub fn dsd(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
+    dsd_op(s, Trans::N, d, Trans::N)
+}
+
+/// DSD^T: computes `out = s * d^T` — the first-layer data gradient.
+///
+/// # Panics
+///
+/// Panics if `s.shape().1 != d.cols()`.
+pub fn dsd_t(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
+    dsd_op(s, Trans::N, d, Trans::T)
+}
+
+/// DS^TD: computes `out = s^T * d` — the second-layer weight gradient.
+///
+/// The sparse operand is traversed in column-major order through the
+/// transpose-index secondary index; no values are copied or transposed.
+///
+/// # Panics
+///
+/// Panics if `s.shape().0 != d.rows()`.
+pub fn dst_d(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
+    dsd_op(s, Trans::T, d, Trans::N)
+}
+
+/// DS^TD via explicit transposition — the ablation baseline for §5.1.4.
+///
+/// Materializes `s^T` (copying every nonzero value) and then runs a plain
+/// DSD. Produces bit-identical results to [`dst_d`] up to float summation
+/// order.
+///
+/// # Panics
+///
+/// Panics if `s.shape().0 != d.rows()`.
+pub fn dst_d_explicit(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
+    dsd(&s.explicit_transpose(), d)
+}
+
+/// General DSD: `out = op_s(s) * op_d(d)`.
+///
+/// # Panics
+///
+/// Panics if the logical shapes are incompatible.
+pub fn dsd_op(s: &BlockSparseMatrix, op_s: Trans, d: &Matrix, op_d: Trans) -> Matrix {
+    let topo = s.topology();
+    let bs = topo.block_size().get();
+    let (sm, sk) = match op_s {
+        Trans::N => topo.shape(),
+        Trans::T => {
+            let (r, c) = topo.shape();
+            (c, r)
+        }
+    };
+    let (dk, dn) = logical(d, op_d);
+    assert_eq!(sk, dk, "dsd: inner dimensions differ ({sk} vs {dk})");
+    let n = dn;
+    let mut out = Matrix::zeros(sm, n);
+    if topo.nnz_blocks() == 0 || n == 0 {
+        return out;
+    }
+
+    let d_data = d.as_slice();
+    let (_, d_cols) = d.shape();
+    let col_indices = topo.col_indices();
+    let row_indices = topo.row_indices();
+
+    // Output rows are grouped by block row (op_s = N) or block column
+    // (op_s = T); each group of `bs` output rows is written by exactly one
+    // worker, so bands can be handed out with chunks_mut.
+    let groups = match op_s {
+        Trans::N => topo.block_rows(),
+        Trans::T => topo.block_cols(),
+    };
+    let work = topo.nnz() * n;
+    let threads = thread_count(work).min(groups);
+
+    let compute_group = |band: &mut [f32], g: usize| {
+        match op_s {
+            Trans::N => {
+                for k in topo.row_blocks(g) {
+                    let c = col_indices[k];
+                    let block = s.block(k);
+                    match op_d {
+                        Trans::N => {
+                            for bi in 0..bs {
+                                let orow = &mut band[bi * n..(bi + 1) * n];
+                                for p in 0..bs {
+                                    let sv = block[bi * bs + p];
+                                    if sv == 0.0 {
+                                        continue;
+                                    }
+                                    let drow = &d_data[(c * bs + p) * d_cols..(c * bs + p) * d_cols + n];
+                                    for (o, &dv) in orow.iter_mut().zip(drow) {
+                                        *o += sv * dv;
+                                    }
+                                }
+                            }
+                        }
+                        Trans::T => {
+                            for bi in 0..bs {
+                                let orow = &mut band[bi * n..(bi + 1) * n];
+                                let srow = &block[bi * bs..(bi + 1) * bs];
+                                for (j, o) in orow.iter_mut().enumerate() {
+                                    let drow = &d_data[j * d_cols + c * bs..j * d_cols + (c + 1) * bs];
+                                    let mut acc = 0.0f32;
+                                    for (sv, dv) in srow.iter().zip(drow) {
+                                        acc += sv * dv;
+                                    }
+                                    *o += acc;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Trans::T => {
+                // Column-major traversal via transpose indices (§5.1.4).
+                for k in topo.col_blocks(g) {
+                    let r = row_indices[k];
+                    let block = s.block(k);
+                    match op_d {
+                        Trans::N => {
+                            for bi in 0..bs {
+                                let orow = &mut band[bi * n..(bi + 1) * n];
+                                for p in 0..bs {
+                                    // op_s(s)[g*bs+bi, r*bs+p] = block[p, bi]
+                                    let sv = block[p * bs + bi];
+                                    if sv == 0.0 {
+                                        continue;
+                                    }
+                                    let drow = &d_data[(r * bs + p) * d_cols..(r * bs + p) * d_cols + n];
+                                    for (o, &dv) in orow.iter_mut().zip(drow) {
+                                        *o += sv * dv;
+                                    }
+                                }
+                            }
+                        }
+                        Trans::T => {
+                            for bi in 0..bs {
+                                let orow = &mut band[bi * n..(bi + 1) * n];
+                                for (j, o) in orow.iter_mut().enumerate() {
+                                    let drow = &d_data[j * d_cols + r * bs..j * d_cols + (r + 1) * bs];
+                                    let mut acc = 0.0f32;
+                                    for p in 0..bs {
+                                        acc += block[p * bs + bi] * drow[p];
+                                    }
+                                    *o += acc;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    let out_data = out.as_mut_slice();
+    if threads <= 1 {
+        for (g, band) in out_data.chunks_mut(bs * n).enumerate() {
+            compute_group(band, g);
+        }
+        return out;
+    }
+    let groups_per_thread = groups.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (idx, bands) in out_data.chunks_mut(groups_per_thread * bs * n).enumerate() {
+            let compute_group = &compute_group;
+            scope.spawn(move |_| {
+                for (off, band) in bands.chunks_mut(bs * n).enumerate() {
+                    compute_group(band, idx * groups_per_thread + off);
+                }
+            });
+        }
+    })
+    .expect("dsd worker panicked");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// DDS: dense output = dense x sparse
+// ---------------------------------------------------------------------------
+
+/// DDS: computes `out = d * s`.
+///
+/// # Panics
+///
+/// Panics if `d.cols() != s.shape().0`.
+pub fn dds(d: &Matrix, s: &BlockSparseMatrix) -> Matrix {
+    dds_op(d, Trans::N, s, Trans::N)
+}
+
+/// DDS^T: computes `out = d * s^T` (row-major traversal of the sparse
+/// operand).
+///
+/// # Panics
+///
+/// Panics if `d.cols() != s.shape().1`.
+pub fn dds_t(d: &Matrix, s: &BlockSparseMatrix) -> Matrix {
+    dds_op(d, Trans::N, s, Trans::T)
+}
+
+/// DD^TS: computes `out = d^T * s` — the first-layer weight gradient of a
+/// dMoE FFN (paper §5.1).
+///
+/// # Panics
+///
+/// Panics if `d.rows() != s.shape().0`.
+pub fn ddt_s(d: &Matrix, s: &BlockSparseMatrix) -> Matrix {
+    dds_op(d, Trans::T, s, Trans::N)
+}
+
+/// General DDS: `out = op_d(d) * op_s(s)`.
+///
+/// # Panics
+///
+/// Panics if the logical shapes are incompatible.
+pub fn dds_op(d: &Matrix, op_d: Trans, s: &BlockSparseMatrix, op_s: Trans) -> Matrix {
+    let topo = s.topology();
+    let bs = topo.block_size().get();
+    let (dm, dk) = logical(d, op_d);
+    let (sk, sn) = match op_s {
+        Trans::N => topo.shape(),
+        Trans::T => {
+            let (r, c) = topo.shape();
+            (c, r)
+        }
+    };
+    assert_eq!(dk, sk, "dds: inner dimensions differ ({dk} vs {sk})");
+    let m = dm;
+    let n = sn;
+    let mut out = Matrix::zeros(m, n);
+    if topo.nnz_blocks() == 0 || m == 0 {
+        return out;
+    }
+
+    let d_data = d.as_slice();
+    let (_, d_cols) = d.shape();
+    let col_indices = topo.col_indices();
+    let row_indices = topo.row_indices();
+    let work = topo.nnz() * m;
+    let threads = thread_count(work).min(m);
+
+    // Workers own bands of output rows; every worker walks all nonzero
+    // blocks (each block touches a disjoint output column stripe).
+    let compute_band = |band: &mut [f32], i0: usize, rows: usize| {
+        for k in 0..topo.nnz_blocks() {
+            let r = row_indices[k];
+            let c = col_indices[k];
+            let block = s.block(k);
+            // out[i, oc*bs + bj] += sum_p op_d(d)[i, ic*bs + p] * blk(p, bj)
+            // where (ic, oc, blk) depend on op_s.
+            let (ic, oc) = match op_s {
+                Trans::N => (r, c),
+                Trans::T => (c, r),
+            };
+            for i in 0..rows {
+                let orow = &mut band[i * n + oc * bs..i * n + (oc + 1) * bs];
+                for p in 0..bs {
+                    let dv = match op_d {
+                        Trans::N => d_data[(i0 + i) * d_cols + ic * bs + p],
+                        Trans::T => d_data[(ic * bs + p) * d_cols + i0 + i],
+                    };
+                    if dv == 0.0 {
+                        continue;
+                    }
+                    match op_s {
+                        Trans::N => {
+                            let srow = &block[p * bs..(p + 1) * bs];
+                            for (o, &sv) in orow.iter_mut().zip(srow) {
+                                *o += dv * sv;
+                            }
+                        }
+                        Trans::T => {
+                            // blk(p, bj) = block[bj, p]
+                            for (bj, o) in orow.iter_mut().enumerate() {
+                                *o += dv * block[bj * bs + p];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    let out_data = out.as_mut_slice();
+    if threads <= 1 {
+        compute_band(out_data, 0, m);
+        return out;
+    }
+    let rows_per_thread = m.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (idx, band) in out_data.chunks_mut(rows_per_thread * n).enumerate() {
+            let rows = band.len() / n;
+            let compute_band = &compute_band;
+            scope.spawn(move |_| compute_band(band, idx * rows_per_thread, rows));
+        }
+    })
+    .expect("dds worker panicked");
+    out
+}
+
+fn logical(m: &Matrix, op: Trans) -> (usize, usize) {
+    match op {
+        Trans::N => m.shape(),
+        Trans::T => (m.cols(), m.rows()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockCoord, BlockSize};
+    use megablocks_tensor::matmul;
+
+    fn bs(n: usize) -> BlockSize {
+        BlockSize::new(n).unwrap()
+    }
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+
+    /// An irregular (non-block-diagonal) topology to stress generality.
+    fn irregular_topo(block: usize) -> Topology {
+        Topology::from_blocks(
+            3,
+            4,
+            [
+                BlockCoord { row: 0, col: 0 },
+                BlockCoord { row: 0, col: 3 },
+                BlockCoord { row: 1, col: 1 },
+                BlockCoord { row: 1, col: 2 },
+                BlockCoord { row: 2, col: 0 },
+                BlockCoord { row: 2, col: 2 },
+                BlockCoord { row: 2, col: 3 },
+            ],
+            bs(block),
+        )
+        .unwrap()
+    }
+
+    fn mask_dense(m: &Matrix, topo: &Topology) -> Matrix {
+        let b = topo.block_size().get();
+        Matrix::from_fn(m.rows(), m.cols(), |i, j| {
+            if topo.find(i / b, j / b).is_some() {
+                m[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn sdd_all_variants_match_masked_dense() {
+        let block = 4;
+        let topo = irregular_topo(block);
+        let (m, n) = topo.shape();
+        let k = 10;
+        for (op_a, op_b) in [
+            (Trans::N, Trans::N),
+            (Trans::N, Trans::T),
+            (Trans::T, Trans::N),
+            (Trans::T, Trans::T),
+        ] {
+            let a = match op_a {
+                Trans::N => rand_matrix(m, k, 1),
+                Trans::T => rand_matrix(k, m, 1),
+            };
+            let b = match op_b {
+                Trans::N => rand_matrix(k, n, 2),
+                Trans::T => rand_matrix(n, k, 2),
+            };
+            let got = sdd_op(&a, op_a, &b, op_b, &topo).to_dense();
+            let ad = if op_a == Trans::T { a.transpose() } else { a.clone() };
+            let bd = if op_b == Trans::T { b.transpose() } else { b.clone() };
+            let want = mask_dense(&matmul(&ad, &bd), &topo);
+            assert!(
+                got.approx_eq(&want, 1e-4),
+                "sdd ({op_a:?},{op_b:?}) diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn dsd_all_variants_match_dense() {
+        let block = 4;
+        let topo = irregular_topo(block);
+        let (rows, cols) = topo.shape();
+        let s = crate::BlockSparseMatrix::from_dense(&mask_dense(&rand_matrix(rows, cols, 3), &topo), &topo)
+            .unwrap();
+        let sd = s.to_dense();
+        let n = 9;
+        for (op_s, op_d) in [
+            (Trans::N, Trans::N),
+            (Trans::N, Trans::T),
+            (Trans::T, Trans::N),
+            (Trans::T, Trans::T),
+        ] {
+            let inner = match op_s {
+                Trans::N => cols,
+                Trans::T => rows,
+            };
+            let d = match op_d {
+                Trans::N => rand_matrix(inner, n, 4),
+                Trans::T => rand_matrix(n, inner, 4),
+            };
+            let got = dsd_op(&s, op_s, &d, op_d);
+            let sm = if op_s == Trans::T { sd.transpose() } else { sd.clone() };
+            let dm = if op_d == Trans::T { d.transpose() } else { d.clone() };
+            let want = matmul(&sm, &dm);
+            assert!(
+                got.approx_eq(&want, 1e-4),
+                "dsd ({op_s:?},{op_d:?}) diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn dds_all_variants_match_dense() {
+        let block = 4;
+        let topo = irregular_topo(block);
+        let (rows, cols) = topo.shape();
+        let s = crate::BlockSparseMatrix::from_dense(&mask_dense(&rand_matrix(rows, cols, 5), &topo), &topo)
+            .unwrap();
+        let sd = s.to_dense();
+        let m = 7;
+        for (op_d, op_s) in [
+            (Trans::N, Trans::N),
+            (Trans::N, Trans::T),
+            (Trans::T, Trans::N),
+            (Trans::T, Trans::T),
+        ] {
+            let inner = match op_s {
+                Trans::N => rows,
+                Trans::T => cols,
+            };
+            let d = match op_d {
+                Trans::N => rand_matrix(m, inner, 6),
+                Trans::T => rand_matrix(inner, m, 6),
+            };
+            let got = dds_op(&d, op_d, &s, op_s);
+            let dm = if op_d == Trans::T { d.transpose() } else { d.clone() };
+            let sm = if op_s == Trans::T { sd.transpose() } else { sd.clone() };
+            let want = matmul(&dm, &sm);
+            assert!(
+                got.approx_eq(&want, 1e-4),
+                "dds ({op_d:?},{op_s:?}) diff {}",
+                got.max_abs_diff(&want)
+            );
+        }
+    }
+
+    #[test]
+    fn transpose_index_path_matches_explicit_transpose() {
+        let topo = irregular_topo(4);
+        let (rows, cols) = topo.shape();
+        let s = crate::BlockSparseMatrix::from_dense(&mask_dense(&rand_matrix(rows, cols, 7), &topo), &topo)
+            .unwrap();
+        let d = rand_matrix(rows, 6, 8);
+        let fast = dst_d(&s, &d);
+        let slow = dst_d_explicit(&s, &d);
+        assert!(fast.approx_eq(&slow, 1e-4), "diff {}", fast.max_abs_diff(&slow));
+    }
+
+    #[test]
+    fn moe_forward_backward_product_chain_shapes() {
+        // Mimic a 2-expert dMoE FFN: hidden=6, ffn=8, block=4,
+        // expert 0 gets 1 token block, expert 1 gets 2.
+        let block = 4;
+        let hidden = 6;
+        let ffn = 8;
+        let topo = Topology::for_moe(&[4, 8], ffn, bs(block)).unwrap();
+        let tokens = 12;
+        assert_eq!(topo.shape(), (tokens, 2 * ffn));
+
+        let x = rand_matrix(tokens, hidden, 10);
+        let w1 = rand_matrix(hidden, 2 * ffn, 11);
+        let w2 = rand_matrix(2 * ffn, hidden, 12);
+
+        // forward: SDD then DSD
+        let h = sdd(&x, &w1, &topo);
+        let y = dsd(&h, &w2);
+        assert_eq!(y.shape(), (tokens, hidden));
+
+        // backward: SDD^T, DS^TD, DSD^T, DD^TS
+        let dy = rand_matrix(tokens, hidden, 13);
+        let dh = sdd_t(&dy, &w2, &topo);
+        assert_eq!(dh.shape(), topo.shape());
+        let dw2 = dst_d(&h, &dy);
+        assert_eq!(dw2.shape(), (2 * ffn, hidden));
+        let dx = dsd_t(&dh, &w1);
+        assert_eq!(dx.shape(), (tokens, hidden));
+        let dw1 = ddt_s(&x, &dh);
+        assert_eq!(dw1.shape(), (hidden, 2 * ffn));
+
+        // Cross-check against dense math with an explicit mask.
+        let hd = h.to_dense();
+        let want_y = matmul(&hd, &w2);
+        assert!(y.approx_eq(&want_y, 1e-4));
+        let want_dh = mask_dense(&matmul(&dy, &w2.transpose()), &topo);
+        assert!(dh.to_dense().approx_eq(&want_dh, 1e-4));
+        let want_dw2 = matmul(&hd.transpose(), &dy);
+        assert!(dw2.approx_eq(&want_dw2, 1e-4));
+        let want_dx = matmul(&dh.to_dense(), &w1.transpose());
+        assert!(dx.approx_eq(&want_dx, 1e-4));
+        let want_dw1 = matmul(&x.transpose(), &dh.to_dense());
+        assert!(dw1.approx_eq(&want_dw1, 1e-4));
+    }
+
+    #[test]
+    fn empty_topology_products_are_zero() {
+        let topo = Topology::from_blocks(2, 2, [], bs(4)).unwrap();
+        let a = rand_matrix(8, 3, 20);
+        let b = rand_matrix(3, 8, 21);
+        let s = sdd(&a, &b, &topo);
+        assert!(s.as_slice().is_empty());
+        let d = rand_matrix(8, 5, 22);
+        assert_eq!(dsd(&s, &d).max_abs(), 0.0);
+        let d2 = rand_matrix(5, 8, 23);
+        assert_eq!(dds(&d2, &s).max_abs(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn sdd_shape_mismatch_panics() {
+        let topo = irregular_topo(4);
+        let (m, n) = topo.shape();
+        let a = Matrix::zeros(m, 5);
+        let b = Matrix::zeros(6, n);
+        let _ = sdd(&a, &b, &topo);
+    }
+
+    #[test]
+    fn large_blocks_parallel_path() {
+        // Big enough to cross PARALLEL_THRESHOLD and exercise threading.
+        let topo = Topology::for_moe(&[64, 128], 64, bs(32)).unwrap();
+        let (m, n) = topo.shape();
+        let k = 48;
+        let a = rand_matrix(m, k, 30);
+        let b = rand_matrix(k, n, 31);
+        let s = sdd(&a, &b, &topo);
+        let want = mask_dense(&matmul(&a, &b), &topo);
+        assert!(s.to_dense().approx_eq(&want, 1e-3));
+
+        let d = rand_matrix(n, 64, 32);
+        let y = dsd(&s, &d);
+        assert!(y.approx_eq(&matmul(&s.to_dense(), &d), 1e-3));
+
+        let dd = rand_matrix(m, 64, 33);
+        let g = dst_d(&s, &dd);
+        assert!(g.approx_eq(&matmul(&s.to_dense().transpose(), &dd), 1e-3));
+    }
+}

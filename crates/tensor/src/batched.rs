@@ -1,0 +1,202 @@
+//! Batched matrix multiplication — the primitive that state-of-the-art MoE
+//! frameworks map expert computation onto (paper §2.2, Figure 3A).
+//!
+//! All matrices in a [`BatchedMatrix`] share one shape, which is exactly the
+//! constraint the paper identifies: to use this primitive, every expert must
+//! be assigned the same number of tokens (via dropping/padding) and all
+//! experts must have identically shaped weights.
+
+use crate::{gemm, Matrix, ShapeError, Trans};
+
+/// A batch of identically shaped matrices.
+///
+/// This mirrors the operand of cuBLAS batched GEMM. The token-dropping MoE
+/// baseline stores each expert's (padded) token block and each expert's
+/// weights as one entry of a `BatchedMatrix`.
+///
+/// # Example
+///
+/// ```
+/// use megablocks_tensor::{BatchedMatrix, Matrix, batched_matmul};
+///
+/// let a = BatchedMatrix::from_matrices(vec![Matrix::eye(2), Matrix::eye(2)]).unwrap();
+/// let b = BatchedMatrix::from_matrices(vec![Matrix::full(2, 3, 1.0), Matrix::full(2, 3, 2.0)]).unwrap();
+/// let c = batched_matmul(&a, &b);
+/// assert_eq!(c.get(1)[(0, 0)], 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchedMatrix {
+    entries: Vec<Matrix>,
+    rows: usize,
+    cols: usize,
+}
+
+impl BatchedMatrix {
+    /// Creates a batch of `batch` zero matrices of shape `rows` x `cols`.
+    pub fn zeros(batch: usize, rows: usize, cols: usize) -> Self {
+        Self {
+            entries: (0..batch).map(|_| Matrix::zeros(rows, cols)).collect(),
+            rows,
+            cols,
+        }
+    }
+
+    /// Builds a batch from existing matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the matrices do not all share one shape or
+    /// the batch is empty.
+    pub fn from_matrices(entries: Vec<Matrix>) -> Result<Self, ShapeError> {
+        let first = entries.first().ok_or_else(|| {
+            ShapeError::new("BatchedMatrix::from_matrices", "empty batch")
+        })?;
+        let (rows, cols) = first.shape();
+        for (i, e) in entries.iter().enumerate() {
+            if e.shape() != (rows, cols) {
+                return Err(ShapeError::new(
+                    "BatchedMatrix::from_matrices",
+                    format!(
+                        "entry {i} has shape {:?}, expected {:?}",
+                        e.shape(),
+                        (rows, cols)
+                    ),
+                ));
+            }
+        }
+        Ok(Self { entries, rows, cols })
+    }
+
+    /// Number of matrices in the batch.
+    pub fn batch(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Shared `(rows, cols)` shape of every entry.
+    pub fn entry_shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Entry `i` of the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.batch()`.
+    pub fn get(&self, i: usize) -> &Matrix {
+        &self.entries[i]
+    }
+
+    /// Mutable access to entry `i` of the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.batch()`.
+    pub fn get_mut(&mut self, i: usize) -> &mut Matrix {
+        &mut self.entries[i]
+    }
+
+    /// Iterates over the entries in batch order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Matrix> {
+        self.entries.iter()
+    }
+
+    /// Consumes the batch and returns its matrices.
+    pub fn into_matrices(self) -> Vec<Matrix> {
+        self.entries
+    }
+
+    /// Total number of f32 elements across the batch (used by the memory
+    /// model to account for padding waste).
+    pub fn element_count(&self) -> usize {
+        self.entries.len() * self.rows * self.cols
+    }
+}
+
+/// Computes the batched product `c_i = a_i * b_i` for every batch entry.
+///
+/// This is the cuBLAS-batched-GEMM stand-in used by the token-dropping MoE
+/// baseline and by the Figure 9 comparison.
+///
+/// # Panics
+///
+/// Panics if the batch sizes differ or if the per-entry shapes are
+/// incompatible for multiplication.
+pub fn batched_matmul(a: &BatchedMatrix, b: &BatchedMatrix) -> BatchedMatrix {
+    batched_matmul_op(a, Trans::N, b, Trans::N)
+}
+
+/// Batched GEMM with transpose control over both operands, mirroring
+/// [`gemm`].
+///
+/// # Panics
+///
+/// Panics if the batch sizes differ or the logical per-entry shapes are
+/// incompatible.
+pub fn batched_matmul_op(a: &BatchedMatrix, op_a: Trans, b: &BatchedMatrix, op_b: Trans) -> BatchedMatrix {
+    assert_eq!(a.batch(), b.batch(), "batched_matmul batch size mismatch");
+    let entries: Vec<Matrix> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(ai, bi)| {
+            let m = match op_a {
+                Trans::N => ai.rows(),
+                Trans::T => ai.cols(),
+            };
+            let n = match op_b {
+                Trans::N => bi.cols(),
+                Trans::T => bi.rows(),
+            };
+            let mut c = Matrix::zeros(m, n);
+            gemm(1.0, ai, op_a, bi, op_b, 0.0, &mut c);
+            c
+        })
+        .collect();
+    BatchedMatrix::from_matrices(entries).expect("batched_matmul produced inconsistent shapes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul;
+
+    #[test]
+    fn from_matrices_rejects_ragged_batches() {
+        let err = BatchedMatrix::from_matrices(vec![Matrix::zeros(2, 2), Matrix::zeros(3, 2)]);
+        assert!(err.is_err());
+        assert!(BatchedMatrix::from_matrices(vec![]).is_err());
+    }
+
+    #[test]
+    fn batched_matches_per_entry_matmul() {
+        let a = BatchedMatrix::from_matrices(vec![
+            Matrix::from_fn(2, 3, |i, j| (i + j) as f32),
+            Matrix::from_fn(2, 3, |i, j| (i * j) as f32),
+        ])
+        .unwrap();
+        let b = BatchedMatrix::from_matrices(vec![
+            Matrix::from_fn(3, 2, |i, j| (i as f32) - (j as f32)),
+            Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f32),
+        ])
+        .unwrap();
+        let c = batched_matmul(&a, &b);
+        for i in 0..2 {
+            assert!(c.get(i).approx_eq(&matmul(a.get(i), b.get(i)), 1e-6));
+        }
+    }
+
+    #[test]
+    fn batched_transposed_ops() {
+        let a = BatchedMatrix::from_matrices(vec![Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f32)]).unwrap();
+        let b = BatchedMatrix::from_matrices(vec![Matrix::from_fn(4, 3, |i, j| (i + j) as f32)]).unwrap();
+        let c = batched_matmul_op(&a, Trans::T, &b, Trans::N);
+        assert_eq!(c.entry_shape(), (2, 3));
+        let want = matmul(&a.get(0).transpose(), b.get(0));
+        assert!(c.get(0).approx_eq(&want, 1e-6));
+    }
+
+    #[test]
+    fn element_count_includes_padding() {
+        let b = BatchedMatrix::zeros(4, 8, 16);
+        assert_eq!(b.element_count(), 4 * 8 * 16);
+    }
+}

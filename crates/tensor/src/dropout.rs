@@ -1,0 +1,132 @@
+//! Inverted dropout with explicit masks.
+//!
+//! GPT-2/Megatron training applies dropout to attention probabilities and
+//! residual branches; the memory model in `megablocks-gpusim` accounts
+//! for the stored masks. The layers in this workspace default to dropout
+//! 0 (as the paper's MoE configs commonly do), but the primitive is here
+//! for completeness, with the standard inverted scaling so evaluation
+//! needs no rescale.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Matrix;
+
+/// A dropout mask: which elements were kept, with the keep probability
+/// baked in for the backward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DropoutMask {
+    kept: Vec<bool>,
+    keep_prob: f32,
+}
+
+impl DropoutMask {
+    /// Fraction of elements kept by this mask.
+    pub fn kept_fraction(&self) -> f64 {
+        if self.kept.is_empty() {
+            return 1.0;
+        }
+        self.kept.iter().filter(|&&k| k).count() as f64 / self.kept.len() as f64
+    }
+}
+
+/// Applies inverted dropout with drop probability `p`, returning the
+/// scaled output and the mask for the backward pass.
+///
+/// `p = 0` keeps everything (identity); kept values are scaled by
+/// `1 / (1 - p)` so the expectation matches evaluation mode.
+///
+/// # Panics
+///
+/// Panics unless `0.0 <= p < 1.0`.
+pub fn dropout(x: &Matrix, p: f32, rng: &mut StdRng) -> (Matrix, DropoutMask) {
+    assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+    let keep_prob = 1.0 - p;
+    let scale = 1.0 / keep_prob;
+    let mut kept = Vec::with_capacity(x.len());
+    let mut out = x.clone();
+    for v in out.as_mut_slice() {
+        let keep = p == 0.0 || rng.gen::<f32>() >= p;
+        kept.push(keep);
+        *v = if keep { *v * scale } else { 0.0 };
+    }
+    (out, DropoutMask { kept, keep_prob })
+}
+
+/// Backward pass of [`dropout`]: gradient flows only through kept
+/// elements, with the same inverted scaling.
+///
+/// # Panics
+///
+/// Panics if `dy` has a different element count than the forward input.
+pub fn dropout_backward(dy: &Matrix, mask: &DropoutMask) -> Matrix {
+    assert_eq!(dy.len(), mask.kept.len(), "mask does not match gradient shape");
+    let scale = 1.0 / mask.keep_prob;
+    let mut dx = dy.clone();
+    for (v, &keep) in dx.as_mut_slice().iter_mut().zip(&mask.kept) {
+        *v = if keep { *v * scale } else { 0.0 };
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::seeded_rng;
+
+    #[test]
+    fn zero_probability_is_identity() {
+        let x = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f32);
+        let mut rng = seeded_rng(1);
+        let (y, mask) = dropout(&x, 0.0, &mut rng);
+        assert_eq!(y, x);
+        assert_eq!(mask.kept_fraction(), 1.0);
+        let dy = Matrix::full(3, 4, 2.0);
+        assert_eq!(dropout_backward(&dy, &mask), dy);
+    }
+
+    #[test]
+    fn keeps_roughly_the_right_fraction_and_preserves_expectation() {
+        let x = Matrix::full(100, 100, 1.0);
+        let mut rng = seeded_rng(2);
+        let (y, mask) = dropout(&x, 0.3, &mut rng);
+        let frac = mask.kept_fraction();
+        assert!((frac - 0.7).abs() < 0.02, "kept {frac}");
+        // Inverted scaling: mean of outputs ~ 1.
+        let mean = y.sum() / y.len() as f32;
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+        // Kept values are exactly 1/0.7; dropped exactly 0.
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 1.0 / 0.7).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_masks_match_forward() {
+        let x = Matrix::full(10, 10, 1.0);
+        let mut rng = seeded_rng(3);
+        let (y, mask) = dropout(&x, 0.5, &mut rng);
+        let dy = Matrix::full(10, 10, 1.0);
+        let dx = dropout_backward(&dy, &mask);
+        // Gradient flows exactly where output was nonzero.
+        for (o, g) in y.as_slice().iter().zip(dx.as_slice()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let x = Matrix::full(8, 8, 1.0);
+        let (a, _) = dropout(&x, 0.4, &mut seeded_rng(7));
+        let (b, _) = dropout(&x, 0.4, &mut seeded_rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in")]
+    fn p_one_is_rejected() {
+        let x = Matrix::zeros(1, 1);
+        let mut rng = seeded_rng(4);
+        let _ = dropout(&x, 1.0, &mut rng);
+    }
+}

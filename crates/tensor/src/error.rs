@@ -1,0 +1,36 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when matrix shapes are incompatible for an operation.
+///
+/// Carries the operation name and the offending shapes so the message is
+/// actionable without a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    detail: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op` with a human-readable
+    /// description of the mismatch.
+    pub fn new(op: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            op,
+            detail: detail.into(),
+        }
+    }
+
+    /// The operation that rejected the shapes.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape mismatch in {}: {}", self.op, self.detail)
+    }
+}
+
+impl Error for ShapeError {}

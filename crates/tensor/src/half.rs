@@ -1,0 +1,179 @@
+//! IEEE-754 binary16 emulation for mixed-precision fidelity.
+//!
+//! The paper's kernels run FP16 inputs with FP32 accumulation on A100
+//! tensor cores (Micikevicius et al. 2018). This module emulates that
+//! numeric regime on the f32 substrate: values can be rounded through
+//! half precision ([`round_to_f16`]) and a GEMM wrapper
+//! ([`mixed_precision_matmul`]) rounds its *inputs* to f16 while keeping
+//! the f32 accumulator — exactly the tensor-core contract. Tests bound
+//! the extra error and pin known binary16 encodings.
+
+use crate::{matmul, Matrix};
+
+/// Converts an `f32` to its nearest IEEE-754 binary16 bit pattern
+/// (round-to-nearest-even; overflow saturates to infinity; subnormals
+/// handled).
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN
+        let nan = if mant != 0 { 0x0200 } else { 0 };
+        return sign | 0x7C00 | nan;
+    }
+    // Re-bias the exponent: f32 bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // Normal f16. Round mantissa from 23 to 10 bits, ties to even.
+        let mut m = mant >> 13;
+        let rem = mant & 0x1FFF;
+        if rem > 0x1000 || (rem == 0x1000 && (m & 1) == 1) {
+            m += 1;
+        }
+        let mut e = (unbiased + 15) as u32;
+        if m == 0x400 {
+            // Mantissa rounded up past 10 bits: bump the exponent.
+            m = 0;
+            e += 1;
+            if e >= 31 {
+                return sign | 0x7C00;
+            }
+        }
+        return sign | ((e as u16) << 10) | (m as u16);
+    }
+    if unbiased >= -25 {
+        // Subnormal f16: the value is M * 2^-24 with M = full * 2^(unbiased+1),
+        // where `full` is the 24-bit significand (implicit one included).
+        let full = mant | 0x0080_0000;
+        let shift = (-unbiased - 1) as u32; // 14..=24 bits dropped
+        let mut m = full >> shift;
+        let rem = full & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        if rem > half || (rem == half && (m & 1) == 1) {
+            m += 1; // may carry into the smallest normal (0x0400) — fine
+        }
+        return sign | (m as u16);
+    }
+    sign // underflow -> signed zero
+}
+
+/// Converts an IEEE-754 binary16 bit pattern to `f32` (exact).
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = u32::from(bits >> 15) << 31;
+    let exp = u32::from((bits >> 10) & 0x1F);
+    let mant = u32::from(bits & 0x3FF);
+    let out = if exp == 0 {
+        if mant == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: value = mant * 2^-24
+            let v = mant as f32 * 2.0f32.powi(-24);
+            return if sign != 0 { -v } else { v };
+        }
+    } else if exp == 31 {
+        if mant == 0 {
+            sign | 0x7F80_0000 // inf
+        } else {
+            sign | 0x7FC0_0000 // NaN
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(out)
+}
+
+/// Rounds a value through binary16 and back — the precision an operand
+/// has after being stored in half precision.
+pub fn round_to_f16(value: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(value))
+}
+
+/// Rounds every element of a matrix through binary16.
+pub fn round_matrix_to_f16(m: &Matrix) -> Matrix {
+    m.map(round_to_f16)
+}
+
+/// Mixed-precision GEMM: inputs rounded to f16, accumulation in f32 —
+/// the A100 tensor-core contract the paper's kernels (and the
+/// `gpusim` throughput model) assume.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn mixed_precision_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul(&round_matrix_to_f16(a), &round_matrix_to_f16(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_encodings() {
+        // Classic binary16 values.
+        assert_eq!(f32_to_f16_bits(0.0), 0x0000);
+        assert_eq!(f32_to_f16_bits(-0.0), 0x8000);
+        assert_eq!(f32_to_f16_bits(1.0), 0x3C00);
+        assert_eq!(f32_to_f16_bits(-2.0), 0xC000);
+        assert_eq!(f32_to_f16_bits(65504.0), 0x7BFF); // max finite f16
+        assert_eq!(f32_to_f16_bits(65536.0), 0x7C00); // overflow -> inf
+        assert_eq!(f32_to_f16_bits(f32::INFINITY), 0x7C00);
+        assert_eq!(f32_to_f16_bits(0.5), 0x3800);
+        assert_eq!(f32_to_f16_bits(0.099976), 0x2E66); // ~0.1 in f16
+    }
+
+    #[test]
+    fn decode_matches_encode_for_all_finite_bit_patterns() {
+        // Exhaustive: every f16 bit pattern decodes, and re-encoding a
+        // decoded finite value is the identity.
+        for bits in 0u16..=0xFFFF {
+            let v = f16_bits_to_f32(bits);
+            if v.is_nan() {
+                continue;
+            }
+            let back = f32_to_f16_bits(v);
+            assert_eq!(back, bits, "bits {bits:#06x} -> {v} -> {back:#06x}");
+        }
+    }
+
+    #[test]
+    fn rounding_error_is_bounded_by_half_ulp() {
+        // Relative error of normal-range rounding <= 2^-11.
+        for i in 0..1000 {
+            let v = (i as f32 * 0.37 + 0.01) * if i % 2 == 0 { 1.0 } else { -1.0 };
+            let r = round_to_f16(v);
+            let rel = ((r - v) / v).abs();
+            assert!(rel <= 1.0 / 2048.0 + 1e-7, "value {v}: rounded {r}, rel {rel}");
+        }
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        let smallest = 2.0f32.powi(-24);
+        assert_eq!(f32_to_f16_bits(smallest), 0x0001);
+        assert_eq!(f16_bits_to_f32(0x0001), smallest);
+        // Below half the smallest subnormal: flush to zero.
+        assert_eq!(f32_to_f16_bits(smallest / 4.0), 0x0000);
+    }
+
+    #[test]
+    fn mixed_precision_gemm_error_is_small_relative_to_f32() {
+        use crate::init::{normal, seeded_rng};
+        let mut rng = seeded_rng(3);
+        let a = normal(32, 48, 1.0, &mut rng);
+        let b = normal(48, 24, 1.0, &mut rng);
+        let exact = matmul(&a, &b);
+        let mixed = mixed_precision_matmul(&a, &b);
+        // fp16 inputs with fp32 accumulation: relative error ~ 2^-11 per
+        // operand, amplified by the reduction; bound loosely.
+        let rel = mixed.max_abs_diff(&exact) / exact.max_abs().max(1e-6);
+        assert!(rel < 5e-3, "relative error {rel}");
+        assert!(rel > 0.0, "rounding should actually change something");
+    }
+}

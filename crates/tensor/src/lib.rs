@@ -1,0 +1,45 @@
+//! Dense matrix substrate for MegaBlocks-RS.
+//!
+//! This crate provides the dense building blocks that the rest of the
+//! reproduction is built on:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with shape-checked construction.
+//! * [`gemm`] / [`matmul`] — general matrix multiplication with all
+//!   transpose combinations, parallelized across output-row tiles. This is
+//!   the stand-in for a device GEMM (cuBLAS in the paper).
+//! * [`BatchedMatrix`] and [`batched_matmul`] — the batched matrix
+//!   multiplication primitive that state-of-the-art MoE frameworks
+//!   (Tutel, Megatron-LM) map expert computation onto (paper §2.2,
+//!   Figure 3A).
+//! * [`ops`] — neural-network forward/backward primitives: softmax,
+//!   layer norm, GeLU, bias, cross-entropy.
+//! * [`init`] — deterministic weight initializers.
+//! * [`half`] — IEEE binary16 emulation for the paper's mixed-precision
+//!   regime (FP16 operands, FP32 accumulation).
+//!
+//! # Example
+//!
+//! ```
+//! use megablocks_tensor::{Matrix, matmul};
+//!
+//! let a = Matrix::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+//! let b = Matrix::eye(3);
+//! let c = matmul(&a, &b);
+//! assert_eq!(c, a);
+//! ```
+
+#![deny(missing_docs)]
+
+mod batched;
+pub mod dropout;
+mod error;
+pub mod half;
+pub mod init;
+mod matmul;
+mod matrix;
+pub mod ops;
+
+pub use batched::{batched_matmul, BatchedMatrix};
+pub use error::ShapeError;
+pub use matmul::{gemm, matmul, matmul_nt, matmul_tn, Trans};
+pub use matrix::Matrix;

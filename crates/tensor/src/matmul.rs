@@ -1,0 +1,323 @@
+//! General matrix multiplication with transpose support.
+//!
+//! This is the CPU stand-in for a device GEMM (cuBLAS in the paper). The
+//! kernel is parallelized over horizontal bands of the output matrix with
+//! scoped threads; within a band the loop order is chosen per transpose
+//! combination for row-major-friendly access.
+
+use crate::Matrix;
+
+/// Whether an input operand of [`gemm`] is used as-is or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trans {
+    /// Use the operand in its stored orientation.
+    N,
+    /// Use the transpose of the operand.
+    T,
+}
+
+impl Trans {
+    /// Logical shape of an operand under this transposition.
+    fn apply(self, shape: (usize, usize)) -> (usize, usize) {
+        match self {
+            Trans::N => shape,
+            Trans::T => (shape.1, shape.0),
+        }
+    }
+}
+
+/// Minimum number of output elements per spawned thread. Below this, the
+/// multiply runs single-threaded: thread spawn costs would dominate.
+const PARALLEL_THRESHOLD: usize = 64 * 64;
+
+/// Computes `c = alpha * op_a(a) * op_b(b) + beta * c`.
+///
+/// `op_a`/`op_b` select transposition of each input ([`Trans`]). This is the
+/// full BLAS-style GEMM used by every dense layer in the workspace; the
+/// convenience wrappers [`matmul`], [`matmul_tn`] and [`matmul_nt`] cover the
+/// common cases.
+///
+/// # Panics
+///
+/// Panics if the logical shapes are incompatible: `op_a(a)` must be `m x k`,
+/// `op_b(b)` must be `k x n`, and `c` must be `m x n`.
+pub fn gemm(alpha: f32, a: &Matrix, op_a: Trans, b: &Matrix, op_b: Trans, beta: f32, c: &mut Matrix) {
+    let (m, ka) = op_a.apply(a.shape());
+    let (kb, n) = op_b.apply(b.shape());
+    assert_eq!(
+        ka, kb,
+        "gemm inner dimension mismatch: op_a(a) is {m}x{ka}, op_b(b) is {kb}x{n}"
+    );
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "gemm output shape mismatch: expected {m}x{n}, got {:?}",
+        c.shape()
+    );
+    let k = ka;
+
+    if beta != 1.0 {
+        if beta == 0.0 {
+            c.fill_zero();
+        } else {
+            c.scale(beta);
+        }
+    }
+    if m == 0 || n == 0 || k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let work = m * n;
+    let threads = if work < PARALLEL_THRESHOLD { 1 } else { threads.min(m) };
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let (a_rows, a_cols) = a.shape();
+    let (_b_rows, b_cols) = b.shape();
+    let c_data = c.as_mut_slice();
+
+    // Each closure computes rows [row0, row0+rows) of C into `band`,
+    // a &mut slice of C's storage.
+    let compute_band = |band: &mut [f32], row0: usize, rows: usize| {
+        match (op_a, op_b) {
+            (Trans::N, Trans::N) => {
+                // C[i,:] += alpha * A[i,p] * B[p,:]
+                for i in 0..rows {
+                    let arow = &a_data[(row0 + i) * a_cols..(row0 + i + 1) * a_cols];
+                    let crow = &mut band[i * n..(i + 1) * n];
+                    for (p, &av) in arow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let s = alpha * av;
+                        let brow = &b_data[p * b_cols..p * b_cols + n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += s * bv;
+                        }
+                    }
+                }
+            }
+            (Trans::N, Trans::T) => {
+                // C[i,j] += alpha * dot(A[i,:], B[j,:])
+                for i in 0..rows {
+                    let arow = &a_data[(row0 + i) * a_cols..(row0 + i + 1) * a_cols];
+                    let crow = &mut band[i * n..(i + 1) * n];
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        let brow = &b_data[j * b_cols..j * b_cols + k];
+                        let mut acc = 0.0f32;
+                        for (av, bv) in arow.iter().zip(brow) {
+                            acc += av * bv;
+                        }
+                        *cv += alpha * acc;
+                    }
+                }
+            }
+            (Trans::T, Trans::N) => {
+                // A is k x m stored; C[i,:] += alpha * A[p,i] * B[p,:]
+                for p in 0..k {
+                    let arow = &a_data[p * a_cols..(p + 1) * a_cols];
+                    let brow = &b_data[p * b_cols..p * b_cols + n];
+                    for i in 0..rows {
+                        let av = arow[row0 + i];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let s = alpha * av;
+                        let crow = &mut band[i * n..(i + 1) * n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += s * bv;
+                        }
+                    }
+                }
+            }
+            (Trans::T, Trans::T) => {
+                // C[i,j] += alpha * A[p,i] * B[j,p]
+                for i in 0..rows {
+                    let crow = &mut band[i * n..(i + 1) * n];
+                    for (j, cv) in crow.iter_mut().enumerate() {
+                        let brow = &b_data[j * b_cols..j * b_cols + k];
+                        let mut acc = 0.0f32;
+                        for p in 0..k {
+                            acc += a_data[p * a_cols + row0 + i] * brow[p];
+                        }
+                        *cv += alpha * acc;
+                    }
+                }
+            }
+        }
+        // silence unused warnings for shapes only used by some arms
+        let _ = a_rows;
+    };
+
+    if threads <= 1 {
+        compute_band(c_data, 0, m);
+        return;
+    }
+
+    let rows_per_band = m.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (band_idx, band) in c_data.chunks_mut(rows_per_band * n).enumerate() {
+            let row0 = band_idx * rows_per_band;
+            let rows = band.len() / n;
+            let compute_band = &compute_band;
+            s.spawn(move |_| compute_band(band, row0, rows));
+        }
+    })
+    .expect("gemm worker thread panicked");
+}
+
+/// Computes `a * b` into a fresh matrix.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(1.0, a, Trans::N, b, Trans::N, 0.0, &mut c);
+    c
+}
+
+/// Computes `a^T * b` into a fresh matrix (used for weight gradients).
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.cols(), b.cols());
+    gemm(1.0, a, Trans::T, b, Trans::N, 0.0, &mut c);
+    c
+}
+
+/// Computes `a * b^T` into a fresh matrix (used for data gradients).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.rows());
+    gemm(1.0, a, Trans::N, b, Trans::T, 0.0, &mut c);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(a: &Matrix, op_a: Trans, b: &Matrix, op_b: Trans) -> Matrix {
+        let am = match op_a {
+            Trans::N => a.clone(),
+            Trans::T => a.transpose(),
+        };
+        let bm = match op_b {
+            Trans::N => b.clone(),
+            Trans::T => b.transpose(),
+        };
+        let mut c = Matrix::zeros(am.rows(), bm.cols());
+        for i in 0..am.rows() {
+            for j in 0..bm.cols() {
+                let mut acc = 0.0;
+                for p in 0..am.cols() {
+                    acc += am[(i, p)] * bm[(p, j)];
+                }
+                c[(i, j)] = acc;
+            }
+        }
+        c
+    }
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        // Small deterministic LCG so the test has no dependencies.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        })
+    }
+
+    #[test]
+    fn all_transpose_combinations_match_reference() {
+        let cases = [(5usize, 7usize, 3usize), (1, 1, 1), (4, 4, 4), (9, 2, 6)];
+        for &(m, n, k) in &cases {
+            for (op_a, op_b) in [
+                (Trans::N, Trans::N),
+                (Trans::N, Trans::T),
+                (Trans::T, Trans::N),
+                (Trans::T, Trans::T),
+            ] {
+                let a = match op_a {
+                    Trans::N => rand_matrix(m, k, 1),
+                    Trans::T => rand_matrix(k, m, 1),
+                };
+                let b = match op_b {
+                    Trans::N => rand_matrix(k, n, 2),
+                    Trans::T => rand_matrix(n, k, 2),
+                };
+                let mut c = Matrix::zeros(m, n);
+                gemm(1.0, &a, op_a, &b, op_b, 0.0, &mut c);
+                let want = reference(&a, op_a, &b, op_b);
+                assert!(
+                    c.approx_eq(&want, 1e-4),
+                    "mismatch for ({op_a:?},{op_b:?}) m={m} n={n} k={k}: diff {}",
+                    c.max_abs_diff(&want)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_beta_accumulate() {
+        let a = rand_matrix(3, 3, 5);
+        let b = rand_matrix(3, 3, 6);
+        let mut c = Matrix::full(3, 3, 1.0);
+        gemm(2.0, &a, Trans::N, &b, Trans::N, 0.5, &mut c);
+        let mut want = reference(&a, Trans::N, &b, Trans::N);
+        want.scale(2.0);
+        want.axpy(0.5, &Matrix::full(3, 3, 1.0));
+        assert!(c.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn large_parallel_matches_reference() {
+        let a = rand_matrix(130, 70, 11);
+        let b = rand_matrix(70, 90, 12);
+        let c = matmul(&a, &b);
+        let want = reference(&a, Trans::N, &b, Trans::N);
+        assert!(c.approx_eq(&want, 1e-3), "diff {}", c.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn empty_dimensions_are_ok() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (0, 3));
+
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (2, 3));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn helpers_match_gemm() {
+        let a = rand_matrix(4, 6, 21);
+        let b = rand_matrix(4, 5, 22);
+        let c = matmul_tn(&a, &b);
+        assert!(c.approx_eq(&reference(&a, Trans::T, &b, Trans::N), 1e-4));
+
+        let a = rand_matrix(4, 6, 23);
+        let b = rand_matrix(5, 6, 24);
+        let c = matmul_nt(&a, &b);
+        assert!(c.approx_eq(&reference(&a, Trans::N, &b, Trans::T), 1e-4));
+    }
+}

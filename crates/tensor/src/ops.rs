@@ -1,0 +1,470 @@
+//! Neural-network forward/backward primitives.
+//!
+//! Every primitive comes as a `forward` (optionally returning a cache of
+//! whatever the backward pass needs) plus a matching `backward`. There is no
+//! autograd in this workspace — like Megatron-LM, each layer wires its own
+//! backward pass out of these pieces, which is also exactly how the paper
+//! enumerates the block-sparse products needed for dMoE training (§5.1).
+
+use crate::Matrix;
+
+/// Row-wise softmax.
+///
+/// Each row of the result sums to 1. Numerically stabilized by subtracting
+/// the row max.
+///
+/// # Example
+///
+/// ```
+/// use megablocks_tensor::{Matrix, ops::softmax_rows};
+///
+/// let x = Matrix::from_vec(1, 2, vec![0.0, 0.0]).unwrap();
+/// let y = softmax_rows(&x);
+/// assert!((y[(0, 0)] - 0.5).abs() < 1e-6);
+/// ```
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut y = x.clone();
+    softmax_rows_inplace(&mut y);
+    y
+}
+
+/// Row-wise softmax, in place.
+pub fn softmax_rows_inplace(x: &mut Matrix) {
+    let cols = x.cols();
+    if cols == 0 {
+        return;
+    }
+    for i in 0..x.rows() {
+        let row = x.row_mut(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Backward pass of row-wise softmax.
+///
+/// Given the softmax output `y` and upstream gradient `dy`, returns
+/// `dx[i,j] = y[i,j] * (dy[i,j] - sum_k dy[i,k] * y[i,k])`.
+///
+/// # Panics
+///
+/// Panics if `y` and `dy` shapes differ.
+pub fn softmax_rows_backward(y: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(y.shape(), dy.shape(), "softmax backward shape mismatch");
+    let mut dx = Matrix::zeros(y.rows(), y.cols());
+    for i in 0..y.rows() {
+        let yr = y.row(i);
+        let dyr = dy.row(i);
+        let dot: f32 = yr.iter().zip(dyr).map(|(a, b)| a * b).sum();
+        let dxr = dx.row_mut(i);
+        for j in 0..yr.len() {
+            dxr[j] = yr[j] * (dyr[j] - dot);
+        }
+    }
+    dx
+}
+
+/// Mean cross-entropy between row-wise logits and integer targets, with the
+/// gradient computed in the same pass.
+///
+/// Returns `(loss, dlogits)` where `loss` is averaged over rows and
+/// `dlogits` already includes the `1/rows` factor.
+///
+/// Rows whose target equals `ignore_index` (if provided) contribute neither
+/// loss nor gradient — used for padded positions.
+///
+/// # Panics
+///
+/// Panics if `targets.len() != logits.rows()` or any non-ignored target is
+/// out of vocabulary range.
+pub fn cross_entropy(logits: &Matrix, targets: &[usize], ignore_index: Option<usize>) -> (f32, Matrix) {
+    assert_eq!(
+        targets.len(),
+        logits.rows(),
+        "cross_entropy needs one target per logits row"
+    );
+    let mut dlogits = Matrix::zeros(logits.rows(), logits.cols());
+    let mut loss = 0.0f64;
+    let mut counted = 0usize;
+    for (i, &t) in targets.iter().enumerate() {
+        if Some(t) == ignore_index {
+            continue;
+        }
+        assert!(t < logits.cols(), "target {t} out of range for vocab {}", logits.cols());
+        counted += 1;
+        let row = logits.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for &v in row {
+            sum += (v - max).exp();
+        }
+        let log_sum = sum.ln() + max;
+        loss += f64::from(log_sum - row[t]);
+        let drow = dlogits.row_mut(i);
+        for (j, &v) in row.iter().enumerate() {
+            drow[j] = (v - max).exp() / sum;
+        }
+        drow[t] -= 1.0;
+    }
+    if counted == 0 {
+        return (0.0, dlogits);
+    }
+    let scale = 1.0 / counted as f32;
+    dlogits.scale(scale);
+    ((loss / counted as f64) as f32, dlogits)
+}
+
+/// Cache produced by [`layer_norm`] and consumed by [`layer_norm_backward`].
+#[derive(Debug, Clone)]
+pub struct LayerNormCache {
+    mean: Vec<f32>,
+    rstd: Vec<f32>,
+}
+
+/// Layer normalization over each row, with learnable `gamma` and `beta`.
+///
+/// Returns the normalized output and a cache for the backward pass.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from `x.cols()`.
+pub fn layer_norm(x: &Matrix, gamma: &[f32], beta: &[f32], eps: f32) -> (Matrix, LayerNormCache) {
+    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
+    let mut y = Matrix::zeros(x.rows(), x.cols());
+    let mut cache = LayerNormCache {
+        mean: Vec::with_capacity(x.rows()),
+        rstd: Vec::with_capacity(x.rows()),
+    };
+    let n = x.cols() as f32;
+    for i in 0..x.rows() {
+        let row = x.row(i);
+        let mean: f32 = row.iter().sum::<f32>() / n;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let rstd = 1.0 / (var + eps).sqrt();
+        cache.mean.push(mean);
+        cache.rstd.push(rstd);
+        let yr = y.row_mut(i);
+        for j in 0..row.len() {
+            yr[j] = (row[j] - mean) * rstd * gamma[j] + beta[j];
+        }
+    }
+    (y, cache)
+}
+
+/// Backward pass of [`layer_norm`].
+///
+/// Returns `(dx, dgamma, dbeta)`.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent with the forward call.
+pub fn layer_norm_backward(
+    x: &Matrix,
+    dy: &Matrix,
+    gamma: &[f32],
+    cache: &LayerNormCache,
+) -> (Matrix, Vec<f32>, Vec<f32>) {
+    assert_eq!(x.shape(), dy.shape(), "layer_norm_backward shape mismatch");
+    assert_eq!(cache.mean.len(), x.rows(), "cache does not match forward input");
+    let n = x.cols() as f32;
+    let mut dx = Matrix::zeros(x.rows(), x.cols());
+    let mut dgamma = vec![0.0f32; x.cols()];
+    let mut dbeta = vec![0.0f32; x.cols()];
+    for i in 0..x.rows() {
+        let row = x.row(i);
+        let dyr = dy.row(i);
+        let mean = cache.mean[i];
+        let rstd = cache.rstd[i];
+        // xhat = (x - mean) * rstd
+        let mut sum_dy_g = 0.0f32;
+        let mut sum_dy_g_xhat = 0.0f32;
+        for j in 0..row.len() {
+            let xhat = (row[j] - mean) * rstd;
+            let dyg = dyr[j] * gamma[j];
+            sum_dy_g += dyg;
+            sum_dy_g_xhat += dyg * xhat;
+            dgamma[j] += dyr[j] * xhat;
+            dbeta[j] += dyr[j];
+        }
+        let dxr = dx.row_mut(i);
+        for j in 0..row.len() {
+            let xhat = (row[j] - mean) * rstd;
+            let dyg = dyr[j] * gamma[j];
+            dxr[j] = rstd * (dyg - sum_dy_g / n - xhat * sum_dy_g_xhat / n);
+        }
+    }
+    (dx, dgamma, dbeta)
+}
+
+/// GeLU activation (tanh approximation, as used by GPT-2 / Megatron-LM).
+pub fn gelu(x: &Matrix) -> Matrix {
+    x.map(gelu_scalar)
+}
+
+/// Backward pass of [`gelu`]: `dx = dy * gelu'(x)`.
+///
+/// # Panics
+///
+/// Panics if `x` and `dy` shapes differ.
+pub fn gelu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), dy.shape(), "gelu backward shape mismatch");
+    let mut dx = Matrix::zeros(x.rows(), x.cols());
+    for (o, (xi, di)) in dx
+        .as_mut_slice()
+        .iter_mut()
+        .zip(x.as_slice().iter().zip(dy.as_slice()))
+    {
+        *o = di * gelu_grad_scalar(*xi);
+    }
+    dx
+}
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_COEF: f32 = 0.044_715;
+
+/// Scalar GeLU (tanh approximation). Exposed so sparse-matrix code can map
+/// it over stored blocks; `gelu_scalar(0.0) == 0.0`, which keeps padding
+/// rows zero.
+pub fn gelu_scalar(x: f32) -> f32 {
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + GELU_COEF * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu_scalar`].
+pub fn gelu_grad_scalar(x: f32) -> f32 {
+    let inner = SQRT_2_OVER_PI * (x + GELU_COEF * x * x * x);
+    let t = inner.tanh();
+    let dinner = SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEF * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+}
+
+/// ReLU activation.
+pub fn relu(x: &Matrix) -> Matrix {
+    x.map(|v| v.max(0.0))
+}
+
+/// Backward pass of [`relu`]: passes gradient where `x > 0`.
+///
+/// # Panics
+///
+/// Panics if `x` and `dy` shapes differ.
+pub fn relu_backward(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), dy.shape(), "relu backward shape mismatch");
+    let mut dx = dy.clone();
+    for (o, &xi) in dx.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        if xi <= 0.0 {
+            *o = 0.0;
+        }
+    }
+    dx
+}
+
+/// Adds a bias row vector to every row of `x`, in place.
+///
+/// # Panics
+///
+/// Panics if `bias.len() != x.cols()`.
+pub fn add_bias(x: &mut Matrix, bias: &[f32]) {
+    assert_eq!(bias.len(), x.cols(), "bias length mismatch");
+    for i in 0..x.rows() {
+        for (v, b) in x.row_mut(i).iter_mut().zip(bias) {
+            *v += b;
+        }
+    }
+}
+
+/// Gradient of a bias under [`add_bias`]: the column-wise sum of `dy`.
+pub fn bias_backward(dy: &Matrix) -> Vec<f32> {
+    let mut db = vec![0.0f32; dy.cols()];
+    for i in 0..dy.rows() {
+        for (d, v) in db.iter_mut().zip(dy.row(i)) {
+            *d += v;
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(
+        f: &mut dyn FnMut(&Matrix) -> f32,
+        x: &Matrix,
+        analytic: &Matrix,
+        eps: f32,
+        tol: f32,
+    ) {
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                let mut xp = x.clone();
+                xp[(i, j)] += eps;
+                let mut xm = x.clone();
+                xm[(i, j)] -= eps;
+                let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+                let ana = analytic[(i, j)];
+                assert!(
+                    (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                    "grad mismatch at ({i},{j}): numeric {num}, analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let x = Matrix::from_fn(3, 5, |i, j| (i as f32) - (j as f32) * 0.3);
+        let y = softmax_rows(&x);
+        for i in 0..3 {
+            let s: f32 = y.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(y.row(i).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Matrix::from_fn(1, 4, |_, j| j as f32);
+        let shifted = x.map(|v| v + 100.0);
+        assert!(softmax_rows(&x).approx_eq(&softmax_rows(&shifted), 1e-5));
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_diff() {
+        let x = Matrix::from_fn(2, 4, |i, j| ((i + 1) * (j + 2)) as f32 * 0.1);
+        // scalar objective: sum of y * w for fixed random-ish weights
+        let w = Matrix::from_fn(2, 4, |i, j| ((i * 4 + j) as f32).sin());
+        let y = softmax_rows(&x);
+        let dx = softmax_rows_backward(&y, &w);
+        let mut f = |m: &Matrix| {
+            let y = softmax_rows(m);
+            y.as_slice().iter().zip(w.as_slice()).map(|(a, b)| a * b).sum::<f32>()
+        };
+        finite_diff_check(&mut f, &x, &dx, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_diff() {
+        let logits = Matrix::from_fn(3, 5, |i, j| ((i * 5 + j) as f32).cos());
+        let targets = vec![1usize, 4, 0];
+        let (_, dlogits) = cross_entropy(&logits, &targets, None);
+        let mut f = |m: &Matrix| cross_entropy(m, &targets, None).0;
+        finite_diff_check(&mut f, &logits, &dlogits, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let mut logits = Matrix::full(2, 3, -20.0);
+        logits[(0, 1)] = 20.0;
+        logits[(1, 2)] = 20.0;
+        let (loss, _) = cross_entropy(&logits, &[1, 2], None);
+        assert!(loss < 1e-3, "loss was {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_respects_ignore_index() {
+        let logits = Matrix::from_fn(2, 3, |i, j| (i + j) as f32);
+        let (loss_all, _) = cross_entropy(&logits, &[0, 1], None);
+        let (loss_ign, d) = cross_entropy(&logits, &[0, 2], Some(2));
+        // ignoring the second row leaves only the first row's loss
+        let (loss_first, _) = cross_entropy(&logits.rows_range(0, 1), &[0], None);
+        assert!((loss_ign - loss_first).abs() < 1e-6);
+        assert!(d.row(1).iter().all(|&v| v == 0.0));
+        assert_ne!(loss_all, loss_ign);
+    }
+
+    #[test]
+    fn layer_norm_normalizes_rows() {
+        let x = Matrix::from_fn(4, 8, |i, j| ((i * 8 + j) as f32).sin() + 3.0);
+        let gamma = vec![1.0f32; 8];
+        let beta = vec![0.0f32; 8];
+        let (y, _) = layer_norm(&x, &gamma, &beta, 1e-5);
+        for i in 0..4 {
+            let mean: f32 = y.row(i).iter().sum::<f32>() / 8.0;
+            let var: f32 = y.row(i).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "row {i} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "row {i} var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_backward_matches_finite_diff() {
+        let x = Matrix::from_fn(2, 6, |i, j| ((i * 6 + j) as f32 * 0.7).sin());
+        let gamma: Vec<f32> = (0..6).map(|j| 1.0 + 0.1 * j as f32).collect();
+        let beta: Vec<f32> = (0..6).map(|j| 0.05 * j as f32).collect();
+        let w = Matrix::from_fn(2, 6, |i, j| ((i + j) as f32).cos());
+        let (_, cache) = layer_norm(&x, &gamma, &beta, 1e-5);
+        let (dx, dgamma, dbeta) = layer_norm_backward(&x, &w, &gamma, &cache);
+        let mut f = |m: &Matrix| {
+            let (y, _) = layer_norm(m, &gamma, &beta, 1e-5);
+            y.as_slice().iter().zip(w.as_slice()).map(|(a, b)| a * b).sum::<f32>()
+        };
+        finite_diff_check(&mut f, &x, &dx, 1e-3, 3e-2);
+
+        // dgamma / dbeta spot check via finite differences on gamma[2], beta[3]
+        let eval = |g: &[f32], b: &[f32]| {
+            let (y, _) = layer_norm(&x, g, b, 1e-5);
+            y.as_slice().iter().zip(w.as_slice()).map(|(a, c)| a * c).sum::<f32>()
+        };
+        let mut gp = gamma.clone();
+        gp[2] += 1e-3;
+        let mut gm = gamma.clone();
+        gm[2] -= 1e-3;
+        let num = (eval(&gp, &beta) - eval(&gm, &beta)) / 2e-3;
+        assert!((num - dgamma[2]).abs() < 2e-2 * (1.0 + num.abs()));
+        let mut bp = beta.clone();
+        bp[3] += 1e-3;
+        let mut bm = beta.clone();
+        bm[3] -= 1e-3;
+        let num = (eval(&gamma, &bp) - eval(&gamma, &bm)) / 2e-3;
+        assert!((num - dbeta[3]).abs() < 2e-2 * (1.0 + num.abs()));
+    }
+
+    #[test]
+    fn gelu_matches_known_values() {
+        // gelu(0) = 0, gelu(large) ~ x, gelu(-large) ~ 0
+        let x = Matrix::from_vec(1, 3, vec![0.0, 10.0, -10.0]).unwrap();
+        let y = gelu(&x);
+        assert!(y[(0, 0)].abs() < 1e-6);
+        assert!((y[(0, 1)] - 10.0).abs() < 1e-3);
+        assert!(y[(0, 2)].abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_backward_matches_finite_diff() {
+        let x = Matrix::from_fn(2, 5, |i, j| (i as f32) - (j as f32) * 0.4);
+        let w = Matrix::from_fn(2, 5, |i, j| ((i * 5 + j) as f32).sin());
+        let dx = gelu_backward(&x, &w);
+        let mut f = |m: &Matrix| {
+            gelu(m).as_slice().iter().zip(w.as_slice()).map(|(a, b)| a * b).sum::<f32>()
+        };
+        finite_diff_check(&mut f, &x, &dx, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]).unwrap();
+        let y = relu(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0, 0.0]);
+        let dy = Matrix::full(1, 4, 1.0);
+        let dx = relu_backward(&x, &dy);
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn bias_roundtrip() {
+        let mut x = Matrix::zeros(3, 2);
+        add_bias(&mut x, &[1.0, -2.0]);
+        assert_eq!(x.row(2), &[1.0, -2.0]);
+        let db = bias_backward(&x);
+        assert_eq!(db, vec![3.0, -6.0]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Adam optimizer and gradient clipping, matching the Megatron-LM training
+//! recipe the paper uses (Adam, global-norm clipping, warmup + decay LR).
+
+use megablocks_core::Param;
+use megablocks_tensor::Matrix;
+
+/// Adam hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdamConfig {
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay (AdamW-style; 0 disables).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        Self {
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// Adam optimizer state over a fixed, ordered parameter list.
+///
+/// The parameter ordering must be stable across calls (which
+/// `TransformerLm::params_mut` guarantees); state is allocated lazily on
+/// the first step.
+#[derive(Debug, Default)]
+pub struct Adam {
+    cfg: AdamConfig,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates an optimizer with the given hyperparameters.
+    pub fn new(cfg: AdamConfig) -> Self {
+        Self {
+            cfg,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Number of update steps taken so far.
+    pub fn steps(&self) -> u32 {
+        self.t
+    }
+
+    /// Applies one Adam update at learning rate `lr` and zeroes the
+    /// gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter list changes shape or length between calls.
+    pub fn step(&mut self, params: &mut [&mut Param], lr: f32) {
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.value().rows(), p.value().cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed length");
+        self.t += 1;
+        let b1 = self.cfg.beta1;
+        let b2 = self.cfg.beta2;
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            assert_eq!(p.value().shape(), m.shape(), "parameter shape changed");
+            let wd = self.cfg.weight_decay;
+            let eps = self.cfg.eps;
+            let n = p.value().len();
+            for i in 0..n {
+                let g = p.grad().as_slice()[i];
+                let mi = b1 * m.as_slice()[i] + (1.0 - b1) * g;
+                let vi = b2 * v.as_slice()[i] + (1.0 - b2) * g * g;
+                m.as_mut_slice()[i] = mi;
+                v.as_mut_slice()[i] = vi;
+                let mhat = mi / bias1;
+                let vhat = vi / bias2;
+                let w = p.value().as_slice()[i];
+                p.value_mut().as_mut_slice()[i] =
+                    w - lr * (mhat / (vhat.sqrt() + eps) + wd * w);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Clips gradients to a maximum global L2 norm; returns the pre-clip norm.
+///
+/// Matches Megatron-LM's `clip_grad_norm` (the paper trains with the
+/// gradient-clipping settings of Shoeybi et al. 2019, i.e. clip at 1.0).
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let mut sq = 0.0f64;
+    for p in params.iter() {
+        for g in p.grad().as_slice() {
+            sq += f64::from(*g) * f64::from(*g);
+        }
+    }
+    let norm = sq.sqrt() as f32;
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad_mut().scale(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new(Matrix::full(1, 1, x0))
+    }
+
+    #[test]
+    fn adam_minimizes_a_quadratic() {
+        // f(x) = (x - 3)^2, grad = 2(x - 3).
+        let mut p = quadratic_param(0.0);
+        let mut opt = Adam::new(AdamConfig::default());
+        for _ in 0..400 {
+            let x = p.value()[(0, 0)];
+            p.grad_mut()[(0, 0)] = 2.0 * (x - 3.0);
+            opt.step(&mut [&mut p], 0.05);
+        }
+        let x = p.value()[(0, 0)];
+        assert!((x - 3.0).abs() < 0.05, "converged to {x}");
+        assert_eq!(opt.steps(), 400);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut p = quadratic_param(1.0);
+        p.grad_mut()[(0, 0)] = 5.0;
+        let mut opt = Adam::new(AdamConfig::default());
+        opt.step(&mut [&mut p], 0.1);
+        assert_eq!(p.grad()[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut p = quadratic_param(1.0);
+        let mut opt = Adam::new(AdamConfig {
+            weight_decay: 0.5,
+            ..AdamConfig::default()
+        });
+        // Zero gradient: only decay acts.
+        opt.step(&mut [&mut p], 0.1);
+        assert!(p.value()[(0, 0)] < 1.0);
+    }
+
+    #[test]
+    fn clip_reduces_large_norms_and_keeps_small_ones() {
+        let mut a = Param::new(Matrix::full(1, 2, 0.0));
+        a.grad_mut().row_mut(0).copy_from_slice(&[3.0, 4.0]); // norm 5
+        let norm = clip_grad_norm(&mut [&mut a], 1.0);
+        assert!((norm - 5.0).abs() < 1e-5);
+        let g = a.grad();
+        let new_norm = (g[(0, 0)].powi(2) + g[(0, 1)].powi(2)).sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-5);
+
+        let mut b = Param::new(Matrix::full(1, 1, 0.0));
+        b.grad_mut()[(0, 0)] = 0.5;
+        let norm = clip_grad_norm(&mut [&mut b], 1.0);
+        assert!((norm - 0.5).abs() < 1e-6);
+        assert_eq!(b.grad()[(0, 0)], 0.5);
+    }
+}

@@ -1,0 +1,361 @@
+//! Model configurations: the paper's Tables 1 and 2.
+//!
+//! Table 1 lists the dense Transformer family (XS..XL) with weight counts
+//! and per-sequence GFLOPs; Table 2 the 64-expert top-1 MoE family built by
+//! replacing every FFN with an MoE layer. Weight counts and the FLOP
+//! expression from Narayanan et al. (2021b) are reproduced analytically so
+//! the `repro table1`/`repro table2` commands regenerate the tables
+//! exactly.
+
+use megablocks_core::{CapacityFactor, MoeConfig};
+
+/// Which feed-forward layer each Transformer block uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FfnKind {
+    /// Dense 2-layer MLP — the Megatron-LM baseline.
+    Dense,
+    /// The paper's dropless MoE, computed with block-sparse kernels.
+    Dropless(MoeConfig),
+    /// Token-dropping MoE computed with batched matmul — the Tutel
+    /// baseline (static or dynamic capacity factor).
+    Dropping(MoeConfig),
+    /// Block-sparse MoE with expert-choice routing (Zhou et al. 2022) —
+    /// the related-work router of §7, reusing the dMoE kernel machinery.
+    ExpertChoice(MoeConfig),
+}
+
+/// Full architectural configuration of a Transformer LM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransformerConfig {
+    /// Vocabulary size (51200 in the paper, padded for Megatron).
+    pub vocab_size: usize,
+    /// Model dimension.
+    pub hidden_size: usize,
+    /// Number of Transformer blocks.
+    pub num_layers: usize,
+    /// Attention heads; the paper fixes head size to 64, so
+    /// `num_heads = hidden_size / 64`.
+    pub num_heads: usize,
+    /// Maximum (and training) sequence length.
+    pub seq_len: usize,
+    /// Dense-equivalent FFN hidden size (`4 * hidden_size` in the paper).
+    pub ffn_hidden_size: usize,
+    /// The feed-forward flavor of every block.
+    pub ffn: FfnKind,
+}
+
+impl TransformerConfig {
+    /// A laptop-scale configuration for tests and examples: 2 layers,
+    /// hidden 32, 2 heads, seq 8, vocab 64.
+    pub fn tiny(ffn: FfnKind) -> Self {
+        Self {
+            vocab_size: 64,
+            hidden_size: 32,
+            num_layers: 2,
+            num_heads: 2,
+            seq_len: 8,
+            ffn_hidden_size: 64,
+            ffn,
+        }
+    }
+
+    /// Head dimension (`hidden_size / num_heads`).
+    pub fn head_dim(&self) -> usize {
+        self.hidden_size / self.num_heads
+    }
+
+    /// Trainable parameter count, matching Megatron's accounting (tied
+    /// input/output embeddings; attention and dense-FFN biases included;
+    /// MoE experts bias-free with a bias-free router, as in MegaBlocks).
+    pub fn param_count(&self) -> usize {
+        let h = self.hidden_size;
+        let embeddings = self.vocab_size * h + self.seq_len * h;
+        let attn = 4 * h * h + 4 * h; // qkv + proj weights, qkv + proj biases
+        let ln = 2 * 2 * h; // two pre-norms per block
+        let ffn = match &self.ffn {
+            FfnKind::Dense => 2 * h * self.ffn_hidden_size + self.ffn_hidden_size + h,
+            FfnKind::Dropless(m) | FfnKind::Dropping(m) | FfnKind::ExpertChoice(m) => {
+                m.param_count()
+            }
+        };
+        embeddings + self.num_layers * (attn + ln + ffn) + 2 * h // final norm
+    }
+
+    /// Per-sequence training FLOPs via the Narayanan et al. (2021b)
+    /// expression (see [`model_flops_per_sequence`]).
+    pub fn flops_per_sequence(&self) -> f64 {
+        model_flops_per_sequence(
+            self.seq_len,
+            self.num_layers,
+            self.hidden_size,
+            self.vocab_size,
+        )
+    }
+}
+
+/// Per-sequence forward+backward FLOPs of a decoder-only Transformer,
+/// after Narayanan et al. (2021b) without activation recomputation:
+///
+/// `F = 72·s·l·h²·(1 + s/(6h)) + 6·s·h·V`
+///
+/// For a top-1 MoE of the same dimensions at capacity factor 1 the
+/// *activated* FLOPs are identical — which is why Table 2 repeats Table 1's
+/// GFLOP column.
+pub fn model_flops_per_sequence(seq_len: usize, num_layers: usize, hidden: usize, vocab: usize) -> f64 {
+    let s = seq_len as f64;
+    let l = num_layers as f64;
+    let h = hidden as f64;
+    let v = vocab as f64;
+    72.0 * s * l * h * h * (1.0 + s / (6.0 * h)) + 6.0 * s * h * v
+}
+
+/// The dense Transformer family of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformerSize {
+    /// hidden 512, 6 layers — 46M weights, 316 GFLOPs.
+    Xs,
+    /// hidden 768, 12 layers — 125M weights, 879 GFLOPs.
+    Small,
+    /// hidden 1024, 24 layers — 356M weights, 2487 GFLOPs.
+    Medium,
+    /// hidden 1536, 24 layers — 760M weights, 5122 GFLOPs.
+    Large,
+    /// hidden 2048, 24 layers — 1316M weights, 8684 GFLOPs.
+    Xl,
+}
+
+impl TransformerSize {
+    /// All Table 1 rows in order.
+    pub const ALL: [TransformerSize; 5] = [
+        TransformerSize::Xs,
+        TransformerSize::Small,
+        TransformerSize::Medium,
+        TransformerSize::Large,
+        TransformerSize::Xl,
+    ];
+
+    /// The row label used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransformerSize::Xs => "XS",
+            TransformerSize::Small => "Small",
+            TransformerSize::Medium => "Medium",
+            TransformerSize::Large => "Large",
+            TransformerSize::Xl => "XL",
+        }
+    }
+
+    /// `(hidden_size, num_layers)` of the row.
+    pub fn dims(self) -> (usize, usize) {
+        match self {
+            TransformerSize::Xs => (512, 6),
+            TransformerSize::Small => (768, 12),
+            TransformerSize::Medium => (1024, 24),
+            TransformerSize::Large => (1536, 24),
+            TransformerSize::Xl => (2048, 24),
+        }
+    }
+
+    /// The full paper-scale dense config: vocab 51200, seq 1024, head 64,
+    /// `ffn = 4h`.
+    pub fn config(self) -> TransformerConfig {
+        let (h, l) = self.dims();
+        TransformerConfig {
+            vocab_size: 51200,
+            hidden_size: h,
+            num_layers: l,
+            num_heads: h / 64,
+            seq_len: 1024,
+            ffn_hidden_size: 4 * h,
+            ffn: FfnKind::Dense,
+        }
+    }
+
+    /// Weight count in millions as printed in Table 1.
+    pub fn paper_weights_m(self) -> usize {
+        match self {
+            TransformerSize::Xs => 46,
+            TransformerSize::Small => 125,
+            TransformerSize::Medium => 356,
+            TransformerSize::Large => 760,
+            TransformerSize::Xl => 1316,
+        }
+    }
+
+    /// GFLOPs as printed in Table 1.
+    pub fn paper_gflops(self) -> usize {
+        match self {
+            TransformerSize::Xs => 316,
+            TransformerSize::Small => 879,
+            TransformerSize::Medium => 2487,
+            TransformerSize::Large => 5122,
+            TransformerSize::Xl => 8684,
+        }
+    }
+}
+
+/// The MoE family of Table 2: the matching Transformer size with every FFN
+/// replaced by a 64-expert top-1 MoE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MoeSize {
+    /// MoE-XS — 839M weights, 316 GFLOPs.
+    Xs,
+    /// MoE-Small — 3693M weights, 879 GFLOPs.
+    Small,
+    /// MoE-Medium — 13041M weights, 2487 GFLOPs.
+    Medium,
+}
+
+impl MoeSize {
+    /// All Table 2 rows in order.
+    pub const ALL: [MoeSize; 3] = [MoeSize::Xs, MoeSize::Small, MoeSize::Medium];
+
+    /// The row label used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            MoeSize::Xs => "XS",
+            MoeSize::Small => "Small",
+            MoeSize::Medium => "Medium",
+        }
+    }
+
+    /// The dense row this MoE is derived from.
+    pub fn base(self) -> TransformerSize {
+        match self {
+            MoeSize::Xs => TransformerSize::Xs,
+            MoeSize::Small => TransformerSize::Small,
+            MoeSize::Medium => TransformerSize::Medium,
+        }
+    }
+
+    /// The paper-scale dMoE config (use
+    /// [`MoeSize::config_dropping`] for the Tutel baseline).
+    pub fn config_dropless(self) -> TransformerConfig {
+        let mut cfg = self.base().config();
+        cfg.ffn = FfnKind::Dropless(self.moe_config(&cfg));
+        cfg
+    }
+
+    /// The paper-scale token-dropping config with the given capacity
+    /// policy.
+    pub fn config_dropping(self, capacity: CapacityFactor) -> TransformerConfig {
+        let mut cfg = self.base().config();
+        cfg.ffn = FfnKind::Dropping(self.moe_config(&cfg).with_capacity(capacity));
+        cfg
+    }
+
+    fn moe_config(self, cfg: &TransformerConfig) -> MoeConfig {
+        MoeConfig::new(cfg.hidden_size, cfg.ffn_hidden_size, 64)
+    }
+
+    /// Weight count in millions as printed in Table 2.
+    pub fn paper_weights_m(self) -> usize {
+        match self {
+            MoeSize::Xs => 839,
+            MoeSize::Small => 3693,
+            MoeSize::Medium => 13041,
+        }
+    }
+
+    /// GFLOPs as printed in Table 2 (equal to the dense row's).
+    pub fn paper_gflops(self) -> usize {
+        self.base().paper_gflops()
+    }
+}
+
+/// A named model specification: either a Table 1 dense row or a Table 2
+/// MoE row. Used by the benchmark harness to iterate "all paper models".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelSpec {
+    /// A dense Transformer row of Table 1.
+    Dense(TransformerSize),
+    /// An MoE row of Table 2 (dMoE flavor).
+    Moe(MoeSize),
+}
+
+impl ModelSpec {
+    /// Display name, e.g. `Transformer-Small` or `dMoE-Small`.
+    pub fn name(self) -> String {
+        match self {
+            ModelSpec::Dense(s) => format!("Transformer-{}", s.name()),
+            ModelSpec::Moe(s) => format!("dMoE-{}", s.name()),
+        }
+    }
+
+    /// The paper-scale configuration.
+    pub fn config(self) -> TransformerConfig {
+        match self {
+            ModelSpec::Dense(s) => s.config(),
+            ModelSpec::Moe(s) => s.config_dropless(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_weight_counts_match_paper() {
+        for size in TransformerSize::ALL {
+            let m = (size.config().param_count() as f64 / 1e6).round() as usize;
+            let want = size.paper_weights_m();
+            assert!(
+                m.abs_diff(want) <= 1,
+                "Table 1 {}: computed {m}M, paper says {want}M",
+                size.name()
+            );
+        }
+    }
+
+    #[test]
+    fn table1_gflops_match_paper() {
+        for size in TransformerSize::ALL {
+            let g = (size.config().flops_per_sequence() / 1e9).round() as usize;
+            let want = size.paper_gflops();
+            assert!(
+                g.abs_diff(want) <= 2,
+                "Table 1 {}: computed {g} GFLOPs, paper says {want}",
+                size.name()
+            );
+        }
+    }
+
+    #[test]
+    fn table2_weight_counts_match_paper() {
+        for size in MoeSize::ALL {
+            let m = (size.config_dropless().param_count() as f64 / 1e6).round() as usize;
+            let want = size.paper_weights_m();
+            assert!(
+                m.abs_diff(want) <= want / 100 + 1,
+                "Table 2 MoE-{}: computed {m}M, paper says {want}M",
+                size.name()
+            );
+        }
+    }
+
+    #[test]
+    fn moe_flops_equal_dense_flops() {
+        for size in MoeSize::ALL {
+            assert_eq!(
+                size.config_dropless().flops_per_sequence(),
+                size.base().config().flops_per_sequence()
+            );
+        }
+    }
+
+    #[test]
+    fn head_size_is_64_at_paper_scale() {
+        for size in TransformerSize::ALL {
+            let cfg = size.config();
+            assert_eq!(cfg.head_dim(), 64, "{}", size.name());
+        }
+    }
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let cfg = TransformerConfig::tiny(FfnKind::Dense);
+        assert_eq!(cfg.head_dim() * cfg.num_heads, cfg.hidden_size);
+        assert!(cfg.param_count() > 0);
+    }
+}

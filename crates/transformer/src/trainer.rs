@@ -1,0 +1,294 @@
+//! Training loop with gradient accumulation, mirroring the paper's recipe:
+//! global batch of 512 sequences split into the largest micro-batch that
+//! fits in memory (Table 3), Adam with warmup + decay, gradient clipping at
+//! 1.0.
+
+use megablocks_data::TokenDataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{clip_grad_norm, Adam, AdamConfig, TransformerLm};
+
+/// Trainer hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainerConfig {
+    /// Sequences per optimizer step (the paper uses 512).
+    pub batch_size: usize,
+    /// Sequences per forward/backward micro-step (Table 3). Must divide
+    /// `batch_size`.
+    pub micro_batch_size: usize,
+    /// Training sequence length.
+    pub seq_len: usize,
+    /// Peak learning rate.
+    pub lr_max: f32,
+    /// Linear warmup steps.
+    pub warmup_steps: usize,
+    /// Total optimizer steps (for the cosine decay horizon).
+    pub total_steps: usize,
+    /// Global-norm gradient clip.
+    pub clip: f32,
+    /// Data-sampling seed.
+    pub seed: u64,
+}
+
+impl TrainerConfig {
+    /// A small default suitable for the scaled-down reproduction runs.
+    pub fn small(total_steps: usize) -> Self {
+        Self {
+            batch_size: 8,
+            micro_batch_size: 4,
+            seq_len: 32,
+            lr_max: 3e-3,
+            warmup_steps: total_steps / 20 + 1,
+            total_steps,
+            clip: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Learning rate at optimizer step `step`: linear warmup to `lr_max`, then
+/// cosine decay to 10% of peak over the remaining horizon.
+pub fn lr_at_step(cfg: &TrainerConfig, step: usize) -> f32 {
+    if step < cfg.warmup_steps {
+        return cfg.lr_max * (step + 1) as f32 / cfg.warmup_steps as f32;
+    }
+    let progress =
+        (step - cfg.warmup_steps) as f32 / (cfg.total_steps - cfg.warmup_steps).max(1) as f32;
+    let progress = progress.clamp(0.0, 1.0);
+    let min = 0.1 * cfg.lr_max;
+    min + 0.5 * (cfg.lr_max - min) * (1.0 + (std::f32::consts::PI * progress).cos())
+}
+
+/// One record of training progress.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainLog {
+    /// Optimizer step index.
+    pub step: usize,
+    /// Mean cross-entropy over the step's micro-batches.
+    pub ce_loss: f32,
+    /// Mean load-balancing loss over the step's micro-batches.
+    pub lb_loss: f32,
+    /// Total dropped token-assignments in the step.
+    pub dropped_tokens: usize,
+    /// Worst per-layer expert load imbalance (max load over mean load)
+    /// observed across the step's micro-batches — the quantity Tutel's
+    /// dynamic capacity factor tracks (1.0 for dense models).
+    pub max_load_imbalance: f64,
+    /// Pre-clip gradient norm.
+    pub grad_norm: f32,
+    /// Learning rate used.
+    pub lr: f32,
+}
+
+/// Result of a validation pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Mean cross-entropy over the evaluation batches.
+    pub loss: f32,
+    /// Number of batches evaluated.
+    pub batches: usize,
+}
+
+/// A training harness binding a model, an optimizer and a dataset.
+#[derive(Debug)]
+pub struct Trainer {
+    model: TransformerLm,
+    optimizer: Adam,
+    cfg: TrainerConfig,
+    rng: StdRng,
+    step: usize,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micro_batch_size` does not divide `batch_size`.
+    pub fn new(model: TransformerLm, cfg: TrainerConfig) -> Self {
+        assert!(
+            cfg.batch_size % cfg.micro_batch_size == 0,
+            "micro_batch_size {} must divide batch_size {}",
+            cfg.micro_batch_size,
+            cfg.batch_size
+        );
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Self {
+            model,
+            optimizer: Adam::new(AdamConfig::default()),
+            cfg,
+            rng,
+            step: 0,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &TransformerLm {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model.
+    pub fn model_mut(&mut self) -> &mut TransformerLm {
+        &mut self.model
+    }
+
+    /// The trainer configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.cfg
+    }
+
+    /// Optimizer steps taken.
+    pub fn step_count(&self) -> usize {
+        self.step
+    }
+
+    /// Runs one optimizer step (with gradient accumulation over
+    /// `batch_size / micro_batch_size` micro-batches) on `train`.
+    pub fn train_step(&mut self, train: &TokenDataset) -> TrainLog {
+        let micro_steps = self.cfg.batch_size / self.cfg.micro_batch_size;
+        let mut ce = 0.0f32;
+        let mut lb = 0.0f32;
+        let mut dropped = 0usize;
+        let mut imbalance = 1.0f64;
+        for _ in 0..micro_steps {
+            let batch =
+                train.sample_batch(self.cfg.micro_batch_size, self.cfg.seq_len, &mut self.rng);
+            let stats =
+                self.model
+                    .train_step(&batch.inputs, &batch.targets, self.cfg.micro_batch_size);
+            ce += stats.ce_loss;
+            lb += stats.lb_loss;
+            dropped += stats.dropped_tokens;
+            for layer in &stats.moe_stats {
+                imbalance =
+                    imbalance.max(megablocks_core::load_imbalance(&layer.tokens_per_expert));
+            }
+        }
+        ce /= micro_steps as f32;
+        lb /= micro_steps as f32;
+
+        // Average accumulated gradients over micro-steps, clip, update.
+        let scale = 1.0 / micro_steps as f32;
+        let mut params = self.model.params_mut();
+        for p in params.iter_mut() {
+            p.grad_mut().scale(scale);
+        }
+        let grad_norm = clip_grad_norm(&mut params, self.cfg.clip);
+        let lr = lr_at_step(&self.cfg, self.step);
+        self.optimizer.step(&mut params, lr);
+        self.step += 1;
+        TrainLog {
+            step: self.step - 1,
+            ce_loss: ce,
+            lb_loss: lb,
+            dropped_tokens: dropped,
+            max_load_imbalance: imbalance,
+            grad_norm,
+            lr,
+        }
+    }
+
+    /// Trains for `steps` optimizer steps, returning the per-step logs.
+    pub fn train(&mut self, train: &TokenDataset, steps: usize) -> Vec<TrainLog> {
+        (0..steps).map(|_| self.train_step(train)).collect()
+    }
+
+    /// Evaluates mean validation loss over up to `max_batches` sequential
+    /// batches.
+    pub fn evaluate(&self, valid: &TokenDataset, max_batches: usize) -> EvalResult {
+        let batches = valid.sequential_batches(self.cfg.micro_batch_size, self.cfg.seq_len);
+        let n = batches.len().min(max_batches).max(1).min(batches.len());
+        if batches.is_empty() {
+            return EvalResult { loss: f32::NAN, batches: 0 };
+        }
+        let mut total = 0.0f32;
+        for b in batches.iter().take(n) {
+            total += self
+                .model
+                .eval_loss(&b.inputs, &b.targets, self.cfg.micro_batch_size);
+        }
+        EvalResult {
+            loss: total / n as f32,
+            batches: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FfnKind, TransformerConfig};
+    use megablocks_data::{PileConfig, SyntheticPile};
+    use megablocks_tensor::init::seeded_rng;
+
+    #[test]
+    fn lr_schedule_warms_up_and_decays() {
+        let cfg = TrainerConfig {
+            warmup_steps: 10,
+            total_steps: 100,
+            lr_max: 1.0,
+            ..TrainerConfig::small(100)
+        };
+        assert!(lr_at_step(&cfg, 0) < lr_at_step(&cfg, 5));
+        assert!((lr_at_step(&cfg, 9) - 1.0).abs() < 1e-6);
+        assert!(lr_at_step(&cfg, 50) < 1.0);
+        assert!(lr_at_step(&cfg, 99) >= 0.1 - 1e-6);
+        // Past the horizon the LR floors at 10%.
+        assert!((lr_at_step(&cfg, 500) - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn training_reduces_validation_loss() {
+        let pile = SyntheticPile::generate(
+            &PileConfig {
+                vocab_size: 64,
+                num_clusters: 4,
+                num_tokens: 6_000,
+                mean_doc_len: 32,
+                branching: 2,
+                noise: 0.05,
+            },
+            7,
+        );
+        let (train, valid) = pile.split(0.9);
+        let mut model_cfg = TransformerConfig::tiny(FfnKind::Dense);
+        model_cfg.seq_len = 16;
+        let mut rng = seeded_rng(1);
+        let model = crate::TransformerLm::new(model_cfg, &mut rng);
+        let tcfg = TrainerConfig {
+            batch_size: 8,
+            micro_batch_size: 4,
+            seq_len: 16,
+            lr_max: 2e-3,
+            warmup_steps: 5,
+            total_steps: 60,
+            clip: 1.0,
+            seed: 3,
+        };
+        let mut trainer = Trainer::new(model, tcfg);
+        let before = trainer.evaluate(&valid, 4).loss;
+        let logs = trainer.train(&train, 60);
+        let after = trainer.evaluate(&valid, 4).loss;
+        assert!(
+            after < before - 0.3,
+            "validation loss should drop: {before} -> {after}"
+        );
+        assert_eq!(logs.len(), 60);
+        assert!(logs.iter().all(|l| l.grad_norm.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn micro_batch_must_divide_batch() {
+        let mut rng = seeded_rng(2);
+        let model =
+            crate::TransformerLm::new(TransformerConfig::tiny(FfnKind::Dense), &mut rng);
+        let cfg = TrainerConfig {
+            batch_size: 8,
+            micro_batch_size: 3,
+            ..TrainerConfig::small(10)
+        };
+        let _ = Trainer::new(model, cfg);
+    }
+}

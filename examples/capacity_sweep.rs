@@ -1,0 +1,58 @@
+//! The token-dropping tradeoff in one picture: sweep the capacity factor
+//! and watch drops trade against padding — the paper's §3 motivation.
+//!
+//! Run with: `cargo run --release --example capacity_sweep`
+
+use megablocks::core::{CapacityFactor, DroppingMoe, DroplessMoe, MoeConfig};
+use megablocks::tensor::init::{normal, seeded_rng};
+
+fn main() {
+    let hidden = 64;
+    let experts = 16;
+    let cfg = MoeConfig::new(hidden, 128, experts).with_block_size(16);
+    let mut rng = seeded_rng(3);
+    // A batch of 512 tokens. At initialization routing is imbalanced, so
+    // low capacity factors drop aggressively.
+    let x = normal(512, hidden, 1.0, &mut rng);
+
+    println!("512 tokens, {experts} experts, top-1 routing\n");
+    println!("{:<22} {:>8} {:>10} {:>12}", "configuration", "dropped", "padding", "moe rows");
+    for cf in [0.5f32, 1.0, 1.5, 2.0, 4.0] {
+        let mut r = seeded_rng(9);
+        let layer = DroppingMoe::new(cfg.clone().with_capacity(CapacityFactor::Fixed(cf)), &mut r);
+        let out = layer.forward(&x);
+        let rows = 512 - out.stats.dropped_tokens + out.stats.padding_rows;
+        println!(
+            "{:<22} {:>8} {:>10} {:>12}",
+            format!("capacity factor {cf}"),
+            out.stats.dropped_tokens,
+            out.stats.padding_rows,
+            rows
+        );
+    }
+    let mut r = seeded_rng(9);
+    let layer = DroppingMoe::new(cfg.clone().with_capacity(CapacityFactor::Dynamic), &mut r);
+    let out = layer.forward(&x);
+    println!(
+        "{:<22} {:>8} {:>10} {:>12}",
+        "dynamic (Tutel)",
+        out.stats.dropped_tokens,
+        out.stats.padding_rows,
+        512 - out.stats.dropped_tokens + out.stats.padding_rows
+    );
+    let mut r = seeded_rng(9);
+    let layer = DroplessMoe::new(cfg, &mut r);
+    let out = layer.forward(&x);
+    println!(
+        "{:<22} {:>8} {:>10} {:>12}",
+        "dMoE (MegaBlocks)",
+        out.stats.dropped_tokens,
+        out.stats.padding_rows,
+        512 - out.stats.dropped_tokens + out.stats.padding_rows
+    );
+    println!(
+        "\nThe dropping formulation must choose between losing tokens (low cf)\n\
+         and wasting rows on padding (high cf / dynamic). The dMoE pads only\n\
+         to the block size, independent of the load imbalance."
+    );
+}

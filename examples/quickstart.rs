@@ -1,0 +1,48 @@
+//! Quickstart: build a dropless-MoE layer, run a forward and backward
+//! pass, and inspect what makes it "dropless".
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use megablocks::core::{CapacityFactor, DroplessMoe, DroppingMoe, MoeConfig};
+use megablocks::tensor::init::{normal, seeded_rng};
+use megablocks::tensor::Matrix;
+
+fn main() {
+    // An MoE layer: hidden size 64, 8 experts with 128-wide MLPs, top-1
+    // routing. The sparsity block size is 16 here (the paper-scale value
+    // is 128; it must divide ffn_hidden_size).
+    let cfg = MoeConfig::new(64, 128, 8).with_block_size(16);
+    let mut rng = seeded_rng(0);
+    let mut layer = DroplessMoe::new(cfg.clone(), &mut rng);
+
+    // 100 tokens of 64 features. 100 is deliberately not a multiple of
+    // anything interesting: the dMoE handles arbitrary, imbalanced token
+    // counts by padding each expert's group to the block size.
+    let x = normal(100, 64, 1.0, &mut rng);
+    let out = layer.forward(&x);
+
+    println!("output shape:        {:?}", out.output.shape());
+    println!("tokens per expert:   {:?}", out.stats.tokens_per_expert);
+    println!("dropped tokens:      {} (always 0 for dMoE)", out.stats.dropped_tokens);
+    println!("block padding rows:  {}", out.stats.padding_rows);
+    println!("load-balancing loss: {:.5}", out.stats.load_balancing_loss);
+
+    // Backward: accumulate gradients for every parameter and get the
+    // input gradient back.
+    let d_out = Matrix::full(100, 64, 0.01);
+    let dx = layer.backward(&out.cache, &d_out);
+    println!("input-gradient norm: {:.5}", dx.frobenius_norm());
+
+    // Contrast with the token-dropping formulation at capacity factor 1:
+    // the same routing decisions now overflow expert buffers.
+    let mut rng2 = seeded_rng(0);
+    let dropping = DroppingMoe::new(
+        cfg.with_capacity(CapacityFactor::Fixed(1.0)),
+        &mut rng2, // same seed -> identical weights & routing
+    );
+    let dropped = dropping.forward(&x);
+    println!(
+        "\nsame layer, token-dropping @ cf=1.0: dropped {} of 100 tokens, {} padding rows",
+        dropped.stats.dropped_tokens, dropped.stats.padding_rows
+    );
+}

@@ -1,0 +1,38 @@
+//! MegaBlocks-RS: a Rust reproduction of *MegaBlocks: Efficient Sparse
+//! Training with Mixture-of-Experts* (Gale et al., MLSys 2023).
+//!
+//! This facade crate re-exports the whole workspace so downstream users and
+//! the runnable examples only need one dependency:
+//!
+//! * [`tensor`] — dense matrices, GEMM, batched matmul, NN ops.
+//! * [`sparse`] — block-sparse formats (hybrid blocked-CSR-COO, transpose
+//!   indices) and the SDD/DSD/DDS kernels from the paper's §5.1.
+//! * [`core`] — routing, permutation, the dropless-MoE (dMoE) layer and the
+//!   token-dropping baselines.
+//! * [`transformer`] — the Transformer-LM training substrate (Megatron-LM
+//!   stand-in), model configs from Tables 1–2, Adam, trainer.
+//! * [`data`] — the synthetic Pile-like corpus.
+//! * [`gpusim`] — the analytic A100 performance/memory model used to
+//!   regenerate the paper's throughput and end-to-end timing figures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use megablocks::core::{DroplessMoe, MoeConfig};
+//! use megablocks::tensor::init::seeded_rng;
+//! use megablocks::tensor::Matrix;
+//!
+//! let cfg = MoeConfig::new(32, 64, 4).with_block_size(8);
+//! let mut rng = seeded_rng(0);
+//! let mut layer = DroplessMoe::new(cfg, &mut rng);
+//! let tokens = megablocks::tensor::init::normal(16, 32, 1.0, &mut rng);
+//! let out = layer.forward(&tokens);
+//! assert_eq!(out.output.shape(), tokens.shape());
+//! ```
+
+pub use megablocks_core as core;
+pub use megablocks_data as data;
+pub use megablocks_gpusim as gpusim;
+pub use megablocks_sparse as sparse;
+pub use megablocks_tensor as tensor;
+pub use megablocks_transformer as transformer;
