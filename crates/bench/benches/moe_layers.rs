@@ -49,7 +49,6 @@ fn bench_moe_layers(c: &mut Criterion) {
     g.finish();
 }
 
-
 /// Short measurement settings: the CI box has one core and the benches
 /// exist for regression *tracking*, not publication-grade statistics.
 fn short_config() -> Criterion {

@@ -35,9 +35,10 @@ fn bench_permutation(c: &mut Criterion) {
     g.finish();
 
     let router = Router::new(hidden, experts, 1, &mut rng);
-    c.bench_function("router_forward_4096_tokens", |b| b.iter(|| router.forward(&x)));
+    c.bench_function("router_forward_4096_tokens", |b| {
+        b.iter(|| router.forward(&x))
+    });
 }
-
 
 /// Short measurement settings: the CI box has one core and the benches
 /// exist for regression *tracking*, not publication-grade statistics.

@@ -35,7 +35,6 @@ fn bench_tile_model(c: &mut Criterion) {
     });
 }
 
-
 /// Short measurement settings: the CI box has one core and the benches
 /// exist for regression *tracking*, not publication-grade statistics.
 fn short_config() -> Criterion {

@@ -30,6 +30,7 @@ use megablocks_gpusim::timeline::{
     end_to_end_hours, model_flops_utilization, tutel_dynamic_avg_expansion, ExecutionPolicy,
 };
 use megablocks_gpusim::{DeviceSpec, TileShape};
+use megablocks_telemetry as telemetry;
 use megablocks_transformer::{MoeSize, TransformerSize};
 
 fn main() {
@@ -58,16 +59,29 @@ fn main() {
             ablation_launch();
             ablation_transpose();
             ablation_blocksize();
+            ablation_routing(quick);
             fig2(quick);
             fig7(quick);
             fig8(quick);
         }
         _ => {
             eprintln!(
-                "usage: repro <table1|table2|table3|fig2|fig4|fig7|fig8|fig9|ablation-launch|ablation-transpose|ablation-blocksize|all> [--quick]"
+                "usage: repro <table1|table2|table3|fig2|fig4|fig7|fig8|fig9|ablation-launch|ablation-transpose|ablation-blocksize|ablation-routing|all> [--quick]"
             );
             std::process::exit(2);
         }
+    }
+
+    // With the `telemetry` feature on, dump everything the run recorded:
+    // kernel span timings, per-expert token histograms, padding overhead,
+    // per-step training events.
+    if telemetry::is_enabled() {
+        let path = format!("results/telemetry_{cmd}.jsonl");
+        match telemetry::export_jsonl(&path) {
+            Ok(()) => println!("telemetry: wrote {path}"),
+            Err(e) => eprintln!("telemetry: failed to write {path}: {e}"),
+        }
+        telemetry::print_summary();
     }
 }
 
@@ -78,7 +92,15 @@ fn main() {
 fn table1() {
     let mut t = Table::new(
         "Table 1: Transformer model configurations",
-        &["Transformer", "hidden", "layers", "Weights (M)", "paper", "GFLOPs", "paper"],
+        &[
+            "Transformer",
+            "hidden",
+            "layers",
+            "Weights (M)",
+            "paper",
+            "GFLOPs",
+            "paper",
+        ],
     );
     for size in TransformerSize::ALL {
         let cfg = size.config();
@@ -98,7 +120,15 @@ fn table1() {
 fn table2() {
     let mut t = Table::new(
         "Table 2: MoE model configurations (64 experts, top-1)",
-        &["MoE", "experts", "top_k", "Weights (M)", "paper", "GFLOPs", "paper"],
+        &[
+            "MoE",
+            "experts",
+            "top_k",
+            "Weights (M)",
+            "paper",
+            "GFLOPs",
+            "paper",
+        ],
     );
     for size in MoeSize::ALL {
         let cfg = size.config_dropless();
@@ -123,9 +153,21 @@ fn table3() {
     let dev = DeviceSpec::a100_sxm4_80gb();
     let mut t = Table::new(
         "Table 3: largest micro_batch_size fitting 80GB (memory model)",
-        &["Framework", "Model", "micro_batch", "paper", "mem @ mbs (GB)"],
+        &[
+            "Framework",
+            "Model",
+            "micro_batch",
+            "paper",
+            "mem @ mbs (GB)",
+        ],
     );
-    let dense = [("XS", 64), ("Small", 32), ("Medium", 16), ("Large", 16), ("XL", 8)];
+    let dense = [
+        ("XS", 64),
+        ("Small", 32),
+        ("Medium", 16),
+        ("Large", 16),
+        ("XL", 8),
+    ];
     for (name, paper) in dense {
         let shape = paper_shape(name).unwrap();
         let got = max_micro_batch(&dev, &shape, MemoryPolicy::Dense, 8).unwrap();
@@ -260,7 +302,13 @@ fn ablation_launch() {
     let dev = DeviceSpec::a100_sxm4_80gb();
     let mut t = Table::new(
         "Ablation (5.1.3): SDD with hybrid blocked-CSR-COO vs dense-grid launch",
-        &["experts", "block sparsity", "hybrid (us)", "dense grid (us)", "overhead"],
+        &[
+            "experts",
+            "block sparsity",
+            "hybrid (us)",
+            "dense grid (us)",
+            "overhead",
+        ],
     );
     for experts in [4usize, 16, 64, 128] {
         let problem = MoeProblem::uniform(experts, 16384, 1024, 4096, 128);
@@ -285,7 +333,13 @@ fn ablation_transpose() {
     let dev = DeviceSpec::a100_sxm4_80gb();
     let mut t = Table::new(
         "Ablation (5.1.4): transpose indices vs explicit transposition",
-        &["model", "op", "indices (us)", "explicit (us)", "explicit cost"],
+        &[
+            "model",
+            "op",
+            "indices (us)",
+            "explicit (us)",
+            "explicit cost",
+        ],
     );
     for (name, problem) in fig9_problems() {
         for op in [MoeOp::DstD, MoeOp::DdtS] {
@@ -487,7 +541,13 @@ fn fig7(quick: bool) {
 
     let mut t = Table::new(
         "Figure 7: end-to-end training (10B tokens) — time model x scaled loss",
-        &["framework", "model", "micro_batch", "train (h)", "val loss (scaled)"],
+        &[
+            "framework",
+            "model",
+            "micro_batch",
+            "train (h)",
+            "val loss (scaled)",
+        ],
     );
     for r in &rows {
         t.row(vec![
@@ -529,7 +589,13 @@ fn fig7(quick: bool) {
         .collect();
     let mut s2 = Table::new(
         "Figure 7: dMoE speedup over dense at equal validation loss (paper: 1.8x - 2.4x)",
-        &["model", "dMoE loss", "dense-equivalent (h)", "dMoE (h)", "speedup"],
+        &[
+            "model",
+            "dMoE loss",
+            "dense-equivalent (h)",
+            "dMoE (h)",
+            "speedup",
+        ],
     );
     for (name, _) in E2E_SIZES {
         let mega = rows

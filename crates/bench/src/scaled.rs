@@ -12,9 +12,7 @@
 use megablocks_core::{CapacityFactor, MoeConfig};
 use megablocks_data::{PileConfig, SyntheticPile};
 use megablocks_tensor::init::seeded_rng;
-use megablocks_transformer::{
-    FfnKind, Trainer, TrainerConfig, TransformerConfig, TransformerLm,
-};
+use megablocks_transformer::{FfnKind, Trainer, TrainerConfig, TransformerConfig, TransformerLm};
 
 /// Which FFN formulation a scaled run trains.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -117,8 +117,8 @@ pub fn load_params<R: Read>(params: &mut [&mut Param], mut r: R) -> Result<(), C
             r.read_exact(&mut buf)?;
             *x = f32::from_le_bytes(buf);
         }
-        *p.value_mut() = Matrix::from_vec(rows, cols, data)
-            .expect("length matches shape by construction");
+        *p.value_mut() =
+            Matrix::from_vec(rows, cols, data).expect("length matches shape by construction");
     }
     Ok(())
 }
@@ -178,7 +178,10 @@ mod tests {
     fn rejects_garbage_and_wrong_version() {
         let mut l = layer(5);
         let err = load_params(&mut l.params_mut(), &b"nope"[..]).unwrap_err();
-        assert!(matches!(err, CheckpointError::BadMagic | CheckpointError::Io(_)), "{err}");
+        assert!(
+            matches!(err, CheckpointError::BadMagic | CheckpointError::Io(_)),
+            "{err}"
+        );
 
         let mut buf = Vec::new();
         buf.extend_from_slice(b"MBRS");

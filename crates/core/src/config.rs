@@ -76,7 +76,7 @@ impl MoeConfig {
     pub fn with_block_size(mut self, block_size: usize) -> Self {
         let bs = BlockSize::new(block_size).expect("block size must be nonzero");
         assert!(
-            self.ffn_hidden_size % bs.get() == 0,
+            self.ffn_hidden_size.is_multiple_of(bs.get()),
             "block size {} must divide ffn_hidden_size {}",
             bs.get(),
             self.ffn_hidden_size

@@ -14,6 +14,7 @@
 //! beyond the next block boundary.
 
 use megablocks_sparse::{ops, BlockSparseMatrix, Topology};
+use megablocks_telemetry as telemetry;
 use megablocks_tensor::ops::{gelu_grad_scalar, gelu_scalar};
 use megablocks_tensor::{init, Matrix};
 use rand::rngs::StdRng;
@@ -74,7 +75,7 @@ impl DroplessMoe {
     /// block size (required for whole-block expert columns, §5.2).
     pub fn new(cfg: MoeConfig, rng: &mut StdRng) -> Self {
         assert!(
-            cfg.ffn_hidden_size % cfg.block_size.get() == 0,
+            cfg.ffn_hidden_size.is_multiple_of(cfg.block_size.get()),
             "ffn_hidden_size {} must be a multiple of block size {}",
             cfg.ffn_hidden_size,
             cfg.block_size.get()
@@ -83,7 +84,12 @@ impl DroplessMoe {
         let router = Router::new(cfg.hidden_size, cfg.num_experts, cfg.top_k, rng);
         let w1 = Param::new(init::gpt2_normal(cfg.hidden_size, inner, rng));
         let w2 = Param::new(init::gpt2_normal(inner, cfg.hidden_size, rng));
-        Self { cfg, router, w1, w2 }
+        Self {
+            cfg,
+            router,
+            w1,
+            w2,
+        }
     }
 
     /// The layer configuration.
@@ -122,7 +128,12 @@ impl DroplessMoe {
     ///
     /// Panics if `x.cols() != hidden_size`.
     pub fn forward(&self, x: &Matrix) -> DmoeOutput {
-        assert_eq!(x.cols(), self.cfg.hidden_size, "input feature size mismatch");
+        assert_eq!(
+            x.cols(),
+            self.cfg.hidden_size,
+            "input feature size mismatch"
+        );
+        let _span = telemetry::span("moe.dmoe.forward");
 
         // (1) Assign tokens to experts.
         let routing = self.router.forward(x);
@@ -140,9 +151,13 @@ impl DroplessMoe {
         let xg = padded_gather(x, &permute);
 
         // (4) Compute the expert layers: SDD -> GeLU -> DSD.
-        let h_pre = ops::sdd(&xg, self.w1.value(), &topology);
-        let h_act = h_pre.map(gelu_scalar);
-        let y = ops::dsd(&h_act, self.w2.value());
+        let (h_pre, h_act, y) = {
+            let _experts = telemetry::span("moe.dmoe.experts");
+            let h_pre = ops::sdd(&xg, self.w1.value(), &topology);
+            let h_act = h_pre.map(gelu_scalar);
+            let y = ops::dsd(&h_act, self.w2.value());
+            (h_pre, h_act, y)
+        };
 
         // (5) Un-permute the tokens and scale by router confidence.
         let output = padded_scatter(&y, &permute, &routing.weights);
@@ -153,7 +168,11 @@ impl DroplessMoe {
             padding_rows: permute.padding_rows(),
             tokens_per_expert: permute.tokens_per_expert().to_vec(),
             load_balancing_loss: lb.loss,
+            padding_overhead: MoeStats::overhead(permute.padding_rows(), permute.num_assignments()),
+            // Dropless: every assigned token is processed.
+            expert_load: permute.tokens_per_expert().to_vec(),
         };
+        crate::record_moe_stats(&stats);
         DmoeOutput {
             output,
             stats,
@@ -185,6 +204,7 @@ impl DroplessMoe {
             (cache.permute.num_tokens(), self.cfg.hidden_size),
             "d_out shape mismatch"
         );
+        let _span = telemetry::span("moe.dmoe.backward");
 
         // Un-permutation backward: per-assignment output grads and router
         // confidence-weight grads.
@@ -244,6 +264,11 @@ mod tests {
         assert_eq!(out.stats.dropped_tokens, 0);
         assert_eq!(out.stats.tokens_per_expert.iter().sum::<usize>(), 10);
         assert!(out.stats.load_balancing_loss > 0.0);
+        // Dropless: every assignment is processed, so load == assignments
+        // and overhead is exactly the padding-to-data ratio.
+        assert_eq!(out.stats.expert_load, out.stats.tokens_per_expert);
+        let want_overhead = out.stats.padding_rows as f32 / 10.0;
+        assert!((out.stats.padding_overhead - want_overhead).abs() < 1e-6);
         // Padding rounds each nonzero expert group to a multiple of 4.
         for (&t, &p) in out
             .stats

@@ -14,6 +14,7 @@
 //! load, trading dropping for worst-case padding — the memory-hungry
 //! behaviour that shrinks Tutel's feasible micro-batch sizes in Table 3.
 
+use megablocks_telemetry as telemetry;
 use megablocks_tensor::ops::{gelu_grad_scalar, gelu_scalar};
 use megablocks_tensor::{batched_matmul, init, BatchedMatrix, Matrix};
 use rand::rngs::StdRng;
@@ -67,7 +68,12 @@ impl DroppingMoe {
         let router = Router::new(cfg.hidden_size, cfg.num_experts, cfg.top_k, rng);
         let w1 = Param::new(init::gpt2_normal(cfg.hidden_size, inner, rng));
         let w2 = Param::new(init::gpt2_normal(inner, cfg.hidden_size, rng));
-        Self { cfg, router, w1, w2 }
+        Self {
+            cfg,
+            router,
+            w1,
+            w2,
+        }
     }
 
     /// The layer configuration.
@@ -111,7 +117,12 @@ impl DroppingMoe {
     ///
     /// Panics if `x.cols() != hidden_size`.
     pub fn forward(&self, x: &Matrix) -> DroppingMoeOutput {
-        assert_eq!(x.cols(), self.cfg.hidden_size, "input feature size mismatch");
+        assert_eq!(
+            x.cols(),
+            self.cfg.hidden_size,
+            "input feature size mismatch"
+        );
+        let _span = telemetry::span("moe.dropping.forward");
         let num_tokens = x.rows();
         let e = self.cfg.num_experts;
         let hidden = self.cfg.hidden_size;
@@ -177,7 +188,11 @@ impl DroppingMoe {
             padding_rows: e * capacity - kept,
             tokens_per_expert,
             load_balancing_loss: lb.loss,
+            padding_overhead: MoeStats::overhead(e * capacity - kept, kept),
+            // `fill` holds the number of assignments each buffer accepted.
+            expert_load: fill.clone(),
         };
+        crate::record_moe_stats(&stats);
         DroppingMoeOutput {
             output,
             stats,
@@ -203,6 +218,7 @@ impl DroppingMoe {
     ///
     /// Panics if `d_out` does not match the forward output shape.
     pub fn backward(&mut self, cache: &DroppingMoeCache, d_out: &Matrix) -> Matrix {
+        let _span = telemetry::span("moe.dropping.backward");
         let e = self.cfg.num_experts;
         let ffn = self.cfg.ffn_hidden_size;
         let hidden = self.cfg.hidden_size;
@@ -244,7 +260,11 @@ impl DroppingMoe {
                 }
             }
             let mut dh = dh_act;
-            for (g, &pre) in dh.as_mut_slice().iter_mut().zip(cache.h_pre.get(ex).as_slice()) {
+            for (g, &pre) in dh
+                .as_mut_slice()
+                .iter_mut()
+                .zip(cache.h_pre.get(ex).as_slice())
+            {
                 *g *= gelu_grad_scalar(pre);
             }
             let dxe = megablocks_tensor::matmul_nt(&dh, w1b.get(ex));
@@ -271,9 +291,12 @@ impl DroppingMoe {
             }
         }
 
-        let dx_router =
-            self.router
-                .backward(&cache.x, &cache.routing, &d_weights, Some(&cache.d_probs_aux));
+        let dx_router = self.router.backward(
+            &cache.x,
+            &cache.routing,
+            &d_weights,
+            Some(&cache.d_probs_aux),
+        );
         dx.add_assign(&dx_router);
         dx
     }
@@ -310,10 +333,7 @@ mod tests {
     #[test]
     fn capacity_one_drops_overflow() {
         let mut rng = seeded_rng(1);
-        let layer = DroppingMoe::new(
-            cfg().with_capacity(CapacityFactor::Fixed(1.0)),
-            &mut rng,
-        );
+        let layer = DroppingMoe::new(cfg().with_capacity(CapacityFactor::Fixed(1.0)), &mut rng);
         let x = init::normal(30, 6, 1.0, &mut rng);
         let out = layer.forward(&x);
         // capacity = ceil(30/3) = 10; routing is imbalanced at init, so some
@@ -329,6 +349,17 @@ mod tests {
             .map(|&t| t.saturating_sub(10))
             .sum();
         assert_eq!(out.stats.dropped_tokens, expected_drops);
+        // Kept load is the assignment count clamped to capacity.
+        let expected_load: Vec<usize> = out
+            .stats
+            .tokens_per_expert
+            .iter()
+            .map(|&t| t.min(10))
+            .collect();
+        assert_eq!(out.stats.expert_load, expected_load);
+        let kept: usize = expected_load.iter().sum();
+        let want_overhead = out.stats.padding_rows as f32 / kept as f32;
+        assert!((out.stats.padding_overhead - want_overhead).abs() < 1e-6);
     }
 
     #[test]
@@ -346,10 +377,7 @@ mod tests {
     #[test]
     fn dropped_tokens_produce_zero_output_rows() {
         let mut rng = seeded_rng(3);
-        let layer = DroppingMoe::new(
-            cfg().with_capacity(CapacityFactor::Fixed(0.05)),
-            &mut rng,
-        );
+        let layer = DroppingMoe::new(cfg().with_capacity(CapacityFactor::Fixed(0.05)), &mut rng);
         // capacity = max(ceil(12/3*0.05),1) = 1: most tokens drop.
         let x = init::normal(12, 6, 1.0, &mut rng);
         let out = layer.forward(&x);
@@ -396,7 +424,11 @@ mod tests {
         let ob = dropless.forward(&x);
         let dxa = dropping.backward(&oa.cache, &d);
         let dxb = dropless.backward(&ob.cache, &d);
-        assert!(dxa.approx_eq(&dxb, 1e-3), "dx diff {}", dxa.max_abs_diff(&dxb));
+        assert!(
+            dxa.approx_eq(&dxb, 1e-3),
+            "dx diff {}",
+            dxa.max_abs_diff(&dxb)
+        );
         let ga = dropping.w1().grad();
         let gb = dropless.w1().grad();
         assert!(ga.approx_eq(gb, 1e-3), "dw1 diff {}", ga.max_abs_diff(gb));
@@ -411,16 +443,16 @@ mod tests {
         let mut pads = Vec::new();
         for cf in [1.0f32, 1.5, 2.0] {
             let mut rng = seeded_rng(11);
-            let layer = DroppingMoe::new(
-                cfg().with_capacity(CapacityFactor::Fixed(cf)),
-                &mut rng,
-            );
+            let layer = DroppingMoe::new(cfg().with_capacity(CapacityFactor::Fixed(cf)), &mut rng);
             let x = init::normal(60, 6, 1.0, &mut rng);
             let out = layer.forward(&x);
             drops.push(out.stats.dropped_tokens);
             pads.push(out.stats.padding_rows);
         }
-        assert!(drops[0] >= drops[1] && drops[1] >= drops[2], "drops {drops:?}");
+        assert!(
+            drops[0] >= drops[1] && drops[1] >= drops[2],
+            "drops {drops:?}"
+        );
         assert!(pads[0] <= pads[1] && pads[1] <= pads[2], "pads {pads:?}");
     }
 }

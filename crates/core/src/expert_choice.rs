@@ -77,7 +77,7 @@ impl ExpertChoiceMoe {
     /// Panics if `ffn_hidden_size` is not a multiple of the block size.
     pub fn new(cfg: MoeConfig, rng: &mut StdRng) -> Self {
         assert!(
-            cfg.ffn_hidden_size % cfg.block_size.get() == 0,
+            cfg.ffn_hidden_size.is_multiple_of(cfg.block_size.get()),
             "ffn_hidden_size must be a multiple of the block size"
         );
         let inner = cfg.num_experts * cfg.ffn_hidden_size;
@@ -102,7 +102,9 @@ impl ExpertChoiceMoe {
     /// Expert capacity for `num_tokens` inputs:
     /// `ceil(num_tokens * top_k / num_experts)`, at least 1.
     pub fn capacity(&self, num_tokens: usize) -> usize {
-        (num_tokens * self.cfg.top_k).div_ceil(self.cfg.num_experts).max(1)
+        (num_tokens * self.cfg.top_k)
+            .div_ceil(self.cfg.num_experts)
+            .max(1)
     }
 
     /// Forward pass.
@@ -111,7 +113,11 @@ impl ExpertChoiceMoe {
     ///
     /// Panics if `x.cols() != hidden_size`.
     pub fn forward(&self, x: &Matrix) -> ExpertChoiceOutput {
-        assert_eq!(x.cols(), self.cfg.hidden_size, "input feature size mismatch");
+        assert_eq!(
+            x.cols(),
+            self.cfg.hidden_size,
+            "input feature size mismatch"
+        );
         let num_tokens = x.rows();
         let e = self.cfg.num_experts;
         let capacity = self.capacity(num_tokens);
@@ -143,12 +149,8 @@ impl ExpertChoiceMoe {
 
         // Every expert has exactly `padded_capacity` rows: a *uniform*
         // block-diagonal topology.
-        let topology = Topology::for_moe(
-            &vec![padded_capacity; e],
-            self.cfg.ffn_hidden_size,
-            bs,
-        )
-        .expect("aligned by construction");
+        let topology = Topology::for_moe(&vec![padded_capacity; e], self.cfg.ffn_hidden_size, bs)
+            .expect("aligned by construction");
 
         // Gather into expert-major order.
         let mut xg = Matrix::zeros(e * padded_capacity, self.cfg.hidden_size);
@@ -182,9 +184,16 @@ impl ExpertChoiceMoe {
         let stats = MoeStats {
             dropped_tokens: unpicked,
             padding_rows: e * padded_capacity - assignments.len(),
-            tokens_per_expert,
             load_balancing_loss: 0.0, // balance is guaranteed; no aux loss
+            padding_overhead: MoeStats::overhead(
+                e * padded_capacity - assignments.len(),
+                assignments.len(),
+            ),
+            // Expert choice processes exactly what each expert picked.
+            expert_load: tokens_per_expert.clone(),
+            tokens_per_expert,
         };
+        crate::record_moe_stats(&stats);
         ExpertChoiceOutput {
             output,
             stats,
@@ -209,7 +218,11 @@ impl ExpertChoiceMoe {
     /// Panics if `d_out` does not match the forward output shape.
     pub fn backward(&mut self, cache: &ExpertChoiceCache, d_out: &Matrix) -> Matrix {
         let hidden = self.cfg.hidden_size;
-        assert_eq!(d_out.shape(), (cache.x.rows(), hidden), "d_out shape mismatch");
+        assert_eq!(
+            d_out.shape(),
+            (cache.x.rows(), hidden),
+            "d_out shape mismatch"
+        );
         let pc = cache.padded_capacity;
 
         // Un-permutation backward: per-assignment expert-output grads and
@@ -251,7 +264,8 @@ impl ExpertChoiceMoe {
         // Router backward through the softmax (selection treated as
         // non-differentiable, like top-k in token-choice routing).
         let d_logits = softmax_rows_backward(&cache.probs, &d_probs);
-        self.router_weight.accumulate(&matmul_tn(&cache.x, &d_logits));
+        self.router_weight
+            .accumulate(&matmul_tn(&cache.x, &d_logits));
         dx.add_assign(&matmul_nt(&d_logits, self.router_weight.value()));
         dx
     }
@@ -275,11 +289,11 @@ mod tests {
         let x = init::normal(30, 6, 1.0, &mut rng);
         let out = l.forward(&x);
         let cap = l.capacity(30);
-        assert!(out
-            .stats
-            .tokens_per_expert
-            .iter()
-            .all(|&t| t == cap), "{:?}", out.stats.tokens_per_expert);
+        assert!(
+            out.stats.tokens_per_expert.iter().all(|&t| t == cap),
+            "{:?}",
+            out.stats.tokens_per_expert
+        );
     }
 
     #[test]
@@ -287,7 +301,7 @@ mod tests {
         let (l, mut rng) = layer(2);
         let x = init::normal(24, 6, 1.0, &mut rng);
         let out = l.forward(&x);
-        let mut picked = vec![false; 24];
+        let mut picked = [false; 24];
         for a in &out.cache.assignments {
             picked[a.token] = true;
         }

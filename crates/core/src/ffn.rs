@@ -78,13 +78,25 @@ impl DenseFfn {
     ///
     /// Panics if `d_out` does not match the forward output shape.
     pub fn backward(&mut self, cache: &FfnCache, d_out: &Matrix) -> Matrix {
-        for (g, v) in self.b2.grad_mut().row_mut(0).iter_mut().zip(bias_backward(d_out)) {
+        for (g, v) in self
+            .b2
+            .grad_mut()
+            .row_mut(0)
+            .iter_mut()
+            .zip(bias_backward(d_out))
+        {
             *g += v;
         }
         let dh_act = matmul_nt(d_out, self.w2.value());
         self.w2.accumulate(&matmul_tn(&cache.h_act, d_out));
         let dh = gelu_backward(&cache.h_pre, &dh_act);
-        for (g, v) in self.b1.grad_mut().row_mut(0).iter_mut().zip(bias_backward(&dh)) {
+        for (g, v) in self
+            .b1
+            .grad_mut()
+            .row_mut(0)
+            .iter_mut()
+            .zip(bias_backward(&dh))
+        {
             *g += v;
         }
         self.w1.accumulate(&matmul_tn(&cache.x, &dh));

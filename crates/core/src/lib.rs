@@ -64,9 +64,9 @@ pub use permute::{
 };
 pub use router::{Router, Routing};
 pub use sinkhorn::{load_imbalance, SinkhornRouter};
-pub use variable::{
-    VariableDmoeCache, VariableDmoeOutput, VariableDroplessMoe, VariableMoeConfig,
-};
+pub use variable::{VariableDmoeCache, VariableDmoeOutput, VariableDroplessMoe, VariableMoeConfig};
+
+use megablocks_telemetry as telemetry;
 
 /// Statistics recorded by an MoE layer's forward pass, used by the
 /// experiments to report dropping behaviour and padding waste.
@@ -80,4 +80,59 @@ pub struct MoeStats {
     pub tokens_per_expert: Vec<usize>,
     /// The load-balancing auxiliary loss value.
     pub load_balancing_loss: f32,
+    /// Rows of padding per row of real data actually processed
+    /// (`padding_rows / kept assignments`; 0 when nothing was kept). For a
+    /// dMoE this is the block-rounding waste of §5.2; for the dropping
+    /// baseline it is the capacity-buffer waste of Figure 3A.
+    pub padding_overhead: f32,
+    /// Tokens each expert actually processed — after dropping, before
+    /// padding. Equal to [`MoeStats::tokens_per_expert`] for dropless
+    /// layers.
+    pub expert_load: Vec<usize>,
+}
+
+impl MoeStats {
+    /// Padding overhead as a ratio: `padding_rows / kept`, or 0.0 when no
+    /// assignments were kept.
+    pub(crate) fn overhead(padding_rows: usize, kept: usize) -> f32 {
+        if kept == 0 {
+            0.0
+        } else {
+            padding_rows as f32 / kept as f32
+        }
+    }
+}
+
+/// Shannon entropy (nats) of a count distribution: `ln(len)` when counts
+/// are perfectly uniform, 0 when concentrated on one bin or empty.
+pub(crate) fn count_entropy(counts: &[usize]) -> f32 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut h = 0.0f32;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f32 / total as f32;
+            h -= p * p.ln();
+        }
+    }
+    h
+}
+
+/// Records one forward pass's [`MoeStats`] into the global telemetry
+/// registry (a no-op without the `telemetry` feature): the per-expert
+/// token-count histogram and labelled counters, padding and dropped-token
+/// counters, and the padding-overhead and router load-entropy gauges.
+pub(crate) fn record_moe_stats(stats: &MoeStats) {
+    let hist = telemetry::histogram("moe.tokens_per_expert");
+    for (e, &c) in stats.tokens_per_expert.iter().enumerate() {
+        hist.record(c as u64);
+        telemetry::counter_with("moe.expert_tokens", e).add(c as u64);
+    }
+    telemetry::counter("moe.padding_rows").add(stats.padding_rows as u64);
+    telemetry::counter("moe.dropped_tokens").add(stats.dropped_tokens as u64);
+    telemetry::gauge("moe.padding_overhead").set(stats.padding_overhead as f64);
+    telemetry::gauge("moe.load_entropy").set(count_entropy(&stats.tokens_per_expert) as f64);
+    telemetry::gauge("moe.load_balancing_loss").set(stats.load_balancing_loss as f64);
 }

@@ -47,7 +47,11 @@ pub fn load_balancing_loss(routing: &Routing, alpha: f32) -> LoadBalance {
             *pe += v;
         }
     }
-    let inv_t = if num_tokens == 0 { 0.0 } else { 1.0 / num_tokens as f32 };
+    let inv_t = if num_tokens == 0 {
+        0.0
+    } else {
+        1.0 / num_tokens as f32
+    };
     for pe in &mut p {
         *pe *= inv_t;
     }

@@ -61,7 +61,7 @@ pub fn expert_parallel_forward(
 ) -> (Matrix, EpStats, AllToAllBuffers) {
     let cfg = layer.config();
     assert!(
-        num_shards >= 1 && cfg.num_experts % num_shards == 0,
+        num_shards >= 1 && cfg.num_experts.is_multiple_of(num_shards),
         "num_shards {num_shards} must divide num_experts {}",
         cfg.num_experts
     );

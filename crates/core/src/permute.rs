@@ -7,6 +7,7 @@
 //! this module reproduces them as plain functions.
 
 use megablocks_sparse::BlockSize;
+use megablocks_telemetry as telemetry;
 use megablocks_tensor::Matrix;
 
 use crate::Routing;
@@ -56,8 +57,9 @@ impl PermuteInfo {
     ) -> Self {
         assert!(alignment > 0, "alignment must be nonzero");
         assert!(top_k > 0, "top_k must be nonzero");
+        let _span = telemetry::span("moe.permute_build");
         assert!(
-            expert_indices.len() % top_k == 0,
+            expert_indices.len().is_multiple_of(top_k),
             "assignment count {} is not a multiple of top_k {}",
             expert_indices.len(),
             top_k
@@ -160,7 +162,12 @@ impl PermuteInfo {
 ///
 /// Panics if `x.rows() != info.num_tokens()`.
 pub fn padded_gather(x: &Matrix, info: &PermuteInfo) -> Matrix {
-    assert_eq!(x.rows(), info.num_tokens(), "padded_gather token count mismatch");
+    assert_eq!(
+        x.rows(),
+        info.num_tokens(),
+        "padded_gather token count mismatch"
+    );
+    let _span = telemetry::span("moe.padded_gather");
     let mut out = Matrix::zeros(info.padded_rows(), x.cols());
     for a in 0..info.num_assignments() {
         let src = x.row(info.token_of(a));
@@ -182,6 +189,7 @@ pub fn padded_gather_backward(d_gathered: &Matrix, info: &PermuteInfo) -> Matrix
         info.padded_rows(),
         "padded_gather_backward row count mismatch"
     );
+    let _span = telemetry::span("moe.padded_gather_backward");
     let mut dx = Matrix::zeros(info.num_tokens(), d_gathered.cols());
     for a in 0..info.num_assignments() {
         let src = d_gathered.row(info.row_of(a));
@@ -201,15 +209,19 @@ pub fn padded_gather_backward(d_gathered: &Matrix, info: &PermuteInfo) -> Matrix
 ///
 /// Panics if shapes or weight counts are inconsistent with `info`.
 pub fn padded_scatter(y: &Matrix, info: &PermuteInfo, weights: &[f32]) -> Matrix {
-    assert_eq!(y.rows(), info.padded_rows(), "padded_scatter row count mismatch");
+    assert_eq!(
+        y.rows(),
+        info.padded_rows(),
+        "padded_scatter row count mismatch"
+    );
     assert_eq!(
         weights.len(),
         info.num_assignments(),
         "one weight per assignment required"
     );
+    let _span = telemetry::span("moe.padded_scatter");
     let mut out = Matrix::zeros(info.num_tokens(), y.cols());
-    for a in 0..info.num_assignments() {
-        let w = weights[a];
+    for (a, &w) in weights.iter().enumerate() {
         let src = y.row(info.row_of(a));
         let dst = out.row_mut(info.token_of(a));
         for (d, s) in dst.iter_mut().zip(src) {
@@ -234,9 +246,18 @@ pub fn padded_scatter_backward(
     info: &PermuteInfo,
     weights: &[f32],
 ) -> (Matrix, Vec<f32>) {
-    assert_eq!(d_out.rows(), info.num_tokens(), "d_out token count mismatch");
+    assert_eq!(
+        d_out.rows(),
+        info.num_tokens(),
+        "d_out token count mismatch"
+    );
     assert_eq!(y.rows(), info.padded_rows(), "y row count mismatch");
-    assert_eq!(weights.len(), info.num_assignments(), "weights count mismatch");
+    assert_eq!(
+        weights.len(),
+        info.num_assignments(),
+        "weights count mismatch"
+    );
+    let _span = telemetry::span("moe.padded_scatter_backward");
     let mut dy = Matrix::zeros(info.padded_rows(), d_out.cols());
     let mut d_weights = vec![0.0f32; info.num_assignments()];
     for a in 0..info.num_assignments() {

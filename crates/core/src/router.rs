@@ -5,6 +5,7 @@
 //! experts per token are selected greedily. The selected probabilities are
 //! the confidence weights that scale each expert's output (§2.4).
 
+use megablocks_telemetry as telemetry;
 use megablocks_tensor::ops::{softmax_rows, softmax_rows_backward};
 use megablocks_tensor::{init, matmul, matmul_nt, matmul_tn, Matrix};
 use rand::rngs::StdRng;
@@ -49,6 +50,13 @@ impl Routing {
         }
         counts
     }
+
+    /// Shannon entropy (nats) of the realized expert-load distribution:
+    /// `ln(num_experts)` for a perfectly balanced router, 0 when every
+    /// assignment lands on one expert.
+    pub fn load_entropy(&self) -> f32 {
+        crate::count_entropy(&self.tokens_per_expert())
+    }
 }
 
 /// The learned router: a linear projection to expert scores plus greedy
@@ -67,7 +75,10 @@ impl Router {
     ///
     /// Panics if `top_k` is zero or exceeds `num_experts`.
     pub fn new(hidden_size: usize, num_experts: usize, top_k: usize, rng: &mut StdRng) -> Self {
-        assert!(top_k >= 1 && top_k <= num_experts, "top_k must be in 1..=num_experts");
+        assert!(
+            top_k >= 1 && top_k <= num_experts,
+            "top_k must be in 1..=num_experts"
+        );
         Self {
             weight: Param::new(init::gpt2_normal(hidden_size, num_experts, rng)),
             top_k,
@@ -95,6 +106,7 @@ impl Router {
     ///
     /// Panics if `x.cols()` differs from the router's hidden size.
     pub fn forward(&self, x: &Matrix) -> Routing {
+        let _span = telemetry::span("moe.router.forward");
         let logits = matmul(x, self.weight.value());
         let probs = softmax_rows(&logits);
         let num_experts = probs.cols();
@@ -143,9 +155,14 @@ impl Router {
             routing.expert_indices.len(),
             "one weight gradient per assignment required"
         );
+        let _span = telemetry::span("moe.router.backward");
         let mut d_probs = match d_probs_extra {
             Some(m) => {
-                assert_eq!(m.shape(), routing.probs.shape(), "d_probs_extra shape mismatch");
+                assert_eq!(
+                    m.shape(),
+                    routing.probs.shape(),
+                    "d_probs_extra shape mismatch"
+                );
                 m.clone()
             }
             None => Matrix::zeros(routing.probs.rows(), routing.probs.cols()),
@@ -164,7 +181,12 @@ impl Router {
 /// (ties broken toward the lower index, matching a stable greedy argmax).
 fn top_k_indices(row: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..row.len()).collect();
-    idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b)));
+    idx.sort_by(|&a, &b| {
+        row[b]
+            .partial_cmp(&row[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
     idx.truncate(k);
     idx
 }

@@ -209,7 +209,7 @@ mod tests {
         let x = init::normal(120, 12, 1.5, &mut rng);
         let counts = sinkhorn.forward(&x).tokens_per_expert();
         let imb = load_imbalance(&counts);
-        assert!(imb >= 1.0 && imb < 2.5, "imbalance {imb}");
+        assert!((1.0..2.5).contains(&imb), "imbalance {imb}");
         assert_eq!(counts.iter().sum::<usize>(), 120);
     }
 

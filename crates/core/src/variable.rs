@@ -118,7 +118,12 @@ impl VariableDroplessMoe {
         let router = Router::new(cfg.hidden_size, cfg.num_experts(), cfg.top_k, rng);
         let w1 = Param::new(init::gpt2_normal(cfg.hidden_size, inner, rng));
         let w2 = Param::new(init::gpt2_normal(inner, cfg.hidden_size, rng));
-        Self { cfg, router, w1, w2 }
+        Self {
+            cfg,
+            router,
+            w1,
+            w2,
+        }
     }
 
     /// The layer configuration.
@@ -152,7 +157,11 @@ impl VariableDroplessMoe {
     ///
     /// Panics if `x.cols() != hidden_size`.
     pub fn forward(&self, x: &Matrix) -> VariableDmoeOutput {
-        assert_eq!(x.cols(), self.cfg.hidden_size, "input feature size mismatch");
+        assert_eq!(
+            x.cols(),
+            self.cfg.hidden_size,
+            "input feature size mismatch"
+        );
         let routing = self.router.forward(x);
         let permute = PermuteInfo::new(&routing, self.cfg.num_experts(), self.cfg.block_size);
         let topology = self.topology(permute.padded_tokens_per_expert());
@@ -167,7 +176,10 @@ impl VariableDroplessMoe {
             padding_rows: permute.padding_rows(),
             tokens_per_expert: permute.tokens_per_expert().to_vec(),
             load_balancing_loss: lb.loss,
+            padding_overhead: MoeStats::overhead(permute.padding_rows(), permute.num_assignments()),
+            expert_load: permute.tokens_per_expert().to_vec(),
         };
+        crate::record_moe_stats(&stats);
         VariableDmoeOutput {
             output,
             stats,

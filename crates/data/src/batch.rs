@@ -116,7 +116,13 @@ impl TokenDataset {
         batches
     }
 
-    fn push_window(&self, start: usize, seq_len: usize, inputs: &mut Vec<usize>, targets: &mut Vec<usize>) {
+    fn push_window(
+        &self,
+        start: usize,
+        seq_len: usize,
+        inputs: &mut Vec<usize>,
+        targets: &mut Vec<usize>,
+    ) {
         for i in 0..seq_len {
             inputs.push(self.tokens[start + i] as usize);
             targets.push(self.tokens[start + i + 1] as usize);

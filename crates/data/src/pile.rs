@@ -73,7 +73,10 @@ impl SyntheticPile {
     /// Panics if the config has a zero vocab, zero clusters or zero
     /// branching.
     pub fn generate(config: &PileConfig, seed: u64) -> Self {
-        assert!(config.vocab_size >= 2, "vocab must include EOD + content tokens");
+        assert!(
+            config.vocab_size >= 2,
+            "vocab must include EOD + content tokens"
+        );
         assert!(config.num_clusters >= 1, "need at least one cluster");
         assert!(config.branching >= 1, "need at least one branch");
         let mut rng = StdRng::seed_from_u64(seed);
@@ -134,7 +137,10 @@ impl SyntheticPile {
     ///
     /// Panics if `fraction` is not in `(0, 1)`.
     pub fn split(&self, fraction: f64) -> (TokenDataset, TokenDataset) {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0,1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0,1)"
+        );
         let cut = ((self.tokens.len() as f64) * fraction) as usize;
         (
             TokenDataset::new(self.tokens[..cut].to_vec(), self.config.vocab_size),
@@ -270,7 +276,10 @@ mod tests {
             if toks[i] == 0 || toks[i + 1] == 0 || clus[i] != clus[i + 1] {
                 continue;
             }
-            successors.entry((clus[i], toks[i])).or_default().insert(toks[i + 1]);
+            successors
+                .entry((clus[i], toks[i]))
+                .or_default()
+                .insert(toks[i + 1]);
         }
         let max_succ = successors.values().map(|s| s.len()).max().unwrap();
         assert!(

@@ -74,7 +74,10 @@ fn bigram_structure_is_far_from_iid() {
     let mut context: HashMap<u32, usize> = HashMap::new();
     for w in toks.windows(2) {
         unigram.entry(w[0]).and_modify(|c| *c += 1).or_insert(1);
-        bigram.entry((w[0], w[1])).and_modify(|c| *c += 1).or_insert(1);
+        bigram
+            .entry((w[0], w[1]))
+            .and_modify(|c| *c += 1)
+            .or_insert(1);
         context.entry(w[0]).and_modify(|c| *c += 1).or_insert(1);
     }
     let n = (toks.len() - 1) as f64;
@@ -149,7 +152,10 @@ fn clusters_make_routing_learnable() {
             }
         }
     }
-    assert!(checked >= 10, "not enough overlapping tokens to compare ({checked})");
+    assert!(
+        checked >= 10,
+        "not enough overlapping tokens to compare ({checked})"
+    );
     assert!(
         differed * 2 >= checked,
         "cluster-conditional transitions should usually differ: {differed}/{checked}"

@@ -2,7 +2,7 @@
 ///
 /// Defaults describe the paper's testbed: an NVIDIA A100 SXM4 80GB at
 /// mixed precision (FP16 inputs, FP32 accumulation).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeviceSpec {
     /// Marketing name, for report labels.
     pub name: String,

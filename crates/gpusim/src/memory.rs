@@ -40,7 +40,7 @@ pub const LOGIT_BYTES: f64 = 6.0;
 
 /// Architectural shape of a model, decoupled from the training crates so
 /// the performance model stays dependency-light.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelShape {
     /// Hidden size.
     pub hidden: usize,
@@ -128,9 +128,7 @@ pub fn activation_memory(shape: &ModelShape, policy: MemoryPolicy, micro_batch: 
             let padded = tokens + experts * 128.0;
             MLP_ACT * padded * h + MOE_DISPATCH_ACT * tokens * h
         }
-        MemoryPolicy::Tutel { expansion } => {
-            (MLP_ACT + MOE_DISPATCH_ACT) * expansion * tokens * h
-        }
+        MemoryPolicy::Tutel { expansion } => (MLP_ACT + MOE_DISPATCH_ACT) * expansion * tokens * h,
     };
     let per_layer = attn_side + mlp_side;
     shape.layers as f64 * per_layer + LOGIT_BYTES * tokens * shape.vocab as f64
@@ -219,7 +217,13 @@ mod tests {
 
     #[test]
     fn table3_megatron_dense_ladder() {
-        let want = [("XS", 64), ("Small", 32), ("Medium", 16), ("Large", 16), ("XL", 8)];
+        let want = [
+            ("XS", 64),
+            ("Small", 32),
+            ("Medium", 16),
+            ("Large", 16),
+            ("XL", 8),
+        ];
         for (name, mbs) in want {
             let shape = paper_shape(name).unwrap();
             let got = max_micro_batch(&dev(), &shape, MemoryPolicy::Dense, 8).unwrap();

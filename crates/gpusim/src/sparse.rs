@@ -89,9 +89,15 @@ impl MoeProblem {
     /// # Panics
     ///
     /// Panics if `tokens` is not divisible by `num_experts * block`.
-    pub fn uniform(num_experts: usize, tokens: usize, hidden: usize, ffn: usize, block: usize) -> Self {
+    pub fn uniform(
+        num_experts: usize,
+        tokens: usize,
+        hidden: usize,
+        ffn: usize,
+        block: usize,
+    ) -> Self {
         assert!(
-            tokens % (num_experts * block) == 0,
+            tokens.is_multiple_of(num_experts * block),
             "uniform problem needs tokens divisible by num_experts * block"
         );
         Self {
@@ -111,7 +117,10 @@ impl MoeProblem {
     ///
     /// Panics if `ffn` is not a multiple of `block`.
     pub fn from_loads(loads: &[usize], hidden: usize, ffn: usize, block: usize) -> Self {
-        assert!(ffn % block == 0, "ffn must be a multiple of the block size");
+        assert!(
+            ffn.is_multiple_of(block),
+            "ffn must be a multiple of the block size"
+        );
         Self {
             tokens_per_expert: loads.iter().map(|&t| t.div_ceil(block) * block).collect(),
             hidden,
@@ -127,7 +136,10 @@ impl MoeProblem {
 
     /// Time of the full 6-product forward+backward kernel set.
     pub fn layer_time(&self, device: &DeviceSpec) -> f64 {
-        MoeOp::ALL.iter().map(|&op| moe_op_time(device, self, op)).sum()
+        MoeOp::ALL
+            .iter()
+            .map(|&op| moe_op_time(device, self, op))
+            .sum()
     }
 
     /// Number of experts.
@@ -213,8 +225,8 @@ pub fn moe_op_time_with(
             // Weight gradients: dense output (E*ffn x hidden) or
             // (hidden x E*ffn); contraction over each expert's tokens.
             let n_other = problem.hidden;
-            let tiles_weight = (problem.ffn * problem.num_experts()).div_ceil(tile.m)
-                * n_other.div_ceil(tile.n);
+            let tiles_weight =
+                (problem.ffn * problem.num_experts()).div_ceil(tile.m) * n_other.div_ceil(tile.n);
             let waves = tiles_weight.div_ceil(sm);
             // Per-tile K is that expert's token count; take the mean via
             // total flops spread over tiles (experts with more tokens own
@@ -326,7 +338,10 @@ mod tests {
             ratios.push(r);
         }
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        assert!((0.93..=1.02).contains(&mean), "mean relative throughput {mean}");
+        assert!(
+            (0.93..=1.02).contains(&mean),
+            "mean relative throughput {mean}"
+        );
     }
 
     #[test]
@@ -361,7 +376,10 @@ mod tests {
             dense / hybrid
         };
         assert!(overhead(64) > 1.10, "64 experts: {}", overhead(64));
-        assert!(overhead(64) > overhead(4), "overhead should grow with experts");
+        assert!(
+            overhead(64) > overhead(4),
+            "overhead should grow with experts"
+        );
     }
 
     #[test]
@@ -386,6 +404,9 @@ mod tests {
         let tb = moe_op_time(&d, &balanced, MoeOp::Sdd);
         let ti = moe_op_time(&d, &imbalanced, MoeOp::Sdd);
         // Same total tokens -> nearly the same time.
-        assert!((ti / tb - 1.0).abs() < 0.05, "balanced {tb}, imbalanced {ti}");
+        assert!(
+            (ti / tb - 1.0).abs() < 0.05,
+            "balanced {tb}, imbalanced {ti}"
+        );
     }
 }

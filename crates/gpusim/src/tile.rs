@@ -1,7 +1,7 @@
 //! Threadblock tile shapes and their pipeline efficiency.
 
 /// A threadblock output-tile shape (`m x n`), as in CUTLASS.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TileShape {
     /// Tile rows.
     pub m: usize,

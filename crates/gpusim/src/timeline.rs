@@ -70,8 +70,8 @@ fn attention_time(device: &DeviceSpec, shape: &ModelShape, micro_batch: usize) -
     // Score softmax, masking and dropout: memory passes over the a*s*s
     // attention matrices — the dominant non-GEMM cost at small hidden
     // sizes (one reason small models sustain lower MFU, §6.1).
-    let score_elementwise = 10.0 * (shape.heads * s * s * b) as f64 * ELEM_BYTES
-        / device.mem_bandwidth;
+    let score_elementwise =
+        10.0 * (shape.heads * s * s * b) as f64 * ELEM_BYTES / device.mem_bandwidth;
     qkv + scores + ctx + proj + elementwise + score_elementwise
 }
 
@@ -197,7 +197,7 @@ pub fn train_step_time(
     global_batch: usize,
 ) -> f64 {
     assert!(
-        global_batch % micro_batch == 0,
+        global_batch.is_multiple_of(micro_batch),
         "micro_batch must divide global_batch"
     );
     // Sequences are spread over the data-parallel group.
@@ -265,7 +265,13 @@ mod tests {
     #[test]
     fn megatron_utilization_is_in_the_reported_band() {
         // §6.1: 21%..48% of the 2.5 PFLOP system, increasing with size.
-        let mbs = [("XS", 64), ("Small", 32), ("Medium", 16), ("Large", 16), ("XL", 8)];
+        let mbs = [
+            ("XS", 64),
+            ("Small", 32),
+            ("Medium", 16),
+            ("Large", 16),
+            ("XL", 8),
+        ];
         let mut last = 0.0;
         for (name, mb) in mbs {
             let shape = paper_shape(name).unwrap();
@@ -297,8 +303,7 @@ mod tests {
         let mut last = 0.0;
         for (name, mb_mega, mb_tutel, lo, hi) in cases {
             let shape = moe_variant(paper_shape(name).unwrap());
-            let t_mega =
-                train_step_time(&dev(), &shape, ExecutionPolicy::MegaBlocks, mb_mega, 512);
+            let t_mega = train_step_time(&dev(), &shape, ExecutionPolicy::MegaBlocks, mb_mega, 512);
             let t_tutel = train_step_time(
                 &dev(),
                 &shape,
@@ -326,8 +331,13 @@ mod tests {
         let name = "Small";
         let dense_shape = paper_shape(name).unwrap();
         let moe_shape = moe_variant(dense_shape.clone());
-        let t_dense =
-            train_step_time(&dev(), &dense_shape, ExecutionPolicy::DenseMegatron, 32, 512);
+        let t_dense = train_step_time(
+            &dev(),
+            &dense_shape,
+            ExecutionPolicy::DenseMegatron,
+            32,
+            512,
+        );
         let t_moe = train_step_time(&dev(), &moe_shape, ExecutionPolicy::MegaBlocks, 32, 512);
         assert!(t_moe > t_dense * 0.95, "dense {t_dense}, dmoe {t_moe}");
         assert!(t_moe < t_dense * 1.8, "dense {t_dense}, dmoe {t_moe}");

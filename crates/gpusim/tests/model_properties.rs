@@ -4,8 +4,8 @@
 
 use megablocks_gpusim::dense::{best_gemm_time, cublas_batched_time, gemm_time};
 use megablocks_gpusim::memory::{
-    activation_memory, max_micro_batch, moe_variant, paper_shape, training_memory,
-    weight_memory, MemoryPolicy,
+    activation_memory, max_micro_batch, moe_variant, paper_shape, training_memory, weight_memory,
+    MemoryPolicy,
 };
 use megablocks_gpusim::sparse::{moe_op_time, MoeOp, MoeProblem};
 use megablocks_gpusim::timeline::{micro_step_time, train_step_time, ExecutionPolicy};

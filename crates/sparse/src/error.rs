@@ -45,7 +45,10 @@ impl fmt::Display for SparseError {
                 what,
                 value,
                 block_size,
-            } => write!(f, "{what} = {value} is not a multiple of block size {block_size}"),
+            } => write!(
+                f,
+                "{what} = {value} is not a multiple of block size {block_size}"
+            ),
             SparseError::CoordOutOfRange {
                 row,
                 col,

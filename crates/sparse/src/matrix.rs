@@ -81,8 +81,7 @@ impl BlockSparseMatrix {
             let block = out.block_mut(k);
             for bi in 0..bs {
                 let src = dense.row(c.row * bs + bi);
-                block[bi * bs..(bi + 1) * bs]
-                    .copy_from_slice(&src[c.col * bs..(c.col + 1) * bs]);
+                block[bi * bs..(bi + 1) * bs].copy_from_slice(&src[c.col * bs..(c.col + 1) * bs]);
             }
         }
         Ok(out)
@@ -98,8 +97,7 @@ impl BlockSparseMatrix {
             let block = self.block(k);
             for bi in 0..bs {
                 let dst = out.row_mut(c.row * bs + bi);
-                dst[c.col * bs..(c.col + 1) * bs]
-                    .copy_from_slice(&block[bi * bs..(bi + 1) * bs]);
+                dst[c.col * bs..(c.col + 1) * bs].copy_from_slice(&block[bi * bs..(bi + 1) * bs]);
             }
         }
         out

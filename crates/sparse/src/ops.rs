@@ -19,9 +19,10 @@
 //! * Workers are scoped threads over disjoint output bands, standing in for
 //!   threadblocks over output tiles.
 
+use megablocks_telemetry as telemetry;
 use megablocks_tensor::{Matrix, Trans};
 
-use crate::{BlockSparseMatrix, Topology};
+use crate::{BlockSparseMatrix, SparseError, Topology};
 
 /// Work below this many f32 multiply-adds stays single-threaded.
 const PARALLEL_THRESHOLD: usize = 1 << 16;
@@ -31,6 +32,38 @@ fn thread_count(work: usize) -> usize {
         1
     } else {
         std::thread::available_parallelism().map_or(1, |p| p.get())
+    }
+}
+
+/// Telemetry name for an SDD transpose combination. The named public
+/// wrappers cover `sdd` / `sdd_t`; the remaining combinations get a
+/// two-letter op suffix.
+fn sdd_variant(op_a: Trans, op_b: Trans) -> &'static str {
+    match (op_a, op_b) {
+        (Trans::N, Trans::N) => "sparse.sdd",
+        (Trans::N, Trans::T) => "sparse.sdd_t",
+        (Trans::T, Trans::N) => "sparse.sdd_tn",
+        (Trans::T, Trans::T) => "sparse.sdd_tt",
+    }
+}
+
+/// Telemetry name for a DSD transpose combination.
+fn dsd_variant(op_s: Trans, op_d: Trans) -> &'static str {
+    match (op_s, op_d) {
+        (Trans::N, Trans::N) => "sparse.dsd",
+        (Trans::N, Trans::T) => "sparse.dsd_t",
+        (Trans::T, Trans::N) => "sparse.dst_d",
+        (Trans::T, Trans::T) => "sparse.dst_d_t",
+    }
+}
+
+/// Telemetry name for a DDS transpose combination.
+fn dds_variant(op_d: Trans, op_s: Trans) -> &'static str {
+    match (op_d, op_s) {
+        (Trans::N, Trans::N) => "sparse.dds",
+        (Trans::N, Trans::T) => "sparse.dds_t",
+        (Trans::T, Trans::N) => "sparse.ddt_s",
+        (Trans::T, Trans::T) => "sparse.ddt_s_t",
     }
 }
 
@@ -70,20 +103,61 @@ pub fn sdd_t(a: &Matrix, b: &Matrix, topo: &Topology) -> BlockSparseMatrix {
 ///
 /// Panics if `op_a(a)` is not `M x K`, `op_b(b)` is not `K x N`, where
 /// `(M, N) = topo.shape()`.
-pub fn sdd_op(a: &Matrix, op_a: Trans, b: &Matrix, op_b: Trans, topo: &Topology) -> BlockSparseMatrix {
+pub fn sdd_op(
+    a: &Matrix,
+    op_a: Trans,
+    b: &Matrix,
+    op_b: Trans,
+    topo: &Topology,
+) -> BlockSparseMatrix {
+    try_sdd_op(a, op_a, b, op_b, topo).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`sdd_op`]: shape mismatches surface as
+/// [`SparseError::Mismatch`] instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] if `op_a(a)` is not `M x K`, `op_b(b)`
+/// is not `K x N`, where `(M, N) = topo.shape()`.
+pub fn try_sdd_op(
+    a: &Matrix,
+    op_a: Trans,
+    b: &Matrix,
+    op_b: Trans,
+    topo: &Topology,
+) -> Result<BlockSparseMatrix, SparseError> {
     let (m, n) = topo.shape();
     let (am, ak) = logical(a, op_a);
     let (bk, bn) = logical(b, op_b);
-    assert_eq!(am, m, "sdd: op_a(a) has {am} rows, topology expects {m}");
-    assert_eq!(bn, n, "sdd: op_b(b) has {bn} cols, topology expects {n}");
-    assert_eq!(ak, bk, "sdd: inner dimensions differ ({ak} vs {bk})");
+    if am != m {
+        return Err(SparseError::Mismatch(format!(
+            "sdd: op_a(a) has {am} rows, topology expects {m}"
+        )));
+    }
+    if bn != n {
+        return Err(SparseError::Mismatch(format!(
+            "sdd: op_b(b) has {bn} cols, topology expects {n}"
+        )));
+    }
+    if ak != bk {
+        return Err(SparseError::Mismatch(format!(
+            "sdd: inner dimensions differ ({ak} vs {bk})"
+        )));
+    }
     let k = ak;
     let bs = topo.block_size().get();
 
+    let variant = sdd_variant(op_a, op_b);
+    let _span = telemetry::span(variant);
+
     let mut out = BlockSparseMatrix::zeros(topo);
     let nnz = topo.nnz_blocks();
+    telemetry::counter_with("sparse.blocks", variant).add(nnz as u64);
+    telemetry::counter_with("sparse.flops", variant)
+        .add(2 * nnz as u64 * bs as u64 * bs as u64 * k as u64);
     if nnz == 0 || k == 0 {
-        return out;
+        return Ok(out);
     }
 
     let threads = thread_count(nnz * bs * bs * k).min(nnz);
@@ -100,6 +174,8 @@ pub fn sdd_op(a: &Matrix, op_a: Trans, b: &Matrix, op_b: Trans, topo: &Topology)
     let compute = |blocks: &mut [f32], k0: usize| {
         for (slot, block) in blocks.chunks_mut(area).enumerate() {
             let kk = k0 + slot;
+            debug_assert!(kk < nnz, "sdd: worker block index {kk} out of range {nnz}");
+            debug_assert_eq!(block.len(), area, "sdd: worker got a partial block");
             let r = row_indices[kk];
             let c = col_indices[kk];
             match (op_a, op_b) {
@@ -166,7 +242,7 @@ pub fn sdd_op(a: &Matrix, op_a: Trans, b: &Matrix, op_b: Trans, topo: &Topology)
     let data = out.as_mut_slice();
     if threads <= 1 {
         compute(data, 0);
-        return out;
+        return Ok(out);
     }
     let blocks_per_thread = nnz.div_ceil(threads);
     crossbeam::thread::scope(|s| {
@@ -176,7 +252,7 @@ pub fn sdd_op(a: &Matrix, op_a: Trans, b: &Matrix, op_b: Trans, topo: &Topology)
         }
     })
     .expect("sdd worker panicked");
-    out
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -224,6 +300,10 @@ pub fn dst_d(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
 ///
 /// Panics if `s.shape().0 != d.rows()`.
 pub fn dst_d_explicit(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
+    // The span covers the materialized transpose plus the inner DSD (which
+    // records its own nested "sparse.dsd" span), so the ablation's extra
+    // cost shows up as this span's exclusive time.
+    let _span = telemetry::span("sparse.dst_d_explicit");
     dsd(&s.explicit_transpose(), d)
 }
 
@@ -233,6 +313,22 @@ pub fn dst_d_explicit(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
 ///
 /// Panics if the logical shapes are incompatible.
 pub fn dsd_op(s: &BlockSparseMatrix, op_s: Trans, d: &Matrix, op_d: Trans) -> Matrix {
+    try_dsd_op(s, op_s, d, op_d).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`dsd_op`]: shape mismatches surface as
+/// [`SparseError::Mismatch`] instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] if the inner dimensions of `op_s(s)`
+/// and `op_d(d)` differ.
+pub fn try_dsd_op(
+    s: &BlockSparseMatrix,
+    op_s: Trans,
+    d: &Matrix,
+    op_d: Trans,
+) -> Result<Matrix, SparseError> {
     let topo = s.topology();
     let bs = topo.block_size().get();
     let (sm, sk) = match op_s {
@@ -243,11 +339,21 @@ pub fn dsd_op(s: &BlockSparseMatrix, op_s: Trans, d: &Matrix, op_d: Trans) -> Ma
         }
     };
     let (dk, dn) = logical(d, op_d);
-    assert_eq!(sk, dk, "dsd: inner dimensions differ ({sk} vs {dk})");
+    if sk != dk {
+        return Err(SparseError::Mismatch(format!(
+            "dsd: inner dimensions differ ({sk} vs {dk})"
+        )));
+    }
     let n = dn;
+
+    let variant = dsd_variant(op_s, op_d);
+    let _span = telemetry::span(variant);
+    telemetry::counter_with("sparse.blocks", variant).add(topo.nnz_blocks() as u64);
+    telemetry::counter_with("sparse.flops", variant).add(2 * topo.nnz() as u64 * n as u64);
+
     let mut out = Matrix::zeros(sm, n);
     if topo.nnz_blocks() == 0 || n == 0 {
-        return out;
+        return Ok(out);
     }
 
     let d_data = d.as_slice();
@@ -266,6 +372,7 @@ pub fn dsd_op(s: &BlockSparseMatrix, op_s: Trans, d: &Matrix, op_d: Trans) -> Ma
     let threads = thread_count(work).min(groups);
 
     let compute_group = |band: &mut [f32], g: usize| {
+        debug_assert_eq!(band.len(), bs * n, "dsd: worker band has wrong length");
         match op_s {
             Trans::N => {
                 for k in topo.row_blocks(g) {
@@ -280,7 +387,8 @@ pub fn dsd_op(s: &BlockSparseMatrix, op_s: Trans, d: &Matrix, op_d: Trans) -> Ma
                                     if sv == 0.0 {
                                         continue;
                                     }
-                                    let drow = &d_data[(c * bs + p) * d_cols..(c * bs + p) * d_cols + n];
+                                    let drow =
+                                        &d_data[(c * bs + p) * d_cols..(c * bs + p) * d_cols + n];
                                     for (o, &dv) in orow.iter_mut().zip(drow) {
                                         *o += sv * dv;
                                     }
@@ -292,7 +400,8 @@ pub fn dsd_op(s: &BlockSparseMatrix, op_s: Trans, d: &Matrix, op_d: Trans) -> Ma
                                 let orow = &mut band[bi * n..(bi + 1) * n];
                                 let srow = &block[bi * bs..(bi + 1) * bs];
                                 for (j, o) in orow.iter_mut().enumerate() {
-                                    let drow = &d_data[j * d_cols + c * bs..j * d_cols + (c + 1) * bs];
+                                    let drow =
+                                        &d_data[j * d_cols + c * bs..j * d_cols + (c + 1) * bs];
                                     let mut acc = 0.0f32;
                                     for (sv, dv) in srow.iter().zip(drow) {
                                         acc += sv * dv;
@@ -319,7 +428,8 @@ pub fn dsd_op(s: &BlockSparseMatrix, op_s: Trans, d: &Matrix, op_d: Trans) -> Ma
                                     if sv == 0.0 {
                                         continue;
                                     }
-                                    let drow = &d_data[(r * bs + p) * d_cols..(r * bs + p) * d_cols + n];
+                                    let drow =
+                                        &d_data[(r * bs + p) * d_cols..(r * bs + p) * d_cols + n];
                                     for (o, &dv) in orow.iter_mut().zip(drow) {
                                         *o += sv * dv;
                                     }
@@ -330,7 +440,8 @@ pub fn dsd_op(s: &BlockSparseMatrix, op_s: Trans, d: &Matrix, op_d: Trans) -> Ma
                             for bi in 0..bs {
                                 let orow = &mut band[bi * n..(bi + 1) * n];
                                 for (j, o) in orow.iter_mut().enumerate() {
-                                    let drow = &d_data[j * d_cols + r * bs..j * d_cols + (r + 1) * bs];
+                                    let drow =
+                                        &d_data[j * d_cols + r * bs..j * d_cols + (r + 1) * bs];
                                     let mut acc = 0.0f32;
                                     for p in 0..bs {
                                         acc += block[p * bs + bi] * drow[p];
@@ -350,7 +461,7 @@ pub fn dsd_op(s: &BlockSparseMatrix, op_s: Trans, d: &Matrix, op_d: Trans) -> Ma
         for (g, band) in out_data.chunks_mut(bs * n).enumerate() {
             compute_group(band, g);
         }
-        return out;
+        return Ok(out);
     }
     let groups_per_thread = groups.div_ceil(threads);
     crossbeam::thread::scope(|scope| {
@@ -364,7 +475,7 @@ pub fn dsd_op(s: &BlockSparseMatrix, op_s: Trans, d: &Matrix, op_d: Trans) -> Ma
         }
     })
     .expect("dsd worker panicked");
-    out
+    Ok(out)
 }
 
 // ---------------------------------------------------------------------------
@@ -406,6 +517,22 @@ pub fn ddt_s(d: &Matrix, s: &BlockSparseMatrix) -> Matrix {
 ///
 /// Panics if the logical shapes are incompatible.
 pub fn dds_op(d: &Matrix, op_d: Trans, s: &BlockSparseMatrix, op_s: Trans) -> Matrix {
+    try_dds_op(d, op_d, s, op_s).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`dds_op`]: shape mismatches surface as
+/// [`SparseError::Mismatch`] instead of panicking.
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] if the inner dimensions of `op_d(d)`
+/// and `op_s(s)` differ.
+pub fn try_dds_op(
+    d: &Matrix,
+    op_d: Trans,
+    s: &BlockSparseMatrix,
+    op_s: Trans,
+) -> Result<Matrix, SparseError> {
     let topo = s.topology();
     let bs = topo.block_size().get();
     let (dm, dk) = logical(d, op_d);
@@ -416,12 +543,22 @@ pub fn dds_op(d: &Matrix, op_d: Trans, s: &BlockSparseMatrix, op_s: Trans) -> Ma
             (c, r)
         }
     };
-    assert_eq!(dk, sk, "dds: inner dimensions differ ({dk} vs {sk})");
+    if dk != sk {
+        return Err(SparseError::Mismatch(format!(
+            "dds: inner dimensions differ ({dk} vs {sk})"
+        )));
+    }
     let m = dm;
     let n = sn;
+
+    let variant = dds_variant(op_d, op_s);
+    let _span = telemetry::span(variant);
+    telemetry::counter_with("sparse.blocks", variant).add(topo.nnz_blocks() as u64);
+    telemetry::counter_with("sparse.flops", variant).add(2 * topo.nnz() as u64 * m as u64);
+
     let mut out = Matrix::zeros(m, n);
     if topo.nnz_blocks() == 0 || m == 0 {
-        return out;
+        return Ok(out);
     }
 
     let d_data = d.as_slice();
@@ -434,6 +571,7 @@ pub fn dds_op(d: &Matrix, op_d: Trans, s: &BlockSparseMatrix, op_s: Trans) -> Ma
     // Workers own bands of output rows; every worker walks all nonzero
     // blocks (each block touches a disjoint output column stripe).
     let compute_band = |band: &mut [f32], i0: usize, rows: usize| {
+        debug_assert_eq!(band.len(), rows * n, "dds: worker band has wrong length");
         for k in 0..topo.nnz_blocks() {
             let r = row_indices[k];
             let c = col_indices[k];
@@ -476,7 +614,7 @@ pub fn dds_op(d: &Matrix, op_d: Trans, s: &BlockSparseMatrix, op_s: Trans) -> Ma
     let out_data = out.as_mut_slice();
     if threads <= 1 {
         compute_band(out_data, 0, m);
-        return out;
+        return Ok(out);
     }
     let rows_per_thread = m.div_ceil(threads);
     crossbeam::thread::scope(|scope| {
@@ -487,7 +625,7 @@ pub fn dds_op(d: &Matrix, op_d: Trans, s: &BlockSparseMatrix, op_s: Trans) -> Ma
         }
     })
     .expect("dds worker panicked");
-    out
+    Ok(out)
 }
 
 fn logical(m: &Matrix, op: Trans) -> (usize, usize) {
@@ -510,7 +648,9 @@ mod tests {
     fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
         })
     }
@@ -566,8 +706,16 @@ mod tests {
                 Trans::T => rand_matrix(n, k, 2),
             };
             let got = sdd_op(&a, op_a, &b, op_b, &topo).to_dense();
-            let ad = if op_a == Trans::T { a.transpose() } else { a.clone() };
-            let bd = if op_b == Trans::T { b.transpose() } else { b.clone() };
+            let ad = if op_a == Trans::T {
+                a.transpose()
+            } else {
+                a.clone()
+            };
+            let bd = if op_b == Trans::T {
+                b.transpose()
+            } else {
+                b.clone()
+            };
             let want = mask_dense(&matmul(&ad, &bd), &topo);
             assert!(
                 got.approx_eq(&want, 1e-4),
@@ -582,8 +730,11 @@ mod tests {
         let block = 4;
         let topo = irregular_topo(block);
         let (rows, cols) = topo.shape();
-        let s = crate::BlockSparseMatrix::from_dense(&mask_dense(&rand_matrix(rows, cols, 3), &topo), &topo)
-            .unwrap();
+        let s = crate::BlockSparseMatrix::from_dense(
+            &mask_dense(&rand_matrix(rows, cols, 3), &topo),
+            &topo,
+        )
+        .unwrap();
         let sd = s.to_dense();
         let n = 9;
         for (op_s, op_d) in [
@@ -601,8 +752,16 @@ mod tests {
                 Trans::T => rand_matrix(n, inner, 4),
             };
             let got = dsd_op(&s, op_s, &d, op_d);
-            let sm = if op_s == Trans::T { sd.transpose() } else { sd.clone() };
-            let dm = if op_d == Trans::T { d.transpose() } else { d.clone() };
+            let sm = if op_s == Trans::T {
+                sd.transpose()
+            } else {
+                sd.clone()
+            };
+            let dm = if op_d == Trans::T {
+                d.transpose()
+            } else {
+                d.clone()
+            };
             let want = matmul(&sm, &dm);
             assert!(
                 got.approx_eq(&want, 1e-4),
@@ -617,8 +776,11 @@ mod tests {
         let block = 4;
         let topo = irregular_topo(block);
         let (rows, cols) = topo.shape();
-        let s = crate::BlockSparseMatrix::from_dense(&mask_dense(&rand_matrix(rows, cols, 5), &topo), &topo)
-            .unwrap();
+        let s = crate::BlockSparseMatrix::from_dense(
+            &mask_dense(&rand_matrix(rows, cols, 5), &topo),
+            &topo,
+        )
+        .unwrap();
         let sd = s.to_dense();
         let m = 7;
         for (op_d, op_s) in [
@@ -636,8 +798,16 @@ mod tests {
                 Trans::T => rand_matrix(inner, m, 6),
             };
             let got = dds_op(&d, op_d, &s, op_s);
-            let dm = if op_d == Trans::T { d.transpose() } else { d.clone() };
-            let sm = if op_s == Trans::T { sd.transpose() } else { sd.clone() };
+            let dm = if op_d == Trans::T {
+                d.transpose()
+            } else {
+                d.clone()
+            };
+            let sm = if op_s == Trans::T {
+                sd.transpose()
+            } else {
+                sd.clone()
+            };
             let want = matmul(&dm, &sm);
             assert!(
                 got.approx_eq(&want, 1e-4),
@@ -651,12 +821,19 @@ mod tests {
     fn transpose_index_path_matches_explicit_transpose() {
         let topo = irregular_topo(4);
         let (rows, cols) = topo.shape();
-        let s = crate::BlockSparseMatrix::from_dense(&mask_dense(&rand_matrix(rows, cols, 7), &topo), &topo)
-            .unwrap();
+        let s = crate::BlockSparseMatrix::from_dense(
+            &mask_dense(&rand_matrix(rows, cols, 7), &topo),
+            &topo,
+        )
+        .unwrap();
         let d = rand_matrix(rows, 6, 8);
         let fast = dst_d(&s, &d);
         let slow = dst_d_explicit(&s, &d);
-        assert!(fast.approx_eq(&slow, 1e-4), "diff {}", fast.max_abs_diff(&slow));
+        assert!(
+            fast.approx_eq(&slow, 1e-4),
+            "diff {}",
+            fast.max_abs_diff(&slow)
+        );
     }
 
     #[test]
@@ -725,6 +902,45 @@ mod tests {
         let a = Matrix::zeros(m, 5);
         let b = Matrix::zeros(6, n);
         let _ = sdd(&a, &b, &topo);
+    }
+
+    #[test]
+    fn try_entry_points_return_mismatch_errors() {
+        let topo = irregular_topo(4);
+        let (m, n) = topo.shape();
+
+        let err = try_sdd_op(
+            &Matrix::zeros(m, 5),
+            Trans::N,
+            &Matrix::zeros(6, n),
+            Trans::N,
+            &topo,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SparseError::Mismatch(_)));
+        assert!(err.to_string().contains("sdd: inner dimensions differ"));
+        let err = try_sdd_op(
+            &Matrix::zeros(m + 4, 5),
+            Trans::N,
+            &Matrix::zeros(5, n),
+            Trans::N,
+            &topo,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("rows"));
+
+        let s = BlockSparseMatrix::zeros(&topo);
+        let err = try_dsd_op(&s, Trans::N, &Matrix::zeros(n + 1, 3), Trans::N).unwrap_err();
+        assert!(err.to_string().contains("dsd: inner dimensions differ"));
+        let err = try_dds_op(&Matrix::zeros(3, m + 1), Trans::N, &s, Trans::N).unwrap_err();
+        assert!(err.to_string().contains("dds: inner dimensions differ"));
+
+        // The happy path matches the panicking entry points bit-for-bit.
+        let a = rand_matrix(m, 5, 40);
+        let b = rand_matrix(5, n, 41);
+        let via_try = try_sdd_op(&a, Trans::N, &b, Trans::N, &topo).unwrap();
+        let via_panic = sdd(&a, &b, &topo);
+        assert_eq!(via_try.as_slice(), via_panic.as_slice());
     }
 
     #[test]

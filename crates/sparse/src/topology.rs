@@ -9,6 +9,8 @@
 
 use std::sync::Arc;
 
+use megablocks_telemetry as telemetry;
+
 use crate::{BlockSize, SparseError};
 
 /// Coordinates of one nonzero block inside the block grid.
@@ -75,7 +77,11 @@ impl Topology {
         blocks: impl IntoIterator<Item = BlockCoord>,
         block_size: BlockSize,
     ) -> Result<Self, SparseError> {
+        // Every construction path (block_diagonal, for_moe) funnels through
+        // here, so this one span times all topology builds.
+        let _span = telemetry::span("sparse.topology_build");
         let mut coords: Vec<BlockCoord> = blocks.into_iter().collect();
+        telemetry::counter("sparse.topology_blocks").add(coords.len() as u64);
         for c in &coords {
             if c.row >= block_rows || c.col >= block_cols {
                 return Err(SparseError::CoordOutOfRange {
@@ -192,7 +198,7 @@ impl Topology {
         block_size: BlockSize,
     ) -> Result<Self, SparseError> {
         let bs = block_size.get();
-        if ffn_hidden_size % bs != 0 {
+        if !ffn_hidden_size.is_multiple_of(bs) {
             return Err(SparseError::Unaligned {
                 what: "ffn_hidden_size",
                 value: ffn_hidden_size,
@@ -331,7 +337,10 @@ impl Topology {
     ///
     /// Panics if `col >= self.block_cols()`.
     pub fn col_blocks(&self, col: usize) -> impl Iterator<Item = usize> + '_ {
-        assert!(col < self.inner.block_cols, "block column {col} out of range");
+        assert!(
+            col < self.inner.block_cols,
+            "block column {col} out of range"
+        );
         let lo = self.inner.col_offsets[col];
         let hi = self.inner.col_offsets[col + 1];
         self.inner.transpose_indices[lo..hi].iter().copied()
@@ -342,7 +351,10 @@ impl Topology {
     pub fn transposed(&self) -> Topology {
         let blocks = (0..self.nnz_blocks()).map(|k| {
             let c = self.coord(k);
-            BlockCoord { row: c.col, col: c.row }
+            BlockCoord {
+                row: c.col,
+                col: c.row,
+            }
         });
         Topology::from_blocks(
             self.inner.block_cols,
@@ -474,7 +486,7 @@ mod tests {
         let topo = Topology::for_moe(&[128, 0, 256], 256, bs(128)).unwrap();
         assert_eq!(topo.block_rows(), 3);
         assert_eq!(topo.block_cols(), 6);
-        assert_eq!(topo.nnz_blocks(), 1 * 2 + 0 + 2 * 2);
+        assert_eq!(topo.nnz_blocks(), 2 + 2 * 2);
     }
 
     #[test]

@@ -38,7 +38,11 @@ fn block_size_one_degenerates_to_elementwise_sparsity() {
     let full = matmul(&a, &b);
     for i in 0..3 {
         for j in 0..3 {
-            let expect = if topo.find(i, j).is_some() { full[(i, j)] } else { 0.0 };
+            let expect = if topo.find(i, j).is_some() {
+                full[(i, j)]
+            } else {
+                0.0
+            };
             assert!((s.get(i, j) - expect).abs() < 1e-5, "({i},{j})");
         }
     }

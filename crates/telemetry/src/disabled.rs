@@ -1,0 +1,157 @@
+//! The no-op implementation, compiled when the `enabled` feature is
+//! off. Every type is zero-sized and every function inlines to nothing,
+//! so instrumented call sites vanish from release builds — benchmark
+//! numbers measure the kernels, not the bookkeeping.
+
+use std::fmt::Display;
+use std::io;
+use std::path::Path;
+
+use crate::report::Snapshot;
+use crate::value::Value;
+
+// The whole point of this module: instrumentation carries no state when
+// disabled. Checked at compile time.
+const _: () = {
+    assert!(std::mem::size_of::<Counter>() == 0);
+    assert!(std::mem::size_of::<Gauge>() == 0);
+    assert!(std::mem::size_of::<Histogram>() == 0);
+    assert!(std::mem::size_of::<SpanGuard>() == 0);
+    assert!(std::mem::size_of::<Registry>() == 0);
+};
+
+/// No-op stand-in for the global metric registry.
+pub struct Registry;
+
+/// No-op counter handle.
+#[derive(Clone)]
+pub struct Counter;
+
+impl Counter {
+    /// Does nothing (recording disabled).
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Does nothing (recording disabled).
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Always zero (recording disabled).
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge handle.
+#[derive(Clone)]
+pub struct Gauge;
+
+impl Gauge {
+    /// Does nothing (recording disabled).
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+
+    /// Always zero (recording disabled).
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No-op histogram handle.
+#[derive(Clone)]
+pub struct Histogram;
+
+impl Histogram {
+    /// Does nothing (recording disabled).
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+
+    /// Always zero (recording disabled).
+    #[inline(always)]
+    pub fn count(&self) -> u64 {
+        0
+    }
+
+    /// Always zero (recording disabled).
+    #[inline(always)]
+    pub fn sum(&self) -> u64 {
+        0
+    }
+
+    /// Always zero (recording disabled).
+    #[inline(always)]
+    pub fn percentile(&self, _q: f64) -> u64 {
+        0
+    }
+}
+
+/// Returns a no-op counter handle.
+#[inline(always)]
+pub fn counter(_name: &'static str) -> Counter {
+    Counter
+}
+
+/// Returns a no-op counter handle.
+#[inline(always)]
+pub fn counter_with(_name: &'static str, _label: impl Display) -> Counter {
+    Counter
+}
+
+/// Returns a no-op gauge handle.
+#[inline(always)]
+pub fn gauge(_name: &'static str) -> Gauge {
+    Gauge
+}
+
+/// Returns a no-op histogram handle.
+#[inline(always)]
+pub fn histogram(_name: &'static str) -> Histogram {
+    Histogram
+}
+
+/// Returns a no-op histogram handle.
+#[inline(always)]
+pub fn histogram_with(_name: &'static str, _label: impl Display) -> Histogram {
+    Histogram
+}
+
+/// Zero-sized span guard; opening and dropping it does nothing.
+pub struct SpanGuard;
+
+/// Returns a zero-sized guard; no time is recorded.
+#[inline(always)]
+#[must_use = "a span records when the guard drops"]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard
+}
+
+/// Does nothing (recording disabled).
+#[inline(always)]
+pub fn event(_name: &str, _fields: &[(&str, Value)]) {}
+
+/// Does nothing (recording disabled).
+#[inline(always)]
+pub fn reset() {}
+
+/// Returns an empty snapshot (recording disabled).
+#[inline(always)]
+pub fn snapshot() -> Snapshot {
+    Snapshot::default()
+}
+
+/// Does nothing; reports success (recording disabled, no file written).
+#[inline(always)]
+pub fn export_jsonl(_path: impl AsRef<Path>) -> io::Result<()> {
+    Ok(())
+}
+
+/// Returns a fixed note that recording is disabled.
+pub fn summary_string() -> String {
+    "telemetry disabled (build with the `telemetry` feature)\n".to_string()
+}
+
+/// Does nothing (recording disabled).
+#[inline(always)]
+pub fn print_summary() {}

@@ -1,0 +1,74 @@
+//! Observability substrate for MegaBlocks-RS.
+//!
+//! The paper's claims are all *measured* claims — kernel times, padding
+//! overhead, expert load, throughput — so every crate in the workspace
+//! records into this one through four primitives:
+//!
+//! * **Spans** ([`span`]): hierarchical RAII wall-clock timers. Nesting is
+//!   tracked per thread, so each span family reports both *inclusive*
+//!   time (span plus children) and *exclusive* ("self") time.
+//! * **Counters** ([`counter`], [`counter_with`]): monotonically
+//!   increasing atomic `u64`s, cheap enough for per-kernel-call totals.
+//! * **Histograms** ([`histogram`], [`histogram_with`]): lock-free
+//!   log₂-bucketed distributions with exact `count`/`sum`/`min`/`max` and
+//!   monotone percentile queries.
+//! * **Gauges** ([`gauge`]) and **events** ([`event`]): last-value
+//!   metrics and structured per-step records (loss, lr, throughput).
+//!
+//! Handles are fetched from the global [`Registry`] by name (plus an
+//! optional label for families such as per-expert counts); hot loops
+//! fetch a handle once per kernel invocation, accumulate locally, and
+//! record once, so nothing in a worker loop takes a lock.
+//!
+//! Snapshots feed pluggable [`Sink`]s: [`JsonlSink`] writes one JSON
+//! object per metric (for `results/`), and [`SummarySink`] renders a
+//! human-readable table. [`SummaryOnDrop`] prints that table when it goes
+//! out of scope.
+//!
+//! Everything is gated behind the `enabled` cargo feature. When the
+//! feature is off, every type is zero-sized and every call inlines to
+//! nothing — verified by a compile-time assertion — so instrumented hot
+//! loops cost nothing in benchmark builds.
+
+#![deny(missing_docs)]
+
+mod report;
+mod value;
+pub use report::{
+    render_jsonl, render_summary, CounterRow, GaugeRow, HistogramRow, JsonlSink, Sink, Snapshot,
+    SpanRow, SummarySink,
+};
+pub use value::Value;
+
+#[cfg(feature = "enabled")]
+mod enabled;
+#[cfg(feature = "enabled")]
+pub use enabled::*;
+
+#[cfg(not(feature = "enabled"))]
+mod disabled;
+#[cfg(not(feature = "enabled"))]
+pub use disabled::*;
+
+/// Whether metric recording is compiled in (`enabled` cargo feature).
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+/// Prints the summary table for the current process when dropped —
+/// the "summary on drop" sink. Create one at the top of `main`.
+#[derive(Debug, Default)]
+pub struct SummaryOnDrop;
+
+impl SummaryOnDrop {
+    /// Creates the guard.
+    pub fn new() -> Self {
+        SummaryOnDrop
+    }
+}
+
+impl Drop for SummaryOnDrop {
+    fn drop(&mut self) {
+        print_summary();
+    }
+}

@@ -1,0 +1,67 @@
+//! Compile-time and behavioural checks for the feature-off build: run
+//! with `cargo test -p megablocks-telemetry --no-default-features`.
+//! Every call site must compile to a no-op on zero-sized types so
+//! instrumented hot loops cost nothing in benchmark builds.
+
+#![cfg(not(feature = "enabled"))]
+
+use megablocks_telemetry as telemetry;
+
+// The contract, checked at compile time: handles and guards carry no
+// state whatsoever.
+const _: () = {
+    assert!(std::mem::size_of::<telemetry::Counter>() == 0);
+    assert!(std::mem::size_of::<telemetry::Gauge>() == 0);
+    assert!(std::mem::size_of::<telemetry::Histogram>() == 0);
+    assert!(std::mem::size_of::<telemetry::SpanGuard>() == 0);
+};
+
+#[test]
+fn every_call_site_is_a_no_op() {
+    assert!(!telemetry::is_enabled());
+
+    let c = telemetry::counter("noop.counter");
+    c.add(100);
+    c.inc();
+    assert_eq!(c.get(), 0);
+
+    telemetry::counter_with("noop.family", 3).add(7);
+
+    let g = telemetry::gauge("noop.gauge");
+    g.set(2.5);
+    assert_eq!(g.get(), 0.0);
+
+    let h = telemetry::histogram("noop.hist");
+    h.record(5);
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.percentile(0.99), 0);
+    telemetry::histogram_with("noop.hist_family", "e1").record(9);
+
+    {
+        let _span = telemetry::span("noop.span");
+        let _child = telemetry::span("noop.child");
+    }
+
+    telemetry::event("noop.event", &[("k", 1u64.into())]);
+
+    let snap = telemetry::snapshot();
+    assert!(snap.counters.is_empty());
+    assert!(snap.spans.is_empty());
+    assert!(snap.events.is_empty());
+
+    telemetry::reset();
+}
+
+#[test]
+fn export_writes_nothing_and_succeeds() {
+    let path = std::env::temp_dir().join(format!(
+        "megablocks_telemetry_noop_{}.jsonl",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    telemetry::export_jsonl(&path).expect("no-op export succeeds");
+    assert!(!path.exists(), "disabled build must not write artifacts");
+    assert!(telemetry::summary_string().contains("disabled"));
+    telemetry::print_summary();
+    drop(telemetry::SummaryOnDrop::new());
+}

@@ -48,9 +48,9 @@ impl BatchedMatrix {
     /// Returns [`ShapeError`] if the matrices do not all share one shape or
     /// the batch is empty.
     pub fn from_matrices(entries: Vec<Matrix>) -> Result<Self, ShapeError> {
-        let first = entries.first().ok_or_else(|| {
-            ShapeError::new("BatchedMatrix::from_matrices", "empty batch")
-        })?;
+        let first = entries
+            .first()
+            .ok_or_else(|| ShapeError::new("BatchedMatrix::from_matrices", "empty batch"))?;
         let (rows, cols) = first.shape();
         for (i, e) in entries.iter().enumerate() {
             if e.shape() != (rows, cols) {
@@ -64,7 +64,11 @@ impl BatchedMatrix {
                 ));
             }
         }
-        Ok(Self { entries, rows, cols })
+        Ok(Self {
+            entries,
+            rows,
+            cols,
+        })
     }
 
     /// Number of matrices in the batch.
@@ -132,7 +136,12 @@ pub fn batched_matmul(a: &BatchedMatrix, b: &BatchedMatrix) -> BatchedMatrix {
 ///
 /// Panics if the batch sizes differ or the logical per-entry shapes are
 /// incompatible.
-pub fn batched_matmul_op(a: &BatchedMatrix, op_a: Trans, b: &BatchedMatrix, op_b: Trans) -> BatchedMatrix {
+pub fn batched_matmul_op(
+    a: &BatchedMatrix,
+    op_a: Trans,
+    b: &BatchedMatrix,
+    op_b: Trans,
+) -> BatchedMatrix {
     assert_eq!(a.batch(), b.batch(), "batched_matmul batch size mismatch");
     let entries: Vec<Matrix> = a
         .iter()
@@ -186,8 +195,11 @@ mod tests {
 
     #[test]
     fn batched_transposed_ops() {
-        let a = BatchedMatrix::from_matrices(vec![Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f32)]).unwrap();
-        let b = BatchedMatrix::from_matrices(vec![Matrix::from_fn(4, 3, |i, j| (i + j) as f32)]).unwrap();
+        let a =
+            BatchedMatrix::from_matrices(vec![Matrix::from_fn(4, 2, |i, j| (i * 2 + j) as f32)])
+                .unwrap();
+        let b = BatchedMatrix::from_matrices(vec![Matrix::from_fn(4, 3, |i, j| (i + j) as f32)])
+            .unwrap();
         let c = batched_matmul_op(&a, Trans::T, &b, Trans::N);
         assert_eq!(c.entry_shape(), (2, 3));
         let want = matmul(&a.get(0).transpose(), b.get(0));

@@ -40,7 +40,10 @@ impl DropoutMask {
 ///
 /// Panics unless `0.0 <= p < 1.0`.
 pub fn dropout(x: &Matrix, p: f32, rng: &mut StdRng) -> (Matrix, DropoutMask) {
-    assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "drop probability must be in [0, 1)"
+    );
     let keep_prob = 1.0 - p;
     let scale = 1.0 / keep_prob;
     let mut kept = Vec::with_capacity(x.len());
@@ -60,7 +63,11 @@ pub fn dropout(x: &Matrix, p: f32, rng: &mut StdRng) -> (Matrix, DropoutMask) {
 ///
 /// Panics if `dy` has a different element count than the forward input.
 pub fn dropout_backward(dy: &Matrix, mask: &DropoutMask) -> Matrix {
-    assert_eq!(dy.len(), mask.kept.len(), "mask does not match gradient shape");
+    assert_eq!(
+        dy.len(),
+        mask.kept.len(),
+        "mask does not match gradient shape"
+    );
     let scale = 1.0 / mask.keep_prob;
     let mut dx = dy.clone();
     for (v, &keep) in dx.as_mut_slice().iter_mut().zip(&mask.kept) {

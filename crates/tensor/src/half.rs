@@ -149,7 +149,10 @@ mod tests {
             let v = (i as f32 * 0.37 + 0.01) * if i % 2 == 0 { 1.0 } else { -1.0 };
             let r = round_to_f16(v);
             let rel = ((r - v) / v).abs();
-            assert!(rel <= 1.0 / 2048.0 + 1e-7, "value {v}: rounded {r}, rel {rel}");
+            assert!(
+                rel <= 1.0 / 2048.0 + 1e-7,
+                "value {v}: rounded {r}, rel {rel}"
+            );
         }
     }
 

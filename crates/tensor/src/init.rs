@@ -68,7 +68,12 @@ mod tests {
         let m = normal(200, 200, 1.0, &mut seeded_rng(42));
         let n = m.len() as f32;
         let mean = m.sum() / n;
-        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - 1.0).abs() < 0.05, "var {var}");
     }

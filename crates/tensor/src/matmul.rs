@@ -41,7 +41,15 @@ const PARALLEL_THRESHOLD: usize = 64 * 64;
 ///
 /// Panics if the logical shapes are incompatible: `op_a(a)` must be `m x k`,
 /// `op_b(b)` must be `k x n`, and `c` must be `m x n`.
-pub fn gemm(alpha: f32, a: &Matrix, op_a: Trans, b: &Matrix, op_b: Trans, beta: f32, c: &mut Matrix) {
+pub fn gemm(
+    alpha: f32,
+    a: &Matrix,
+    op_a: Trans,
+    b: &Matrix,
+    op_b: Trans,
+    beta: f32,
+    c: &mut Matrix,
+) {
     let (m, ka) = op_a.apply(a.shape());
     let (kb, n) = op_b.apply(b.shape());
     assert_eq!(
@@ -69,7 +77,11 @@ pub fn gemm(alpha: f32, a: &Matrix, op_a: Trans, b: &Matrix, op_b: Trans, beta: 
 
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     let work = m * n;
-    let threads = if work < PARALLEL_THRESHOLD { 1 } else { threads.min(m) };
+    let threads = if work < PARALLEL_THRESHOLD {
+        1
+    } else {
+        threads.min(m)
+    };
 
     let a_data = a.as_slice();
     let b_data = b.as_slice();
@@ -230,7 +242,9 @@ mod tests {
         // Small deterministic LCG so the test has no dependencies.
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         Matrix::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
         })
     }

@@ -132,7 +132,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row(&self, i: usize) -> &[f32] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -142,7 +146,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.rows()`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
-        assert!(i < self.rows, "row {i} out of bounds for {} rows", self.rows);
+        assert!(
+            i < self.rows,
+            "row {i} out of bounds for {} rows",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -152,7 +160,10 @@ impl Matrix {
     ///
     /// Panics if the range extends past the number of rows.
     pub fn rows_range(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "invalid row range {start}..{end}");
+        assert!(
+            start <= end && end <= self.rows,
+            "invalid row range {start}..{end}"
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,
@@ -271,14 +282,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (i, j): (usize, usize)) -> &f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f32 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }

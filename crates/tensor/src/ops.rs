@@ -85,7 +85,11 @@ pub fn softmax_rows_backward(y: &Matrix, dy: &Matrix) -> Matrix {
 ///
 /// Panics if `targets.len() != logits.rows()` or any non-ignored target is
 /// out of vocabulary range.
-pub fn cross_entropy(logits: &Matrix, targets: &[usize], ignore_index: Option<usize>) -> (f32, Matrix) {
+pub fn cross_entropy(
+    logits: &Matrix,
+    targets: &[usize],
+    ignore_index: Option<usize>,
+) -> (f32, Matrix) {
     assert_eq!(
         targets.len(),
         logits.rows(),
@@ -98,7 +102,11 @@ pub fn cross_entropy(logits: &Matrix, targets: &[usize], ignore_index: Option<us
         if Some(t) == ignore_index {
             continue;
         }
-        assert!(t < logits.cols(), "target {t} out of range for vocab {}", logits.cols());
+        assert!(
+            t < logits.cols(),
+            "target {t} out of range for vocab {}",
+            logits.cols()
+        );
         counted += 1;
         let row = logits.row(i);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -174,7 +182,11 @@ pub fn layer_norm_backward(
     cache: &LayerNormCache,
 ) -> (Matrix, Vec<f32>, Vec<f32>) {
     assert_eq!(x.shape(), dy.shape(), "layer_norm_backward shape mismatch");
-    assert_eq!(cache.mean.len(), x.rows(), "cache does not match forward input");
+    assert_eq!(
+        cache.mean.len(),
+        x.rows(),
+        "cache does not match forward input"
+    );
     let n = x.cols() as f32;
     let mut dx = Matrix::zeros(x.rows(), x.cols());
     let mut dgamma = vec![0.0f32; x.cols()];
@@ -346,7 +358,11 @@ mod tests {
         let dx = softmax_rows_backward(&y, &w);
         let mut f = |m: &Matrix| {
             let y = softmax_rows(m);
-            y.as_slice().iter().zip(w.as_slice()).map(|(a, b)| a * b).sum::<f32>()
+            y.as_slice()
+                .iter()
+                .zip(w.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
         };
         finite_diff_check(&mut f, &x, &dx, 1e-3, 2e-2);
     }
@@ -389,7 +405,12 @@ mod tests {
         let (y, _) = layer_norm(&x, &gamma, &beta, 1e-5);
         for i in 0..4 {
             let mean: f32 = y.row(i).iter().sum::<f32>() / 8.0;
-            let var: f32 = y.row(i).iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            let var: f32 = y
+                .row(i)
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 8.0;
             assert!(mean.abs() < 1e-4, "row {i} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "row {i} var {var}");
         }
@@ -405,14 +426,22 @@ mod tests {
         let (dx, dgamma, dbeta) = layer_norm_backward(&x, &w, &gamma, &cache);
         let mut f = |m: &Matrix| {
             let (y, _) = layer_norm(m, &gamma, &beta, 1e-5);
-            y.as_slice().iter().zip(w.as_slice()).map(|(a, b)| a * b).sum::<f32>()
+            y.as_slice()
+                .iter()
+                .zip(w.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
         };
         finite_diff_check(&mut f, &x, &dx, 1e-3, 3e-2);
 
         // dgamma / dbeta spot check via finite differences on gamma[2], beta[3]
         let eval = |g: &[f32], b: &[f32]| {
             let (y, _) = layer_norm(&x, g, b, 1e-5);
-            y.as_slice().iter().zip(w.as_slice()).map(|(a, c)| a * c).sum::<f32>()
+            y.as_slice()
+                .iter()
+                .zip(w.as_slice())
+                .map(|(a, c)| a * c)
+                .sum::<f32>()
         };
         let mut gp = gamma.clone();
         gp[2] += 1e-3;
@@ -444,7 +473,12 @@ mod tests {
         let w = Matrix::from_fn(2, 5, |i, j| ((i * 5 + j) as f32).sin());
         let dx = gelu_backward(&x, &w);
         let mut f = |m: &Matrix| {
-            gelu(m).as_slice().iter().zip(w.as_slice()).map(|(a, b)| a * b).sum::<f32>()
+            gelu(m)
+                .as_slice()
+                .iter()
+                .zip(w.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
         };
         finite_diff_check(&mut f, &x, &dx, 1e-3, 2e-2);
     }

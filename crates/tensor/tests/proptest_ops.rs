@@ -2,8 +2,8 @@
 //! calculus identities of the NN primitives.
 
 use megablocks_tensor::ops::{
-    add_bias, bias_backward, cross_entropy, gelu, gelu_backward, layer_norm,
-    layer_norm_backward, relu, relu_backward, softmax_rows, softmax_rows_backward,
+    add_bias, bias_backward, cross_entropy, gelu, gelu_backward, layer_norm, layer_norm_backward,
+    relu, relu_backward, softmax_rows, softmax_rows_backward,
 };
 use megablocks_tensor::{batched_matmul, matmul, BatchedMatrix, Matrix};
 use proptest::prelude::*;
@@ -38,8 +38,7 @@ proptest! {
     }
 
     #[test]
-    fn matmul_distributes_over_addition((m, n, k) in dims(), a in Just(()), seed in 0u64..100) {
-        let _ = a;
+    fn matmul_distributes_over_addition((m, n, k) in dims(), _unit in Just(()), seed in 0u64..100) {
         let mut s = seed.wrapping_add(7);
         let mut next = move |rows: usize, cols: usize| {
             Matrix::from_fn(rows, cols, |_, _| {

@@ -91,8 +91,7 @@ impl Adam {
                 let mhat = mi / bias1;
                 let vhat = vi / bias2;
                 let w = p.value().as_slice()[i];
-                p.value_mut().as_mut_slice()[i] =
-                    w - lr * (mhat / (vhat.sqrt() + eps) + wd * w);
+                p.value_mut().as_mut_slice()[i] = w - lr * (mhat / (vhat.sqrt() + eps) + wd * w);
             }
             p.zero_grad();
         }

@@ -1,7 +1,9 @@
 //! Causal multi-head self-attention with explicit backward pass.
 
 use megablocks_core::Param;
-use megablocks_tensor::ops::{add_bias, bias_backward, softmax_rows_backward, softmax_rows_inplace};
+use megablocks_tensor::ops::{
+    add_bias, bias_backward, softmax_rows_backward, softmax_rows_inplace,
+};
 use megablocks_tensor::{init, matmul, matmul_nt, matmul_tn, Matrix};
 use rand::rngs::StdRng;
 
@@ -38,7 +40,10 @@ impl Attention {
     ///
     /// Panics if `hidden` is not divisible by `num_heads`.
     pub fn new(hidden: usize, num_heads: usize, rng: &mut StdRng) -> Self {
-        assert!(hidden % num_heads == 0, "hidden must be divisible by num_heads");
+        assert!(
+            hidden.is_multiple_of(num_heads),
+            "hidden must be divisible by num_heads"
+        );
         Self {
             w_qkv: Param::new(init::gpt2_normal(hidden, 3 * hidden, rng)),
             b_qkv: Param::new(Matrix::zeros(1, 3 * hidden)),
@@ -51,7 +56,12 @@ impl Attention {
 
     /// Trainable parameters, for the optimizer.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        vec![&mut self.w_qkv, &mut self.b_qkv, &mut self.w_o, &mut self.b_o]
+        vec![
+            &mut self.w_qkv,
+            &mut self.b_qkv,
+            &mut self.w_o,
+            &mut self.b_o,
+        ]
     }
 
     /// Parameter count (`4h² + 4h`).
@@ -249,7 +259,11 @@ mod tests {
 
         let objective = |attn: &Attention, x: &Matrix| -> f32 {
             let (y, _) = attn.forward(x, 1, 4);
-            y.as_slice().iter().zip(w.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(w.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
 
         let (y, cache) = attn.forward(&x, 1, 4);

@@ -115,15 +115,27 @@ impl Block {
             }
             BlockFfn::Dropless(moe) => {
                 let out = moe.forward(&n2);
-                (out.output, FfnCacheKind::Dropless(out.cache), Some(out.stats))
+                (
+                    out.output,
+                    FfnCacheKind::Dropless(out.cache),
+                    Some(out.stats),
+                )
             }
             BlockFfn::Dropping(moe) => {
                 let out = moe.forward(&n2);
-                (out.output, FfnCacheKind::Dropping(out.cache), Some(out.stats))
+                (
+                    out.output,
+                    FfnCacheKind::Dropping(out.cache),
+                    Some(out.stats),
+                )
             }
             BlockFfn::ExpertChoice(moe) => {
                 let out = moe.forward(&n2);
-                (out.output, FfnCacheKind::ExpertChoice(out.cache), Some(out.stats))
+                (
+                    out.output,
+                    FfnCacheKind::ExpertChoice(out.cache),
+                    Some(out.stats),
+                )
             }
         };
         let mut out = mid.clone();
@@ -149,9 +161,7 @@ impl Block {
             (BlockFfn::Dense(ffn), FfnCacheKind::Dense(c)) => ffn.backward(c, d_out),
             (BlockFfn::Dropless(moe), FfnCacheKind::Dropless(c)) => moe.backward(c, d_out),
             (BlockFfn::Dropping(moe), FfnCacheKind::Dropping(c)) => moe.backward(c, d_out),
-            (BlockFfn::ExpertChoice(moe), FfnCacheKind::ExpertChoice(c)) => {
-                moe.backward(c, d_out)
-            }
+            (BlockFfn::ExpertChoice(moe), FfnCacheKind::ExpertChoice(c)) => moe.backward(c, d_out),
             _ => unreachable!("cache flavor always matches the layer flavor"),
         };
         let mut d_mid = d_out.clone();
@@ -207,7 +217,11 @@ mod tests {
 
         let objective = |block: &Block, x: &Matrix| -> f32 {
             let (y, _) = block.forward(x, 1, 4);
-            y.as_slice().iter().zip(w.as_slice()).map(|(a, b)| a * b).sum()
+            y.as_slice()
+                .iter()
+                .zip(w.as_slice())
+                .map(|(a, b)| a * b)
+                .sum()
         };
 
         let (_, cache) = block.forward(&x, 1, 4);

@@ -101,7 +101,12 @@ impl TransformerConfig {
 /// For a top-1 MoE of the same dimensions at capacity factor 1 the
 /// *activated* FLOPs are identical — which is why Table 2 repeats Table 1's
 /// GFLOP column.
-pub fn model_flops_per_sequence(seq_len: usize, num_layers: usize, hidden: usize, vocab: usize) -> f64 {
+pub fn model_flops_per_sequence(
+    seq_len: usize,
+    num_layers: usize,
+    hidden: usize,
+    vocab: usize,
+) -> f64 {
     let s = seq_len as f64;
     let l = num_layers as f64;
     let h = hidden as f64;

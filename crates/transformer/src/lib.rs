@@ -45,4 +45,4 @@ pub use config::{
 };
 pub use model::{StepStats, TransformerLm};
 pub use norm::LayerNorm;
-pub use trainer::{lr_at_step, EvalResult, Trainer, TrainerConfig, TrainLog};
+pub use trainer::{lr_at_step, EvalResult, TrainLog, Trainer, TrainerConfig};

@@ -54,7 +54,15 @@ impl TransformerLm {
         let wte = Param::new(init::gpt2_normal(cfg.vocab_size, cfg.hidden_size, rng));
         let wpe = Param::new(init::normal(cfg.seq_len, cfg.hidden_size, 0.01, rng));
         let blocks = (0..cfg.num_layers)
-            .map(|_| Block::new(cfg.hidden_size, cfg.num_heads, cfg.ffn_hidden_size, &cfg.ffn, rng))
+            .map(|_| {
+                Block::new(
+                    cfg.hidden_size,
+                    cfg.num_heads,
+                    cfg.ffn_hidden_size,
+                    &cfg.ffn,
+                    rng,
+                )
+            })
             .collect();
         let ln_f = LayerNorm::new(cfg.hidden_size);
         Self {
@@ -104,8 +112,15 @@ impl TransformerLm {
     }
 
     fn embed(&self, inputs: &[usize], batch: usize, seq: usize) -> Matrix {
-        assert_eq!(inputs.len(), batch * seq, "inputs length must be batch * seq");
-        assert!(seq <= self.cfg.seq_len, "sequence longer than the model maximum");
+        assert_eq!(
+            inputs.len(),
+            batch * seq,
+            "inputs length must be batch * seq"
+        );
+        assert!(
+            seq <= self.cfg.seq_len,
+            "sequence longer than the model maximum"
+        );
         let h = self.cfg.hidden_size;
         let mut x = Matrix::zeros(batch * seq, h);
         for (r, &tok) in inputs.iter().enumerate() {
@@ -154,7 +169,11 @@ impl TransformerLm {
     /// Panics if `inputs`/`targets` lengths differ or are not
     /// `batch * seq` for some integer `seq`.
     pub fn eval_loss(&self, inputs: &[usize], targets: &[usize], batch: usize) -> f32 {
-        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs/targets length mismatch"
+        );
         let seq = inputs.len() / batch;
         let (logits, _) = self.forward_cached(inputs, batch, seq);
         cross_entropy(&logits, targets, None).0
@@ -167,7 +186,8 @@ impl TransformerLm {
         let (logits, _) = self.forward_cached(inputs, batch, seq);
         let mut out = Matrix::zeros(batch, self.cfg.vocab_size);
         for b in 0..batch {
-            out.row_mut(b).copy_from_slice(logits.row(b * seq + seq - 1));
+            out.row_mut(b)
+                .copy_from_slice(logits.row(b * seq + seq - 1));
         }
         out
     }
@@ -241,7 +261,11 @@ impl TransformerLm {
     /// Panics if `inputs`/`targets` lengths differ or tokens exceed the
     /// vocabulary.
     pub fn train_step(&mut self, inputs: &[usize], targets: &[usize], batch: usize) -> StepStats {
-        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs/targets length mismatch"
+        );
         let seq = inputs.len() / batch;
         let (logits, cache) = self.forward_cached(inputs, batch, seq);
 
@@ -258,12 +282,7 @@ impl TransformerLm {
 
         // Blocks in reverse.
         let mut moe_stats = Vec::new();
-        for (block, bc) in self
-            .blocks
-            .iter_mut()
-            .zip(&cache.block_inputs_cache)
-            .rev()
-        {
+        for (block, bc) in self.blocks.iter_mut().zip(&cache.block_inputs_cache).rev() {
             d_h_final = block.backward(bc, &d_h_final);
             if let Some(s) = &bc.moe_stats {
                 moe_stats.push(s.clone());

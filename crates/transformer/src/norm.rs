@@ -39,7 +39,12 @@ impl LayerNorm {
 
     /// Forward pass; the cache feeds [`LayerNorm::backward`].
     pub fn forward(&self, x: &Matrix) -> (Matrix, LayerNormCache) {
-        layer_norm(x, self.gamma.value().row(0), self.beta.value().row(0), self.eps)
+        layer_norm(
+            x,
+            self.gamma.value().row(0),
+            self.beta.value().row(0),
+            self.eps,
+        )
     }
 
     /// Backward pass: accumulates gamma/beta gradients, returns `dx`.
@@ -80,8 +85,7 @@ mod tests {
         let dx = ln.backward(&x, &dy, &cache);
         assert_eq!(dx.shape(), (2, 4));
         // dbeta = column sums of dy = 2 everywhere.
-        assert!(ln
-            .params_mut()[1]
+        assert!(ln.params_mut()[1]
             .grad()
             .approx_eq(&Matrix::full(1, 4, 2.0), 1e-6));
     }

@@ -3,7 +3,10 @@
 //! fits in memory (Table 3), Adam with warmup + decay, gradient clipping at
 //! 1.0.
 
+use std::time::Instant;
+
 use megablocks_data::TokenDataset;
+use megablocks_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -79,6 +82,9 @@ pub struct TrainLog {
     pub grad_norm: f32,
     /// Learning rate used.
     pub lr: f32,
+    /// Training throughput for the step: tokens processed per wall-clock
+    /// second (`batch_size * seq_len / elapsed`).
+    pub tokens_per_sec: f64,
 }
 
 /// Result of a validation pass.
@@ -108,7 +114,7 @@ impl Trainer {
     /// Panics if `micro_batch_size` does not divide `batch_size`.
     pub fn new(model: TransformerLm, cfg: TrainerConfig) -> Self {
         assert!(
-            cfg.batch_size % cfg.micro_batch_size == 0,
+            cfg.batch_size.is_multiple_of(cfg.micro_batch_size),
             "micro_batch_size {} must divide batch_size {}",
             cfg.micro_batch_size,
             cfg.batch_size
@@ -146,6 +152,8 @@ impl Trainer {
     /// Runs one optimizer step (with gradient accumulation over
     /// `batch_size / micro_batch_size` micro-batches) on `train`.
     pub fn train_step(&mut self, train: &TokenDataset) -> TrainLog {
+        let _span = telemetry::span("train.step");
+        let started = Instant::now();
         let micro_steps = self.cfg.batch_size / self.cfg.micro_batch_size;
         let mut ce = 0.0f32;
         let mut lb = 0.0f32;
@@ -178,6 +186,30 @@ impl Trainer {
         let lr = lr_at_step(&self.cfg, self.step);
         self.optimizer.step(&mut params, lr);
         self.step += 1;
+
+        let elapsed = started.elapsed();
+        let tokens = self.cfg.batch_size * self.cfg.seq_len;
+        let tokens_per_sec = tokens as f64 / elapsed.as_secs_f64().max(1e-9);
+        telemetry::counter("train.tokens").add(tokens as u64);
+        telemetry::histogram("train.step_us").record(elapsed.as_micros() as u64);
+        telemetry::gauge("train.ce_loss").set(ce as f64);
+        telemetry::gauge("train.lb_loss").set(lb as f64);
+        telemetry::gauge("train.lr").set(lr as f64);
+        telemetry::gauge("train.grad_norm").set(grad_norm as f64);
+        telemetry::gauge("train.tokens_per_sec").set(tokens_per_sec);
+        telemetry::event(
+            "train.step",
+            &[
+                ("step", ((self.step - 1) as u64).into()),
+                ("ce_loss", ce.into()),
+                ("lb_loss", lb.into()),
+                ("dropped_tokens", (dropped as u64).into()),
+                ("grad_norm", grad_norm.into()),
+                ("lr", lr.into()),
+                ("tokens_per_sec", tokens_per_sec.into()),
+            ],
+        );
+
         TrainLog {
             step: self.step - 1,
             ce_loss: ce,
@@ -186,6 +218,7 @@ impl Trainer {
             max_load_imbalance: imbalance,
             grad_norm,
             lr,
+            tokens_per_sec,
         }
     }
 
@@ -200,7 +233,10 @@ impl Trainer {
         let batches = valid.sequential_batches(self.cfg.micro_batch_size, self.cfg.seq_len);
         let n = batches.len().min(max_batches).max(1).min(batches.len());
         if batches.is_empty() {
-            return EvalResult { loss: f32::NAN, batches: 0 };
+            return EvalResult {
+                loss: f32::NAN,
+                batches: 0,
+            };
         }
         let mut total = 0.0f32;
         for b in batches.iter().take(n) {
@@ -276,14 +312,14 @@ mod tests {
         );
         assert_eq!(logs.len(), 60);
         assert!(logs.iter().all(|l| l.grad_norm.is_finite()));
+        assert!(logs.iter().all(|l| l.tokens_per_sec > 0.0));
     }
 
     #[test]
     #[should_panic(expected = "must divide")]
     fn micro_batch_must_divide_batch() {
         let mut rng = seeded_rng(2);
-        let model =
-            crate::TransformerLm::new(TransformerConfig::tiny(FfnKind::Dense), &mut rng);
+        let model = crate::TransformerLm::new(TransformerConfig::tiny(FfnKind::Dense), &mut rng);
         let cfg = TrainerConfig {
             batch_size: 8,
             micro_batch_size: 3,

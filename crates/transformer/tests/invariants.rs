@@ -110,7 +110,10 @@ fn adam_step_is_invariant_to_gradient_scale_direction() {
     let small = run(1e-3);
     let large = run(1e3);
     assert!((small - large).abs() < 1e-6, "{small} vs {large}");
-    assert!((small + 0.1).abs() < 1e-3, "first step should be ~ -lr, got {small}");
+    assert!(
+        (small + 0.1).abs() < 1e-3,
+        "first step should be ~ -lr, got {small}"
+    );
 }
 
 #[test]
@@ -147,8 +150,12 @@ fn train_step_gradients_are_all_finite() {
     let cfg = TransformerConfig::tiny(FfnKind::Dropless(moe));
     let mut rng = seeded_rng(2);
     let mut model = TransformerLm::new(cfg.clone(), &mut rng);
-    let inputs: Vec<usize> = (0..2 * cfg.seq_len).map(|i| (i * 13) % cfg.vocab_size).collect();
-    let targets: Vec<usize> = (0..2 * cfg.seq_len).map(|i| (i * 7) % cfg.vocab_size).collect();
+    let inputs: Vec<usize> = (0..2 * cfg.seq_len)
+        .map(|i| (i * 13) % cfg.vocab_size)
+        .collect();
+    let targets: Vec<usize> = (0..2 * cfg.seq_len)
+        .map(|i| (i * 7) % cfg.vocab_size)
+        .collect();
     let _ = model.train_step(&inputs, &targets, 2);
     for p in model.params_mut() {
         assert!(p.grad().as_slice().iter().all(|v| v.is_finite()));

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example capacity_sweep`
 
-use megablocks::core::{CapacityFactor, DroppingMoe, DroplessMoe, MoeConfig};
+use megablocks::core::{CapacityFactor, DroplessMoe, DroppingMoe, MoeConfig};
 use megablocks::tensor::init::{normal, seeded_rng};
 
 fn main() {
@@ -16,7 +16,10 @@ fn main() {
     let x = normal(512, hidden, 1.0, &mut rng);
 
     println!("512 tokens, {experts} experts, top-1 routing\n");
-    println!("{:<22} {:>8} {:>10} {:>12}", "configuration", "dropped", "padding", "moe rows");
+    println!(
+        "{:<22} {:>8} {:>10} {:>12}",
+        "configuration", "dropped", "padding", "moe rows"
+    );
     for cf in [0.5f32, 1.0, 1.5, 2.0, 4.0] {
         let mut r = seeded_rng(9);
         let layer = DroppingMoe::new(cfg.clone().with_capacity(CapacityFactor::Fixed(cf)), &mut r);

@@ -16,12 +16,27 @@ fn main() {
     // the Figure 3C block-diagonal topology.
     let block = BlockSize::new(4).expect("nonzero");
     let topo = Topology::block_diagonal(&[2, 1, 3], &[2, 2, 2], block).expect("consistent");
-    println!("topology: {} x {} blocks, {} nonzero", topo.block_rows(), topo.block_cols(), topo.nnz_blocks());
+    println!(
+        "topology: {} x {} blocks, {} nonzero",
+        topo.block_rows(),
+        topo.block_cols(),
+        topo.nnz_blocks()
+    );
     println!("  row offsets:       {:?}", topo.row_offsets());
     println!("  col indices:       {:?}", topo.col_indices());
-    println!("  row indices (COO): {:?}  <- O(1) coordinates for SDD workers", topo.row_indices());
-    println!("  transpose indices: {:?}  <- column-major view, no data movement", topo.transpose_indices());
-    println!("  metadata size:     {} bytes for {} values", topo.metadata_bytes(), topo.nnz());
+    println!(
+        "  row indices (COO): {:?}  <- O(1) coordinates for SDD workers",
+        topo.row_indices()
+    );
+    println!(
+        "  transpose indices: {:?}  <- column-major view, no data movement",
+        topo.transpose_indices()
+    );
+    println!(
+        "  metadata size:     {} bytes for {} values",
+        topo.metadata_bytes(),
+        topo.nnz()
+    );
 
     // The six products of a dMoE FFN (hidden=10 for readability).
     let mut rng = seeded_rng(0);
@@ -67,17 +82,34 @@ fn main() {
         }
         dh.to_dense().max_abs_diff(&masked)
     });
-    println!("  DS^TD {:.2e}", dw2.max_abs_diff(&matmul(&hd.transpose(), &dy)));
-    println!("  DSD^T {:.2e}", dx.max_abs_diff(&matmul(&dh.to_dense(), &w1.transpose())));
-    println!("  DD^TS {:.2e}", dw1.max_abs_diff(&matmul(&x.transpose(), &dh.to_dense())));
+    println!(
+        "  DS^TD {:.2e}",
+        dw2.max_abs_diff(&matmul(&hd.transpose(), &dy))
+    );
+    println!(
+        "  DSD^T {:.2e}",
+        dx.max_abs_diff(&matmul(&dh.to_dense(), &w1.transpose()))
+    );
+    println!(
+        "  DD^TS {:.2e}",
+        dw1.max_abs_diff(&matmul(&x.transpose(), &dh.to_dense()))
+    );
 
     // Paper-scale timing on the A100 model: MoE-XS at micro-batch 64.
     let dev = DeviceSpec::a100_sxm4_80gb();
     let problem = MoeProblem::uniform(64, 64 * 1024, 512, 2048, 128);
-    println!("\nA100 model, MoE-XS kernel problems ({} tokens):", problem.total_tokens());
+    println!(
+        "\nA100 model, MoE-XS kernel problems ({} tokens):",
+        problem.total_tokens()
+    );
     for op in MoeOp::ALL {
         let time = moe_op_time(&dev, &problem, op);
         let tflops = problem.op_flops() / time / 1e12;
-        println!("  {:<6} {:>8.0} us  {:>6.0} TFLOP/s", op.label(), time * 1e6, tflops);
+        println!(
+            "  {:<6} {:>8.0} us  {:>6.0} TFLOP/s",
+            op.label(),
+            time * 1e6,
+            tflops
+        );
     }
 }

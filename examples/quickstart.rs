@@ -23,7 +23,10 @@ fn main() {
 
     println!("output shape:        {:?}", out.output.shape());
     println!("tokens per expert:   {:?}", out.stats.tokens_per_expert);
-    println!("dropped tokens:      {} (always 0 for dMoE)", out.stats.dropped_tokens);
+    println!(
+        "dropped tokens:      {} (always 0 for dMoE)",
+        out.stats.dropped_tokens
+    );
     println!("block padding rows:  {}", out.stats.padding_rows);
     println!("load-balancing loss: {:.5}", out.stats.load_balancing_loss);
 

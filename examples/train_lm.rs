@@ -7,9 +7,7 @@
 use megablocks::core::MoeConfig;
 use megablocks::data::{PileConfig, SyntheticPile};
 use megablocks::tensor::init::seeded_rng;
-use megablocks::transformer::{
-    FfnKind, Trainer, TrainerConfig, TransformerConfig, TransformerLm,
-};
+use megablocks::transformer::{FfnKind, Trainer, TrainerConfig, TransformerConfig, TransformerLm};
 
 fn build(ffn: FfnKind, seed: u64) -> TransformerLm {
     let cfg = TransformerConfig {
@@ -63,15 +61,27 @@ fn main() {
             let last = logs.last().expect("nonempty");
             let val = trainer.evaluate(&valid, 8).loss;
             println!(
-                "  step {:>3}  train ce {:.4}  val {:.4}  lb {:.5}  dropped {}",
+                "  step {:>3}  train ce {:.4}  val {:.4}  lb {:.5}  dropped {}  tok/s {:.0}",
                 (chunk + 1) * tcfg.total_steps / 4,
                 last.ce_loss,
                 val,
                 last.lb_loss,
-                last.dropped_tokens
+                last.dropped_tokens,
+                last.tokens_per_sec
             );
         }
         let after = trainer.evaluate(&valid, 8).loss;
-        println!("{label}: final val loss {after:.4} (improved {:.4})\n", before - after);
+        println!(
+            "{label}: final val loss {after:.4} (improved {:.4})\n",
+            before - after
+        );
+    }
+
+    // End-of-run telemetry: kernel span timings, per-expert token histograms,
+    // padding overhead, per-step training events. Prints only when built with
+    // `--features telemetry`; otherwise every recording call above compiled to
+    // a no-op and there is nothing to show.
+    if megablocks::telemetry::is_enabled() {
+        megablocks::telemetry::print_summary();
     }
 }

@@ -14,6 +14,9 @@
 //! * [`data`] — the synthetic Pile-like corpus.
 //! * [`gpusim`] — the analytic A100 performance/memory model used to
 //!   regenerate the paper's throughput and end-to-end timing figures.
+//! * [`telemetry`] — span timers, counters, histograms and JSONL export
+//!   for observing training runs (no-ops unless the `telemetry` feature is
+//!   enabled).
 //!
 //! # Quickstart
 //!
@@ -34,5 +37,6 @@ pub use megablocks_core as core;
 pub use megablocks_data as data;
 pub use megablocks_gpusim as gpusim;
 pub use megablocks_sparse as sparse;
+pub use megablocks_telemetry as telemetry;
 pub use megablocks_tensor as tensor;
 pub use megablocks_transformer as transformer;

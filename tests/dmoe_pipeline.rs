@@ -56,10 +56,7 @@ fn dmoe_output_is_invariant_to_block_size() {
     let mut outs = Vec::new();
     for bs in [2usize, 4, 8, 16] {
         let mut rng = seeded_rng(5);
-        let layer = DroplessMoe::new(
-            MoeConfig::new(12, 16, 4).with_block_size(bs),
-            &mut rng,
-        );
+        let layer = DroplessMoe::new(MoeConfig::new(12, 16, 4).with_block_size(bs), &mut rng);
         let mut xrng = seeded_rng(6);
         let x = normal(19, 12, 1.0, &mut xrng);
         outs.push(layer.forward(&x).output);

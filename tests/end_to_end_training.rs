@@ -4,9 +4,7 @@
 use megablocks::core::{CapacityFactor, MoeConfig};
 use megablocks::data::{PileConfig, SyntheticPile};
 use megablocks::tensor::init::seeded_rng;
-use megablocks::transformer::{
-    FfnKind, Trainer, TrainerConfig, TransformerConfig, TransformerLm,
-};
+use megablocks::transformer::{FfnKind, Trainer, TrainerConfig, TransformerConfig, TransformerLm};
 
 fn pile() -> SyntheticPile {
     SyntheticPile::generate(
@@ -51,8 +49,14 @@ fn dmoe_lm_learns_the_synthetic_pile() {
     let before = t.evaluate(&valid, 4).loss;
     let logs = t.train(&train, 50);
     let after = t.evaluate(&valid, 4).loss;
-    assert!(after < before - 0.3, "dMoE LM failed to learn: {before} -> {after}");
-    assert!(logs.iter().all(|l| l.dropped_tokens == 0), "dMoE dropped tokens");
+    assert!(
+        after < before - 0.3,
+        "dMoE LM failed to learn: {before} -> {after}"
+    );
+    assert!(
+        logs.iter().all(|l| l.dropped_tokens == 0),
+        "dMoE dropped tokens"
+    );
     assert!(logs.iter().all(|l| l.lb_loss > 0.0));
 }
 
@@ -96,7 +100,10 @@ fn dropping_and_dropless_diverge_only_through_drops() {
     let dropping = run(FfnKind::Dropping(
         moe.with_capacity(CapacityFactor::Fixed(0.5)),
     ));
-    assert!((dropless - dropping).abs() > 1e-4, "capacity 0.5 should alter training");
+    assert!(
+        (dropless - dropping).abs() > 1e-4,
+        "capacity 0.5 should alter training"
+    );
 }
 
 #[test]

@@ -41,7 +41,10 @@ fn expert_choice_and_token_choice_route_differently() {
     // Expert choice is perfectly balanced; token choice generally is not.
     let tc_imb = load_imbalance(&tc.stats.tokens_per_expert);
     let ec_imb = load_imbalance(&ec.stats.tokens_per_expert);
-    assert!((ec_imb - 1.0).abs() < 1e-9, "expert choice imbalance {ec_imb}");
+    assert!(
+        (ec_imb - 1.0).abs() < 1e-9,
+        "expert choice imbalance {ec_imb}"
+    );
     assert!(tc_imb >= 1.0);
 }
 
@@ -60,8 +63,11 @@ fn sinkhorn_router_plugs_into_the_dmoe_pipeline() {
 
     let info = PermuteInfo::new(&routing, 4, BlockSize::new(4).unwrap());
     let g = padded_gather(&x, &info);
-    let back = padded_scatter(&g, &info, &vec![1.0; 20]);
-    assert!(back.approx_eq(&x, 1e-6), "sinkhorn routing broke the permutation");
+    let back = padded_scatter(&g, &info, &[1.0; 20]);
+    assert!(
+        back.approx_eq(&x, 1e-6),
+        "sinkhorn routing broke the permutation"
+    );
 }
 
 #[test]

@@ -6,9 +6,7 @@ use megablocks::gpusim::memory::{
     max_micro_batch, moe_variant, paper_shape, tutel_dynamic_expansion, MemoryPolicy,
 };
 use megablocks::gpusim::sparse::{relative_throughput, MoeOp, MoeProblem};
-use megablocks::gpusim::timeline::{
-    train_step_time, tutel_dynamic_avg_expansion, ExecutionPolicy,
-};
+use megablocks::gpusim::timeline::{train_step_time, tutel_dynamic_avg_expansion, ExecutionPolicy};
 use megablocks::gpusim::DeviceSpec;
 use megablocks::transformer::{MoeSize, TransformerSize};
 
@@ -23,9 +21,7 @@ fn table1_and_table2_reproduce_exactly() {
             size.name()
         );
         assert!(
-            ((cfg.flops_per_sequence() / 1e9).round() as usize)
-                .abs_diff(size.paper_gflops())
-                <= 2,
+            ((cfg.flops_per_sequence() / 1e9).round() as usize).abs_diff(size.paper_gflops()) <= 2,
             "Table 1 GFLOPs for {}",
             size.name()
         );
@@ -120,10 +116,21 @@ fn figure7_speedups_grow_with_model_size() {
         );
         speedups.push(tutel / mega);
     }
-    assert!(speedups.windows(2).all(|w| w[0] < w[1]), "speedups {speedups:?}");
+    assert!(
+        speedups.windows(2).all(|w| w[0] < w[1]),
+        "speedups {speedups:?}"
+    );
     assert!(speedups[0] > 1.1 && speedups[0] < 1.8, "XS {}", speedups[0]);
-    assert!(speedups[1] > 1.4 && speedups[1] < 2.7, "Small {}", speedups[1]);
-    assert!(speedups[2] > 3.0 && speedups[2] < 5.8, "Medium {}", speedups[2]);
+    assert!(
+        speedups[1] > 1.4 && speedups[1] < 2.7,
+        "Small {}",
+        speedups[1]
+    );
+    assert!(
+        speedups[2] > 3.0 && speedups[2] < 5.8,
+        "Medium {}",
+        speedups[2]
+    );
 }
 
 #[test]

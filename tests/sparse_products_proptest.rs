@@ -9,20 +9,24 @@ use proptest::prelude::*;
 /// Strategy: a random topology with block grid up to 5x6 and block size
 /// 2/3/4, with each block present independently.
 fn topology_strategy() -> impl Strategy<Value = Topology> {
-    (1usize..=5, 1usize..=6, prop::sample::select(vec![2usize, 3, 4]))
+    (
+        1usize..=5,
+        1usize..=6,
+        prop::sample::select(vec![2usize, 3, 4]),
+    )
         .prop_flat_map(|(rows, cols, bs)| {
-            proptest::collection::vec(proptest::bool::ANY, rows * cols).prop_map(
-                move |mask| {
-                    let blocks = mask.iter().enumerate().filter(|(_, &m)| m).map(|(i, _)| {
-                        BlockCoord {
-                            row: i / cols,
-                            col: i % cols,
-                        }
+            proptest::collection::vec(proptest::bool::ANY, rows * cols).prop_map(move |mask| {
+                let blocks = mask
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &m)| m)
+                    .map(|(i, _)| BlockCoord {
+                        row: i / cols,
+                        col: i % cols,
                     });
-                    Topology::from_blocks(rows, cols, blocks, BlockSize::new(bs).expect("nonzero"))
-                        .expect("in-range, unique blocks")
-                },
-            )
+                Topology::from_blocks(rows, cols, blocks, BlockSize::new(bs).expect("nonzero"))
+                    .expect("in-range, unique blocks")
+            })
         })
 }
 

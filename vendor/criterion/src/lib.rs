@@ -1,0 +1,323 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates registry, so the workspace vendors
+//! the API subset its `benches/` targets use: [`Criterion`] with
+//! `sample_size` / `measurement_time` / `warm_up_time`, benchmark groups,
+//! `bench_function` / `bench_with_input`, [`Throughput::Elements`],
+//! [`BenchmarkId::from_parameter`], `Bencher::iter` / `iter_batched`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical analysis it reports the median,
+//! minimum and maximum wall-clock time per iteration over the configured
+//! number of samples — enough to compare kernels ordinally, which is all
+//! the repro benches need.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimizer barrier.
+pub use std::hint::black_box;
+
+/// Top-level benchmark harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total time budget spread over the samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration run before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_benchmark(self, id, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to derive rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(self.criterion, &full, self.throughput, f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_benchmark(self.criterion, &full, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (retained for API compatibility; groups have no
+    /// deferred work in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameter point of a benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a displayable parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Builds an id from a function name and parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+/// Work performed per iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Controls how batched setup output is grouped; this stand-in times each
+/// routine invocation individually so the variants are equivalent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+}
+
+/// Passed to each benchmark closure to time the routine.
+pub struct Bencher {
+    warm_up: Duration,
+    sample_size: usize,
+    time_per_sample: Duration,
+    /// Nanoseconds per iteration, one entry per sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters_per_sample =
+            ((self.time_per_sample.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut per_iter = f64::MAX;
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            per_iter = per_iter.min(t.elapsed().as_secs_f64());
+        }
+        let iters_per_sample =
+            ((self.time_per_sample.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+        for _ in 0..self.sample_size {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                elapsed += t.elapsed();
+            }
+            self.samples
+                .push(elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        warm_up: criterion.warm_up_time,
+        sample_size: criterion.sample_size,
+        time_per_sample: criterion.measurement_time / criterion.sample_size as u32,
+        samples: Vec::with_capacity(criterion.sample_size),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{id:<48} (no samples recorded)");
+        return;
+    }
+    bencher
+        .samples
+        .sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let min = bencher.samples[0];
+    let max = bencher.samples[bencher.samples.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>10.3} Melem/s", n as f64 / median * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!(
+                "  {:>10.3} MiB/s",
+                n as f64 / median * 1e9 / (1024.0 * 1024.0) / 1e6
+            )
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<48} time: [{} {} {}]{rate}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Defines a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Defines the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut g = c.benchmark_group("stub");
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+            b.iter_batched(
+                || vec![1u64; n],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| 2 + 2));
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        targets = work
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        benches();
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn` for
+//! fork-join parallelism in the matmul and block-sparse kernels. Since Rust
+//! 1.63 the standard library provides the same capability via
+//! [`std::thread::scope`]; this shim adapts that API to crossbeam's
+//! signatures (spawn closures take the scope as an argument, and `scope`
+//! returns a `Result` capturing panics) so the kernel code matches upstream
+//! idiom unchanged.
+
+/// Scoped-thread API mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::thread as stdthread;
+
+    /// Error payload from a panicking scope, matching crossbeam's alias.
+    pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle passed to [`scope`]'s closure and to each spawned
+    /// thread's closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, ScopeError> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; all are joined before `scope` returns. Any panic inside
+    /// the scope is captured and returned as `Err`, matching crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            stdthread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let part: u64 = chunk.iter().sum();
+                    total.fetch_add(part as usize, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("scope panicked");
+        assert_eq!(total.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = super::thread::scope(|s| {
+            s.spawn(|_| panic!("worker down"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let count = AtomicUsize::new(0);
+        super::thread::scope(|s| {
+            s.spawn(|inner| {
+                count.fetch_add(1, Ordering::Relaxed);
+                inner.spawn(|_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("scope panicked");
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+}
