@@ -1,0 +1,593 @@
+//! Source-level lints for the MegaBlocks-RS workspace.
+//!
+//! This crate is the static half of the correctness tooling (the dynamic
+//! half — the topology sanitizer and write-disjointness race checker —
+//! lives in `megablocks_sparse::audit` behind the `sanitize` feature).
+//! It enforces four workspace conventions that `rustc` and `clippy` do
+//! not check:
+//!
+//! 1. **SAFETY comments** — every `unsafe` block in the workspace crates
+//!    must be preceded by (or share a line with) a `// SAFETY:` comment
+//!    justifying it.
+//! 2. **No panics in kernel hot paths** — `.unwrap()` / `.expect(` are
+//!    banned from the non-test portions of the kernel files
+//!    ([`HOT_PATHS`]); kernels must propagate errors or re-raise worker
+//!    panic payloads instead of minting new ones.
+//! 3. **`try_*` twins** — every panicking public sparse op in
+//!    `crates/sparse/src/ops.rs` must have a fallible `try_*` twin.
+//! 4. **Telemetry API parity** — `telemetry/src/enabled.rs` and
+//!    `disabled.rs` must expose identical public items, so flipping the
+//!    feature can never change what compiles.
+//!
+//! The checks are plain-text analysis (comments and string literals are
+//! stripped first); no compiler plumbing, no dependencies. Run them with
+//! `cargo run -p megablocks-audit -- lint`.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Kernel hot-path files where `.unwrap()` / `.expect(` are banned
+/// (workspace-relative).
+pub const HOT_PATHS: &[&str] = &[
+    "crates/sparse/src/ops.rs",
+    "crates/tensor/src/matmul.rs",
+    "crates/core/src/permute.rs",
+];
+
+/// The file that must provide a `try_*` twin for every public sparse op.
+pub const SPARSE_OPS: &str = "crates/sparse/src/ops.rs";
+
+/// The feature-gated telemetry implementation pair that must agree.
+pub const TELEMETRY_PAIR: (&str, &str) = (
+    "crates/telemetry/src/enabled.rs",
+    "crates/telemetry/src/disabled.rs",
+);
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line, or 0 when the finding concerns the file as a whole.
+    pub line: usize,
+    /// Short rule identifier (`safety-comment`, `hot-path-panic`,
+    /// `try-twin`, `telemetry-parity`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        }
+    }
+}
+
+/// The workspace root, derived from this crate's manifest location
+/// (`crates/audit` → two levels up). Valid wherever the workspace is
+/// checked out, regardless of the invoking directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/audit always sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Runs every lint over the workspace at `root` and returns all findings.
+///
+/// # Errors
+///
+/// Returns an error if a workspace source file cannot be read — the lint
+/// refuses to pass vacuously on an unreadable tree.
+pub fn run_all_lints(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+
+    // Rule 1: SAFETY comments, across every workspace crate. The audit
+    // crate itself is skipped: its tests embed deliberately-broken
+    // fixtures as string literals.
+    for file in rust_sources(&root.join("crates"))? {
+        let rel = rel_path(root, &file);
+        if rel.starts_with("crates/audit/") {
+            continue;
+        }
+        let src = fs::read_to_string(&file)?;
+        findings.extend(check_safety_comments(&rel, &src));
+    }
+
+    // Rule 2: no unwrap/expect in kernel hot paths.
+    for rel in HOT_PATHS {
+        let src = fs::read_to_string(root.join(rel))?;
+        findings.extend(check_hot_path_panics(rel, &src));
+    }
+
+    // Rule 3: try_* twins for the public sparse ops.
+    let ops_src = fs::read_to_string(root.join(SPARSE_OPS))?;
+    findings.extend(check_try_twins(SPARSE_OPS, &ops_src));
+
+    // Rule 4: telemetry enabled/disabled API parity.
+    let enabled = fs::read_to_string(root.join(TELEMETRY_PAIR.0))?;
+    let disabled = fs::read_to_string(root.join(TELEMETRY_PAIR.1))?;
+    findings.extend(check_telemetry_parity(&enabled, &disabled));
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+/// Rule 1: every `unsafe` keyword in code must carry a `// SAFETY:`
+/// comment on the same line or in the contiguous comment block directly
+/// above it.
+pub fn check_safety_comments(file: &str, src: &str) -> Vec<Finding> {
+    let stripped = strip_comments_and_strings(src);
+    let code_lines: Vec<&str> = stripped.lines().collect();
+    let orig_lines: Vec<&str> = src.lines().collect();
+    let mut findings = Vec::new();
+    for (i, code) in code_lines.iter().enumerate() {
+        if !contains_word(code, "unsafe") {
+            continue;
+        }
+        let mut justified = orig_lines[i].contains("SAFETY:");
+        // Walk the contiguous comment block immediately above.
+        let mut j = i;
+        while !justified && j > 0 {
+            j -= 1;
+            let above = orig_lines[j].trim_start();
+            if !above.starts_with("//") {
+                break;
+            }
+            justified = above.contains("SAFETY:");
+        }
+        if !justified {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: i + 1,
+                rule: "safety-comment",
+                message: "`unsafe` without a `// SAFETY:` comment justifying it".to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Rule 2: `.unwrap()` / `.expect(` are banned from the non-test portion
+/// of a kernel hot-path file.
+pub fn check_hot_path_panics(file: &str, src: &str) -> Vec<Finding> {
+    let stripped = strip_comments_and_strings(src);
+    let mut findings = Vec::new();
+    for (i, (code, orig)) in stripped.lines().zip(src.lines()).enumerate() {
+        // Everything below the test module is exempt.
+        if orig.contains("#[cfg(test)]") {
+            break;
+        }
+        for pat in [".unwrap()", ".expect("] {
+            if code.contains(pat) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "hot-path-panic",
+                    message: format!("`{pat}` in a kernel hot path; propagate the error instead"),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Rule 3: every top-level `pub fn` in the sparse ops file that is not
+/// itself a `try_*` function must have a `try_*` twin.
+pub fn check_try_twins(file: &str, src: &str) -> Vec<Finding> {
+    let stripped = strip_comments_and_strings(src);
+    let mut names: Vec<(usize, String)> = Vec::new();
+    let mut depth = 0usize;
+    for (i, line) in stripped.lines().enumerate() {
+        if depth == 0 {
+            if let Some(name) = pub_fn_name(line) {
+                names.push((i + 1, name));
+            }
+        }
+        depth = next_depth(depth, line);
+    }
+    let mut findings = Vec::new();
+    for (line, name) in &names {
+        if name.starts_with("try_") {
+            continue;
+        }
+        let twin = format!("try_{name}");
+        if !names.iter().any(|(_, n)| *n == twin) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: *line,
+                rule: "try-twin",
+                message: format!("public sparse op `{name}` has no fallible `{twin}` twin"),
+            });
+        }
+    }
+    findings
+}
+
+/// Rule 4: the enabled and disabled telemetry implementations must expose
+/// the same public items with the same signatures.
+pub fn check_telemetry_parity(enabled_src: &str, disabled_src: &str) -> Vec<Finding> {
+    let enabled = public_items(enabled_src);
+    let disabled = public_items(disabled_src);
+    let mut findings = Vec::new();
+    for item in &enabled {
+        if !disabled.contains(item) {
+            findings.push(parity_finding(TELEMETRY_PAIR.1, item, "missing or differs"));
+        }
+    }
+    for item in &disabled {
+        if !enabled.contains(item) {
+            findings.push(parity_finding(TELEMETRY_PAIR.0, item, "missing or differs"));
+        }
+    }
+    findings
+}
+
+fn parity_finding(file: &str, item: &str, what: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line: 0,
+        rule: "telemetry-parity",
+        message: format!("public item `{item}` {what} in this implementation"),
+    }
+}
+
+/// Extracts normalized public item signatures: `struct Name`, `enum Name`,
+/// and `pub fn` signatures (free functions and inherent-impl methods,
+/// prefixed with their owning type).
+fn public_items(src: &str) -> Vec<String> {
+    let stripped = strip_comments_and_strings(src);
+    let lines: Vec<&str> = stripped.lines().collect();
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut impl_owner: Option<(String, usize)> = None; // (type, entry depth)
+    let mut i = 0;
+    while i < lines.len() {
+        let line = lines[i];
+        let trimmed = line.trim_start();
+        if depth == 0 {
+            if let Some(rest) = trimmed
+                .strip_prefix("pub struct ")
+                .or_else(|| trimmed.strip_prefix("pub enum "))
+            {
+                let name: String = ident_prefix(rest);
+                let kind = if trimmed.starts_with("pub struct") {
+                    "struct"
+                } else {
+                    "enum"
+                };
+                items.push(format!("{kind} {name}"));
+            } else if let Some(rest) = trimmed.strip_prefix("impl ") {
+                // Inherent impls only: `impl Trait for Type` adds no public
+                // items of its own.
+                if !contains_word(rest, "for") {
+                    impl_owner = Some((ident_prefix(rest), depth));
+                }
+            }
+        }
+        let in_impl = matches!(&impl_owner, Some((_, d)) if depth == d + 1);
+        if (depth == 0 || in_impl) && trimmed.starts_with("pub fn ") {
+            // Capture the signature, possibly spanning lines, up to the
+            // body's `{` or a trailing `;`.
+            let mut sig = String::new();
+            let mut j = i;
+            loop {
+                let l = lines[j];
+                let end = l.find('{').or_else(|| l.find(';'));
+                match end {
+                    Some(pos) => {
+                        sig.push_str(&l[..pos]);
+                        break;
+                    }
+                    None => {
+                        sig.push_str(l);
+                        sig.push(' ');
+                    }
+                }
+                j += 1;
+                if j == lines.len() {
+                    break;
+                }
+            }
+            let owner = match &impl_owner {
+                Some((name, d)) if depth == *d + 1 => format!("{name}::"),
+                _ => String::new(),
+            };
+            items.push(format!("{owner}{}", normalize_signature(&sig)));
+        }
+        let new_depth = next_depth(depth, line);
+        if let Some((_, d)) = &impl_owner {
+            if new_depth <= *d && line.contains('}') {
+                impl_owner = None;
+            }
+        }
+        depth = new_depth;
+        i += 1;
+    }
+    items
+}
+
+/// Collapses whitespace and strips the `_` prefix convention off unused
+/// parameter names so `(&self, _n: u64)` equals `(&self, n: u64)`.
+fn normalize_signature(sig: &str) -> String {
+    let collapsed = sig.split_whitespace().collect::<Vec<_>>().join(" ");
+    collapsed.replace("(_", "(").replace(", _", ", ")
+}
+
+/// The leading Rust identifier of `s`.
+fn ident_prefix(s: &str) -> String {
+    s.chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect()
+}
+
+/// The name of a top-level `pub fn` declared on this (stripped) line.
+fn pub_fn_name(line: &str) -> Option<String> {
+    let rest = line.trim_start().strip_prefix("pub fn ")?;
+    let name = ident_prefix(rest);
+    (!name.is_empty()).then_some(name)
+}
+
+/// Brace depth after processing one stripped line starting at `depth`.
+fn next_depth(depth: usize, line: &str) -> usize {
+    let mut d = depth;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d = d.saturating_sub(1),
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Whether `word` occurs in `s` delimited by non-identifier characters.
+fn contains_word(s: &str, word: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = s[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Replaces comments and string/char literals with spaces, preserving the
+/// line structure, so the lints only ever match real code tokens.
+fn strip_comments_and_strings(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '/' if next == Some('/') => {
+                // Line comment: blank to end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                // Block comment: blank through the closing `*/`.
+                out.push_str("  ");
+                i += 2;
+                while i < chars.len() {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        out.push_str("  ");
+                        i += 2;
+                        break;
+                    }
+                    out.push(if chars[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            '"' => {
+                // String literal (escape-aware): blank the contents.
+                out.push(' ');
+                i += 1;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\\' => {
+                            out.push_str("  ");
+                            i += 2;
+                        }
+                        '"' => {
+                            out.push(' ');
+                            i += 1;
+                            break;
+                        }
+                        '\n' => {
+                            out.push('\n');
+                            i += 1;
+                        }
+                        _ => {
+                            out.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime: `'x'` / `'\n'` are literals;
+                // `'a` followed by anything else is a lifetime.
+                if next == Some('\\') {
+                    out.push_str("    ");
+                    i += 3; // ' \ x
+                    if chars.get(i) == Some(&'\'') {
+                        i += 1;
+                    }
+                } else if chars.get(i + 2) == Some(&'\'') {
+                    out.push_str("   ");
+                    i += 3;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// All `.rs` files under `dir`, recursively, skipping `target` directories.
+fn rust_sources(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in fs::read_dir(&d)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                if entry.file_name() != "target" {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_lint_accepts_commented_unsafe() {
+        let src = "fn f(v: &[f32]) -> f32 {\n    // SAFETY: i < v.len() checked above.\n    unsafe { *v.get_unchecked(0) }\n}\n";
+        assert!(check_safety_comments("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_lint_flags_bare_unsafe() {
+        let src = "fn f(v: &[f32]) -> f32 {\n    unsafe { *v.get_unchecked(0) }\n}\n";
+        let f = check_safety_comments("x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "safety-comment");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn safety_lint_ignores_comments_and_strings() {
+        let src =
+            "// unsafe is discussed here only\nfn f() -> &'static str {\n    \"unsafe { }\"\n}\n";
+        assert!(check_safety_comments("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_lint_reads_multi_line_comment_blocks() {
+        let src = "fn f(v: &[f32]) -> f32 {\n    // SAFETY: index is bounded by the loop\n    // condition three lines up.\n    unsafe { *v.get_unchecked(0) }\n}\n";
+        assert!(check_safety_comments("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_lint_flags_unwrap_and_expect() {
+        let src = "fn k(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\nfn j(v: Option<u32>) -> u32 {\n    v.expect(\"present\")\n}\n";
+        let f = check_hot_path_panics("x.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|f| f.rule == "hot-path-panic"));
+    }
+
+    #[test]
+    fn hot_path_lint_exempts_test_module_and_docs() {
+        let src = "/// Call `.unwrap()` on the result.\nfn k() {}\n#[cfg(test)]\nmod tests {\n    fn t(v: Option<u32>) { v.unwrap(); }\n}\n";
+        assert!(check_hot_path_panics("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_lint_allows_unwrap_or_else() {
+        let src = "fn k(v: Option<u32>) -> u32 {\n    v.unwrap_or_else(|| 0)\n}\n";
+        assert!(check_hot_path_panics("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn try_twin_lint_requires_twin() {
+        let with_twin = "pub fn sdd() {}\npub fn try_sdd() {}\n";
+        assert!(check_try_twins("x.rs", with_twin).is_empty());
+        let without = "pub fn sdd() {}\npub fn dsd() {}\npub fn try_dsd() {}\n";
+        let f = check_try_twins("x.rs", without);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("`sdd`"));
+    }
+
+    #[test]
+    fn try_twin_lint_ignores_nested_functions() {
+        let src =
+            "mod helpers {\n    pub fn internal() {}\n}\npub fn op() {}\npub fn try_op() {}\n";
+        assert!(check_try_twins("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn parity_lint_accepts_identical_apis() {
+        let enabled = "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, n: u64) { let _ = n; }\n}\npub fn counter(name: &'static str) -> Counter { Counter }\n";
+        let disabled = "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, _n: u64) {}\n}\npub fn counter(_name: &'static str) -> Counter { Counter }\n";
+        assert!(check_telemetry_parity(enabled, disabled).is_empty());
+    }
+
+    #[test]
+    fn parity_lint_flags_missing_method() {
+        let enabled = "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, n: u64) { let _ = n; }\n    pub fn get(&self) -> u64 { 0 }\n}\n";
+        let disabled =
+            "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, _n: u64) {}\n}\n";
+        let f = check_telemetry_parity(enabled, disabled);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Counter::pub fn get"));
+    }
+
+    #[test]
+    fn parity_lint_flags_signature_drift() {
+        let enabled = "pub fn gauge(name: &'static str) -> Gauge { Gauge }\n";
+        let disabled = "pub fn gauge(name: &str) -> Gauge { Gauge }\n";
+        let f = check_telemetry_parity(enabled, disabled);
+        assert_eq!(f.len(), 2); // each side reports the other's variant missing
+    }
+
+    #[test]
+    fn stripper_preserves_line_count_and_braces_in_strings() {
+        let src = "fn f() {\n    let s = \"{ not a brace }\";\n    let c = '}';\n}\n";
+        let stripped = strip_comments_and_strings(src);
+        assert_eq!(stripped.lines().count(), src.lines().count());
+        assert_eq!(next_depth(0, stripped.lines().nth(1).unwrap()), 0);
+        // The whole function still balances.
+        let d = stripped.lines().fold(0, next_depth);
+        assert_eq!(d, 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! `megablocks-audit` CLI: run the workspace lint pass.
+//!
+//! ```text
+//! cargo run -p megablocks-audit -- lint [ROOT]
+//! ```
+//!
+//! Exits 0 when the workspace is clean, 1 when any lint fires, 2 on
+//! usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use megablocks_audit::{run_all_lints, workspace_root, HOT_PATHS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.get(1).map(PathBuf::from)),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::from(if args.is_empty() { 2 } else { 0 })
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+megablocks-audit: static correctness checks for the MegaBlocks-RS workspace
+
+USAGE:
+    megablocks-audit lint [ROOT]    run all lints (ROOT defaults to the workspace)
+
+RULES:
+    safety-comment     every `unsafe` block carries a `// SAFETY:` justification
+    hot-path-panic     no `.unwrap()` / `.expect(` in kernel hot paths
+    try-twin           every public sparse op has a fallible `try_*` twin
+    telemetry-parity   telemetry enabled/disabled expose identical public APIs
+";
+
+fn lint(root: Option<PathBuf>) -> ExitCode {
+    let root = root.unwrap_or_else(workspace_root);
+    match run_all_lints(&root) {
+        Err(e) => {
+            eprintln!(
+                "megablocks-audit: cannot read workspace at {}: {e}",
+                root.display()
+            );
+            ExitCode::from(2)
+        }
+        Ok(findings) if findings.is_empty() => {
+            println!(
+                "megablocks-audit: workspace clean ({} hot-path files, 4 rules)",
+                HOT_PATHS.len()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("megablocks-audit: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+    }
+}

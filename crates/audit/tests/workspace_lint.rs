@@ -1,0 +1,19 @@
+//! The lint pass must hold on the workspace itself — this is the same
+//! check CI runs via `cargo run -p megablocks-audit -- lint`, kept as a
+//! test so `cargo test` alone catches regressions.
+
+use megablocks_audit::{run_all_lints, workspace_root};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let findings = run_all_lints(&workspace_root()).expect("workspace sources readable");
+    assert!(
+        findings.is_empty(),
+        "workspace lint findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -13,7 +13,7 @@
 //! the first. No tokens are ever dropped and no expert batch is padded
 //! beyond the next block boundary.
 
-use megablocks_sparse::{ops, BlockSparseMatrix, Topology};
+use megablocks_sparse::{ops, BlockSparseMatrix, SparseError, Topology};
 use megablocks_telemetry as telemetry;
 use megablocks_tensor::ops::{gelu_grad_scalar, gelu_scalar};
 use megablocks_tensor::{init, Matrix};
@@ -126,8 +126,25 @@ impl DroplessMoe {
     ///
     /// # Panics
     ///
-    /// Panics if `x.cols() != hidden_size`.
+    /// Panics if `x.cols() != hidden_size`, or on a sparse-kernel error
+    /// (only possible with corrupted topology metadata or, under
+    /// `--features sanitize`, a failed sanitizer invariant).
     pub fn forward(&self, x: &Matrix) -> DmoeOutput {
+        self.try_forward(x).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`DroplessMoe::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the per-step topology cannot be built or a
+    /// sparse kernel rejects its inputs (including sanitizer failures under
+    /// `--features sanitize`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != hidden_size`.
+    pub fn try_forward(&self, x: &Matrix) -> Result<DmoeOutput, SparseError> {
         assert_eq!(
             x.cols(),
             self.cfg.hidden_size,
@@ -144,8 +161,7 @@ impl DroplessMoe {
             permute.padded_tokens_per_expert(),
             self.cfg.ffn_hidden_size,
             self.cfg.block_size,
-        )
-        .expect("padded counts are block-aligned by construction");
+        )?;
 
         // (3) Permute the tokens to group by expert.
         let xg = padded_gather(x, &permute);
@@ -153,9 +169,9 @@ impl DroplessMoe {
         // (4) Compute the expert layers: SDD -> GeLU -> DSD.
         let (h_pre, h_act, y) = {
             let _experts = telemetry::span("moe.dmoe.experts");
-            let h_pre = ops::sdd(&xg, self.w1.value(), &topology);
+            let h_pre = ops::try_sdd(&xg, self.w1.value(), &topology)?;
             let h_act = h_pre.map(gelu_scalar);
-            let y = ops::dsd(&h_act, self.w2.value());
+            let y = ops::try_dsd(&h_act, self.w2.value())?;
             (h_pre, h_act, y)
         };
 
@@ -173,7 +189,7 @@ impl DroplessMoe {
             expert_load: permute.tokens_per_expert().to_vec(),
         };
         crate::record_moe_stats(&stats);
-        DmoeOutput {
+        Ok(DmoeOutput {
             output,
             stats,
             cache: DmoeCache {
@@ -186,7 +202,7 @@ impl DroplessMoe {
                 y,
                 d_probs_aux: lb.d_probs,
             },
-        }
+        })
     }
 
     /// Runs the backward pass for one forward invocation.

@@ -95,14 +95,16 @@ impl PermuteInfo {
             })
             .collect();
 
-        Self {
+        let info = Self {
             num_tokens,
             top_k,
             tokens_per_expert,
             padded_tokens_per_expert,
             assignment_row,
             padded_rows,
-        }
+        };
+        sanitize_permutation(&info);
+        info
     }
 
     /// Number of tokens in the batch.
@@ -154,6 +156,30 @@ impl PermuteInfo {
         self.assignment_row.len()
     }
 }
+
+/// Checks that the assignment-to-row map is injective into the padded row
+/// range — every gather/scatter write target is distinct, so the permutation
+/// kernels are race-free even if parallelized over assignments.
+#[cfg(feature = "sanitize")]
+fn sanitize_permutation(info: &PermuteInfo) {
+    let mut seen = vec![false; info.padded_rows];
+    for (a, &row) in info.assignment_row.iter().enumerate() {
+        assert!(
+            row < info.padded_rows,
+            "sanitize: assignment {a} maps to row {row} >= padded_rows {}",
+            info.padded_rows
+        );
+        assert!(
+            !seen[row],
+            "sanitize: assignments collide on permuted row {row}"
+        );
+        seen[row] = true;
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+#[inline(always)]
+fn sanitize_permutation(_info: &PermuteInfo) {}
 
 /// Permutes token rows into expert-grouped, block-padded order (Figure 6,
 /// line 15). Padding rows are zero.

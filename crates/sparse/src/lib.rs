@@ -22,6 +22,12 @@
 //! superscript T marking a transposed operand (here spelled `sdd_t`,
 //! `dst_d`, …).
 //!
+//! The [`audit`] module is the correctness-tooling substrate: a metadata
+//! sanitizer ([`Topology::validate`]), a write-disjointness race checker
+//! for the threaded kernels, and NaN/Inf output poisoning checks. Building
+//! with `--features sanitize` auto-invokes all three at every sparse-op
+//! entry; without the feature the hooks compile to no-ops.
+//!
 //! # Example
 //!
 //! ```
@@ -40,12 +46,14 @@
 
 #![deny(missing_docs)]
 
+pub mod audit;
 mod block;
 mod error;
 mod matrix;
 pub mod ops;
 mod topology;
 
+pub use audit::AuditError;
 pub use block::BlockSize;
 pub use error::SparseError;
 pub use matrix::BlockSparseMatrix;

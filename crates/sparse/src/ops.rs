@@ -24,6 +24,102 @@ use megablocks_tensor::{Matrix, Trans};
 
 use crate::{BlockSparseMatrix, SparseError, Topology};
 
+/// Sanitizer hooks, auto-invoked at every op entry under
+/// `--features sanitize` (metadata validation, write-disjointness proof of
+/// the launch plan, NaN/Inf output poisoning). Without the feature each
+/// hook is an inlined `Ok(())`, so the hot paths carry no cost — mirroring
+/// the telemetry design.
+#[cfg(feature = "sanitize")]
+mod sanitize {
+    use crate::{audit, SparseError, Topology};
+
+    pub(super) fn topology(topo: &Topology) -> Result<(), SparseError> {
+        topo.validate().map_err(SparseError::Audit)
+    }
+
+    pub(super) fn sdd_partition(
+        topo: &Topology,
+        threads: usize,
+        blocks_per_thread: usize,
+    ) -> Result<(), SparseError> {
+        audit::verify_sdd_partition(topo, threads, blocks_per_thread).map_err(SparseError::Audit)
+    }
+
+    pub(super) fn dsd_partition(
+        topo: &Topology,
+        transposed: bool,
+        threads: usize,
+        groups_per_thread: usize,
+    ) -> Result<(), SparseError> {
+        audit::verify_dsd_partition(topo, transposed, threads, groups_per_thread)
+            .map_err(SparseError::Audit)
+    }
+
+    pub(super) fn band_partition(
+        op: &'static str,
+        rows: usize,
+        threads: usize,
+        rows_per_thread: usize,
+    ) -> Result<(), SparseError> {
+        audit::verify_band_partition(op, rows, threads, rows_per_thread).map_err(SparseError::Audit)
+    }
+
+    pub(super) fn output(op: &'static str, data: &[f32]) -> Result<(), SparseError> {
+        audit::check_finite(op, data).map_err(SparseError::Audit)
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+mod sanitize {
+    use crate::{SparseError, Topology};
+
+    #[inline(always)]
+    pub(super) fn topology(_topo: &Topology) -> Result<(), SparseError> {
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(super) fn sdd_partition(
+        _topo: &Topology,
+        _threads: usize,
+        _blocks_per_thread: usize,
+    ) -> Result<(), SparseError> {
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(super) fn dsd_partition(
+        _topo: &Topology,
+        _transposed: bool,
+        _threads: usize,
+        _groups_per_thread: usize,
+    ) -> Result<(), SparseError> {
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(super) fn band_partition(
+        _op: &'static str,
+        _rows: usize,
+        _threads: usize,
+        _rows_per_thread: usize,
+    ) -> Result<(), SparseError> {
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(super) fn output(_op: &'static str, _data: &[f32]) -> Result<(), SparseError> {
+        Ok(())
+    }
+}
+
+/// Re-raises a worker panic captured by a kernel's thread scope on the
+/// calling thread, preserving the original payload.
+#[cold]
+fn resume_worker_panic(payload: Box<dyn std::any::Any + Send + 'static>) -> ! {
+    std::panic::resume_unwind(payload)
+}
+
 /// Work below this many f32 multiply-adds stays single-threaded.
 const PARALLEL_THRESHOLD: usize = 1 << 16;
 
@@ -86,6 +182,16 @@ pub fn sdd(a: &Matrix, b: &Matrix, topo: &Topology) -> BlockSparseMatrix {
     sdd_op(a, Trans::N, b, Trans::N, topo)
 }
 
+/// Fallible form of [`sdd`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
+/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
+pub fn try_sdd(a: &Matrix, b: &Matrix, topo: &Topology) -> Result<BlockSparseMatrix, SparseError> {
+    try_sdd_op(a, Trans::N, b, Trans::N, topo)
+}
+
 /// SDD^T: computes `out = a * b^T` restricted to `topo` — the second-layer
 /// data gradient of a dMoE FFN (paper §5.1).
 ///
@@ -94,6 +200,20 @@ pub fn sdd(a: &Matrix, b: &Matrix, topo: &Topology) -> BlockSparseMatrix {
 /// Panics if logical shapes are incompatible with the topology.
 pub fn sdd_t(a: &Matrix, b: &Matrix, topo: &Topology) -> BlockSparseMatrix {
     sdd_op(a, Trans::N, b, Trans::T, topo)
+}
+
+/// Fallible form of [`sdd_t`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
+/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
+pub fn try_sdd_t(
+    a: &Matrix,
+    b: &Matrix,
+    topo: &Topology,
+) -> Result<BlockSparseMatrix, SparseError> {
+    try_sdd_op(a, Trans::N, b, Trans::T, topo)
 }
 
 /// General SDD with transpose control over both dense inputs:
@@ -150,6 +270,7 @@ pub fn try_sdd_op(
 
     let variant = sdd_variant(op_a, op_b);
     let _span = telemetry::span(variant);
+    sanitize::topology(topo)?;
 
     let mut out = BlockSparseMatrix::zeros(topo);
     let nnz = topo.nnz_blocks();
@@ -229,7 +350,19 @@ pub fn try_sdd_op(
                             let brow = &b_data[(c * bs + bj) * b_cols..(c * bs + bj) * b_cols + k];
                             let mut acc = 0.0f32;
                             for p in 0..k {
-                                acc += a_data[p * a_cols + r * bs + bi] * brow[p];
+                                // SAFETY: with op_a == T the operand is
+                                // stored k x m, so a_data has k * a_cols
+                                // elements with a_cols == m; p < k and
+                                // r * bs + bi < m (r is an in-range block
+                                // row of the validated topology). brow was
+                                // sliced to exactly k elements and p < k.
+                                let (av, bv) = unsafe {
+                                    (
+                                        *a_data.get_unchecked(p * a_cols + r * bs + bi),
+                                        *brow.get_unchecked(p),
+                                    )
+                                };
+                                acc += av * bv;
                             }
                             block[bi * bs + bj] = acc;
                         }
@@ -242,16 +375,19 @@ pub fn try_sdd_op(
     let data = out.as_mut_slice();
     if threads <= 1 {
         compute(data, 0);
-        return Ok(out);
-    }
-    let blocks_per_thread = nnz.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
-        for (idx, chunk) in data.chunks_mut(blocks_per_thread * area).enumerate() {
-            let compute = &compute;
-            s.spawn(move |_| compute(chunk, idx * blocks_per_thread));
+    } else {
+        let blocks_per_thread = nnz.div_ceil(threads);
+        sanitize::sdd_partition(topo, threads, blocks_per_thread)?;
+        if let Err(payload) = crossbeam::thread::scope(|s| {
+            for (idx, chunk) in data.chunks_mut(blocks_per_thread * area).enumerate() {
+                let compute = &compute;
+                s.spawn(move |_| compute(chunk, idx * blocks_per_thread));
+            }
+        }) {
+            resume_worker_panic(payload);
         }
-    })
-    .expect("sdd worker panicked");
+    }
+    sanitize::output(variant, out.as_slice())?;
     Ok(out)
 }
 
@@ -269,6 +405,16 @@ pub fn dsd(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
     dsd_op(s, Trans::N, d, Trans::N)
 }
 
+/// Fallible form of [`dsd`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
+/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
+pub fn try_dsd(s: &BlockSparseMatrix, d: &Matrix) -> Result<Matrix, SparseError> {
+    try_dsd_op(s, Trans::N, d, Trans::N)
+}
+
 /// DSD^T: computes `out = s * d^T` — the first-layer data gradient.
 ///
 /// # Panics
@@ -276,6 +422,16 @@ pub fn dsd(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
 /// Panics if `s.shape().1 != d.cols()`.
 pub fn dsd_t(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
     dsd_op(s, Trans::N, d, Trans::T)
+}
+
+/// Fallible form of [`dsd_t`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
+/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
+pub fn try_dsd_t(s: &BlockSparseMatrix, d: &Matrix) -> Result<Matrix, SparseError> {
+    try_dsd_op(s, Trans::N, d, Trans::T)
 }
 
 /// DS^TD: computes `out = s^T * d` — the second-layer weight gradient.
@@ -290,6 +446,16 @@ pub fn dst_d(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
     dsd_op(s, Trans::T, d, Trans::N)
 }
 
+/// Fallible form of [`dst_d`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
+/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
+pub fn try_dst_d(s: &BlockSparseMatrix, d: &Matrix) -> Result<Matrix, SparseError> {
+    try_dsd_op(s, Trans::T, d, Trans::N)
+}
+
 /// DS^TD via explicit transposition — the ablation baseline for §5.1.4.
 ///
 /// Materializes `s^T` (copying every nonzero value) and then runs a plain
@@ -300,11 +466,21 @@ pub fn dst_d(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
 ///
 /// Panics if `s.shape().0 != d.rows()`.
 pub fn dst_d_explicit(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
+    try_dst_d_explicit(s, d).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`dst_d_explicit`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
+/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
+pub fn try_dst_d_explicit(s: &BlockSparseMatrix, d: &Matrix) -> Result<Matrix, SparseError> {
     // The span covers the materialized transpose plus the inner DSD (which
     // records its own nested "sparse.dsd" span), so the ablation's extra
     // cost shows up as this span's exclusive time.
     let _span = telemetry::span("sparse.dst_d_explicit");
-    dsd(&s.explicit_transpose(), d)
+    try_dsd(&s.try_explicit_transpose()?, d)
 }
 
 /// General DSD: `out = op_s(s) * op_d(d)`.
@@ -348,6 +524,7 @@ pub fn try_dsd_op(
 
     let variant = dsd_variant(op_s, op_d);
     let _span = telemetry::span(variant);
+    sanitize::topology(topo)?;
     telemetry::counter_with("sparse.blocks", variant).add(topo.nnz_blocks() as u64);
     telemetry::counter_with("sparse.flops", variant).add(2 * topo.nnz() as u64 * n as u64);
 
@@ -444,7 +621,17 @@ pub fn try_dsd_op(
                                         &d_data[j * d_cols + r * bs..j * d_cols + (r + 1) * bs];
                                     let mut acc = 0.0f32;
                                     for p in 0..bs {
-                                        acc += block[p * bs + bi] * drow[p];
+                                        // SAFETY: p and bi are both < bs,
+                                        // so p * bs + bi < bs * bs ==
+                                        // block.len(); drow was sliced to
+                                        // exactly bs elements and p < bs.
+                                        let (sv, dv) = unsafe {
+                                            (
+                                                *block.get_unchecked(p * bs + bi),
+                                                *drow.get_unchecked(p),
+                                            )
+                                        };
+                                        acc += sv * dv;
                                     }
                                     *o += acc;
                                 }
@@ -461,20 +648,23 @@ pub fn try_dsd_op(
         for (g, band) in out_data.chunks_mut(bs * n).enumerate() {
             compute_group(band, g);
         }
-        return Ok(out);
-    }
-    let groups_per_thread = groups.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (idx, bands) in out_data.chunks_mut(groups_per_thread * bs * n).enumerate() {
-            let compute_group = &compute_group;
-            scope.spawn(move |_| {
-                for (off, band) in bands.chunks_mut(bs * n).enumerate() {
-                    compute_group(band, idx * groups_per_thread + off);
-                }
-            });
+    } else {
+        let groups_per_thread = groups.div_ceil(threads);
+        sanitize::dsd_partition(topo, op_s == Trans::T, threads, groups_per_thread)?;
+        if let Err(payload) = crossbeam::thread::scope(|scope| {
+            for (idx, bands) in out_data.chunks_mut(groups_per_thread * bs * n).enumerate() {
+                let compute_group = &compute_group;
+                scope.spawn(move |_| {
+                    for (off, band) in bands.chunks_mut(bs * n).enumerate() {
+                        compute_group(band, idx * groups_per_thread + off);
+                    }
+                });
+            }
+        }) {
+            resume_worker_panic(payload);
         }
-    })
-    .expect("dsd worker panicked");
+    }
+    sanitize::output(variant, out.as_slice())?;
     Ok(out)
 }
 
@@ -491,6 +681,16 @@ pub fn dds(d: &Matrix, s: &BlockSparseMatrix) -> Matrix {
     dds_op(d, Trans::N, s, Trans::N)
 }
 
+/// Fallible form of [`dds`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
+/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
+pub fn try_dds(d: &Matrix, s: &BlockSparseMatrix) -> Result<Matrix, SparseError> {
+    try_dds_op(d, Trans::N, s, Trans::N)
+}
+
 /// DDS^T: computes `out = d * s^T` (row-major traversal of the sparse
 /// operand).
 ///
@@ -501,6 +701,16 @@ pub fn dds_t(d: &Matrix, s: &BlockSparseMatrix) -> Matrix {
     dds_op(d, Trans::N, s, Trans::T)
 }
 
+/// Fallible form of [`dds_t`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
+/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
+pub fn try_dds_t(d: &Matrix, s: &BlockSparseMatrix) -> Result<Matrix, SparseError> {
+    try_dds_op(d, Trans::N, s, Trans::T)
+}
+
 /// DD^TS: computes `out = d^T * s` — the first-layer weight gradient of a
 /// dMoE FFN (paper §5.1).
 ///
@@ -509,6 +719,16 @@ pub fn dds_t(d: &Matrix, s: &BlockSparseMatrix) -> Matrix {
 /// Panics if `d.rows() != s.shape().0`.
 pub fn ddt_s(d: &Matrix, s: &BlockSparseMatrix) -> Matrix {
     dds_op(d, Trans::T, s, Trans::N)
+}
+
+/// Fallible form of [`ddt_s`].
+///
+/// # Errors
+///
+/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
+/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
+pub fn try_ddt_s(d: &Matrix, s: &BlockSparseMatrix) -> Result<Matrix, SparseError> {
+    try_dds_op(d, Trans::T, s, Trans::N)
 }
 
 /// General DDS: `out = op_d(d) * op_s(s)`.
@@ -553,6 +773,7 @@ pub fn try_dds_op(
 
     let variant = dds_variant(op_d, op_s);
     let _span = telemetry::span(variant);
+    sanitize::topology(topo)?;
     telemetry::counter_with("sparse.blocks", variant).add(topo.nnz_blocks() as u64);
     telemetry::counter_with("sparse.flops", variant).add(2 * topo.nnz() as u64 * m as u64);
 
@@ -614,17 +835,20 @@ pub fn try_dds_op(
     let out_data = out.as_mut_slice();
     if threads <= 1 {
         compute_band(out_data, 0, m);
-        return Ok(out);
-    }
-    let rows_per_thread = m.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (idx, band) in out_data.chunks_mut(rows_per_thread * n).enumerate() {
-            let rows = band.len() / n;
-            let compute_band = &compute_band;
-            scope.spawn(move |_| compute_band(band, idx * rows_per_thread, rows));
+    } else {
+        let rows_per_thread = m.div_ceil(threads);
+        sanitize::band_partition(variant, m, threads, rows_per_thread)?;
+        if let Err(payload) = crossbeam::thread::scope(|scope| {
+            for (idx, band) in out_data.chunks_mut(rows_per_thread * n).enumerate() {
+                let rows = band.len() / n;
+                let compute_band = &compute_band;
+                scope.spawn(move |_| compute_band(band, idx * rows_per_thread, rows));
+            }
+        }) {
+            resume_worker_panic(payload);
         }
-    })
-    .expect("dds worker panicked");
+    }
+    sanitize::output(variant, out.as_slice())?;
     Ok(out)
 }
 

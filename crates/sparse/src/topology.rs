@@ -47,19 +47,19 @@ pub struct BlockCoord {
 /// training step.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
-    inner: Arc<TopologyInner>,
+    pub(crate) inner: Arc<TopologyInner>,
 }
 
 #[derive(Debug, PartialEq, Eq)]
-struct TopologyInner {
-    block_size: BlockSize,
-    block_rows: usize,
-    block_cols: usize,
-    row_offsets: Vec<usize>,
-    col_indices: Vec<usize>,
-    row_indices: Vec<usize>,
-    col_offsets: Vec<usize>,
-    transpose_indices: Vec<usize>,
+pub(crate) struct TopologyInner {
+    pub(crate) block_size: BlockSize,
+    pub(crate) block_rows: usize,
+    pub(crate) block_cols: usize,
+    pub(crate) row_offsets: Vec<usize>,
+    pub(crate) col_indices: Vec<usize>,
+    pub(crate) row_indices: Vec<usize>,
+    pub(crate) col_offsets: Vec<usize>,
+    pub(crate) transpose_indices: Vec<usize>,
 }
 
 impl Topology {
@@ -348,7 +348,23 @@ impl Topology {
 
     /// The topology of the transposed matrix, built by swapping the roles of
     /// the two index halves. Used by the explicit-transposition ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this topology's metadata is internally inconsistent (never
+    /// for a topology built through the checked constructors).
     pub fn transposed(&self) -> Topology {
+        self.try_transposed().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Topology::transposed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the mirrored coordinates are rejected — only
+    /// possible for a topology with corrupted metadata (e.g. one built with
+    /// [`Topology::from_raw_parts_unchecked`]).
+    pub fn try_transposed(&self) -> Result<Topology, SparseError> {
         let blocks = (0..self.nnz_blocks()).map(|k| {
             let c = self.coord(k);
             BlockCoord {
@@ -362,7 +378,41 @@ impl Topology {
             blocks,
             self.inner.block_size,
         )
-        .expect("transposing a valid topology cannot fail")
+    }
+
+    /// Assembles a topology directly from raw metadata arrays, skipping
+    /// every consistency check.
+    ///
+    /// This exists for the audit tooling only: seeded-corruption tests and
+    /// the sanitizer's own mutation tests need to build *invalid* topologies
+    /// to prove [`Topology::validate`] catches them. Production code must
+    /// use [`Topology::from_blocks`] / [`Topology::block_diagonal`] /
+    /// [`Topology::for_moe`], which establish the invariants by
+    /// construction.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts_unchecked(
+        block_size: BlockSize,
+        block_rows: usize,
+        block_cols: usize,
+        row_offsets: Vec<usize>,
+        col_indices: Vec<usize>,
+        row_indices: Vec<usize>,
+        col_offsets: Vec<usize>,
+        transpose_indices: Vec<usize>,
+    ) -> Self {
+        Self {
+            inner: Arc::new(TopologyInner {
+                block_size,
+                block_rows,
+                block_cols,
+                row_offsets,
+                col_indices,
+                row_indices,
+                col_offsets,
+                transpose_indices,
+            }),
+        }
     }
 
     /// Bytes of metadata this topology stores (for the paper's claim that

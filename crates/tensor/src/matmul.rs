@@ -30,6 +30,25 @@ impl Trans {
 /// multiply runs single-threaded: thread spawn costs would dominate.
 const PARALLEL_THRESHOLD: usize = 64 * 64;
 
+/// NaN/Inf poisoning check on a kernel output, auto-invoked under
+/// `--features sanitize`. A non-finite value in a GEMM output means an
+/// input was already poisoned or the kernel itself is broken; panicking at
+/// the producing op localizes the bug instead of letting the NaN spread
+/// through the training step.
+#[cfg(feature = "sanitize")]
+fn sanitize_output(op: &'static str, data: &[f32]) {
+    for (index, &v) in data.iter().enumerate() {
+        assert!(
+            v.is_finite(),
+            "sanitize: {op} produced non-finite value {v} at output index {index}"
+        );
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+#[inline(always)]
+fn sanitize_output(_op: &'static str, _data: &[f32]) {}
+
 /// Computes `c = alpha * op_a(a) * op_b(b) + beta * c`.
 ///
 /// `op_a`/`op_b` select transposition of each input ([`Trans`]). This is the
@@ -151,7 +170,18 @@ pub fn gemm(
                         let brow = &b_data[j * b_cols..j * b_cols + k];
                         let mut acc = 0.0f32;
                         for p in 0..k {
-                            acc += a_data[p * a_cols + row0 + i] * brow[p];
+                            // SAFETY: with op_a == T the operand is stored
+                            // k x m, so a_data has k * a_cols elements with
+                            // a_cols == m; p < k and row0 + i < m (band
+                            // rows never exceed the checked output height).
+                            // brow was sliced to exactly k elements, p < k.
+                            let (av, bv) = unsafe {
+                                (
+                                    *a_data.get_unchecked(p * a_cols + row0 + i),
+                                    *brow.get_unchecked(p),
+                                )
+                            };
+                            acc += av * bv;
                         }
                         *cv += alpha * acc;
                     }
@@ -164,19 +194,24 @@ pub fn gemm(
 
     if threads <= 1 {
         compute_band(c_data, 0, m);
+        sanitize_output("gemm", c_data);
         return;
     }
 
     let rows_per_band = m.div_ceil(threads);
-    crossbeam::thread::scope(|s| {
+    if let Err(payload) = crossbeam::thread::scope(|s| {
         for (band_idx, band) in c_data.chunks_mut(rows_per_band * n).enumerate() {
             let row0 = band_idx * rows_per_band;
             let rows = band.len() / n;
             let compute_band = &compute_band;
             s.spawn(move |_| compute_band(band, row0, rows));
         }
-    })
-    .expect("gemm worker thread panicked");
+    }) {
+        // Re-raise the worker's panic on the calling thread with its
+        // original payload rather than swallowing it into a generic unwrap.
+        std::panic::resume_unwind(payload);
+    }
+    sanitize_output("gemm", c_data);
 }
 
 /// Computes `a * b` into a fresh matrix.
