@@ -3,7 +3,7 @@
 //! This crate is the static half of the correctness tooling (the dynamic
 //! half — the topology sanitizer and write-disjointness race checker —
 //! lives in `megablocks_sparse::audit` behind the `sanitize` feature).
-//! It enforces four workspace conventions that `rustc` and `clippy` do
+//! It enforces five workspace conventions that `rustc` and `clippy` do
 //! not check:
 //!
 //! 1. **SAFETY comments** — every `unsafe` block in the workspace crates
@@ -18,6 +18,13 @@
 //! 4. **Telemetry API parity** — `telemetry/src/enabled.rs` and
 //!    `disabled.rs` must expose identical public items, so flipping the
 //!    feature can never change what compiles.
+//! 5. **No raw parallelism** — spawning threads directly
+//!    (`std::thread::spawn` / `thread::scope` / `thread::Builder` /
+//!    `crossbeam::thread`) is banned outside `crates/exec`: every kernel
+//!    launch must go through the execution runtime's worker pool, so its
+//!    panic-safety and determinism guarantees cover the whole workspace.
+//!    Test and bench sources are exempt (they drive the pool from OS
+//!    threads on purpose).
 //!
 //! The checks are plain-text analysis (comments and string literals are
 //! stripped first); no compiler plumbing, no dependencies. Run them with
@@ -47,6 +54,10 @@ pub const TELEMETRY_PAIR: (&str, &str) = (
     "crates/telemetry/src/disabled.rs",
 );
 
+/// The one directory allowed to use raw thread primitives: the execution
+/// runtime owns every spawn in the workspace (workspace-relative prefix).
+pub const EXEC_CRATE: &str = "crates/exec/";
+
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -55,7 +66,7 @@ pub struct Finding {
     /// 1-based line, or 0 when the finding concerns the file as a whole.
     pub line: usize,
     /// Short rule identifier (`safety-comment`, `hot-path-panic`,
-    /// `try-twin`, `telemetry-parity`).
+    /// `try-twin`, `telemetry-parity`, `raw-parallelism`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -121,6 +132,23 @@ pub fn run_all_lints(root: &Path) -> io::Result<Vec<Finding>> {
     let enabled = fs::read_to_string(root.join(TELEMETRY_PAIR.0))?;
     let disabled = fs::read_to_string(root.join(TELEMETRY_PAIR.1))?;
     findings.extend(check_telemetry_parity(&enabled, &disabled));
+
+    // Rule 5: raw thread primitives only inside the execution runtime.
+    // Tests and benches are exempt (determinism/stress suites drive the
+    // pool from OS threads deliberately), as is the audit crate (fixture
+    // literals).
+    for file in rust_sources(&root.join("crates"))? {
+        let rel = rel_path(root, &file);
+        if rel.starts_with(EXEC_CRATE)
+            || rel.starts_with("crates/audit/")
+            || rel.contains("/tests/")
+            || rel.contains("/benches/")
+        {
+            continue;
+        }
+        let src = fs::read_to_string(&file)?;
+        findings.extend(check_raw_parallelism(&rel, &src));
+    }
 
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
@@ -231,6 +259,41 @@ pub fn check_telemetry_parity(enabled_src: &str, disabled_src: &str) -> Vec<Find
     for item in &disabled {
         if !enabled.contains(item) {
             findings.push(parity_finding(TELEMETRY_PAIR.0, item, "missing or differs"));
+        }
+    }
+    findings
+}
+
+/// Rule 5: raw thread-spawning primitives are banned outside the
+/// execution runtime crate — kernels launch through
+/// `megablocks_exec::LaunchPlan`, never by spawning threads themselves.
+/// The `#[cfg(test)]` portion of a file is exempt, like the hot-path rule.
+pub fn check_raw_parallelism(file: &str, src: &str) -> Vec<Finding> {
+    const BANNED: [&str; 4] = [
+        "crossbeam::thread",
+        "thread::spawn",
+        "thread::scope",
+        "thread::Builder",
+    ];
+    let stripped = strip_comments_and_strings(src);
+    let mut findings = Vec::new();
+    for (i, (code, orig)) in stripped.lines().zip(src.lines()).enumerate() {
+        // Everything below the test module is exempt.
+        if orig.contains("#[cfg(test)]") {
+            break;
+        }
+        for pat in BANNED {
+            if code.contains(pat) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: i + 1,
+                    rule: "raw-parallelism",
+                    message: format!(
+                        "`{pat}` outside crates/exec; launch through \
+                         megablocks_exec::LaunchPlan instead"
+                    ),
+                });
+            }
         }
     }
     findings
@@ -578,6 +641,21 @@ mod tests {
         let disabled = "pub fn gauge(name: &str) -> Gauge { Gauge }\n";
         let f = check_telemetry_parity(enabled, disabled);
         assert_eq!(f.len(), 2); // each side reports the other's variant missing
+    }
+
+    #[test]
+    fn raw_parallelism_lint_flags_spawns() {
+        let src = "fn k() {\n    std::thread::spawn(|| {});\n    crossbeam::thread::scope(|s| {}).unwrap();\n}\n";
+        let f = check_raw_parallelism("x.rs", src);
+        assert!(f.len() >= 2);
+        assert!(f.iter().all(|f| f.rule == "raw-parallelism"));
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn raw_parallelism_lint_exempts_tests_and_comments() {
+        let src = "// thread::spawn is discussed here only\nfn k() {}\n#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(check_raw_parallelism("x.rs", src).is_empty());
     }
 
     #[test]

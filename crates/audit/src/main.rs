@@ -38,6 +38,7 @@ RULES:
     hot-path-panic     no `.unwrap()` / `.expect(` in kernel hot paths
     try-twin           every public sparse op has a fallible `try_*` twin
     telemetry-parity   telemetry enabled/disabled expose identical public APIs
+    raw-parallelism    no thread spawning outside crates/exec (the runtime owns it)
 ";
 
 fn lint(root: Option<PathBuf>) -> ExitCode {
@@ -52,7 +53,7 @@ fn lint(root: Option<PathBuf>) -> ExitCode {
         }
         Ok(findings) if findings.is_empty() => {
             println!(
-                "megablocks-audit: workspace clean ({} hot-path files, 4 rules)",
+                "megablocks-audit: workspace clean ({} hot-path files, 5 rules)",
                 HOT_PATHS.len()
             );
             ExitCode::SUCCESS

@@ -13,6 +13,7 @@
 //! the first. No tokens are ever dropped and no expert batch is padded
 //! beyond the next block boundary.
 
+use megablocks_exec as exec;
 use megablocks_sparse::{ops, BlockSparseMatrix, SparseError, Topology};
 use megablocks_telemetry as telemetry;
 use megablocks_tensor::ops::{gelu_grad_scalar, gelu_scalar};
@@ -23,6 +24,10 @@ use crate::{
     load_balancing_loss, padded_gather, padded_gather_backward, padded_scatter,
     padded_scatter_backward, MoeConfig, MoeStats, Param, PermuteInfo, Router, Routing,
 };
+
+/// Elements below this stay single-banded in the elementwise activation
+/// plans (same rationale as the permutation kernels: pure memory traffic).
+const PARALLEL_THRESHOLD: usize = 1 << 16;
 
 /// Everything the backward pass needs from a forward invocation.
 ///
@@ -170,7 +175,19 @@ impl DroplessMoe {
         let (h_pre, h_act, y) = {
             let _experts = telemetry::span("moe.dmoe.experts");
             let h_pre = ops::try_sdd(&xg, self.w1.value(), &topology)?;
-            let h_act = h_pre.map(gelu_scalar);
+            // Elementwise GeLU over the nonzero blocks as a launch plan
+            // into a workspace-backed buffer.
+            let pre = h_pre.as_slice();
+            let mut act = exec::workspace::take_zeroed(pre.len());
+            let bands = exec::parallelism_for(pre.len(), PARALLEL_THRESHOLD);
+            let body = |band: &mut [f32], i0: usize| {
+                for (i, v) in band.iter_mut().enumerate() {
+                    *v = gelu_scalar(pre[i0 + i]);
+                }
+            };
+            exec::LaunchPlan::over_items("moe.gelu", &mut act, 1, pre.len().div_ceil(bands), &body)
+                .launch();
+            let h_act = BlockSparseMatrix::from_raw(&topology, act)?;
             let y = ops::try_dsd(&h_act, self.w2.value())?;
             (h_pre, h_act, y)
         };
@@ -231,20 +248,35 @@ impl DroplessMoe {
         let dh_act = ops::sdd_t(&dy, self.w2.value(), cache.h_pre.topology());
         let dw2 = ops::dst_d(&cache.h_act, &dy);
         self.w2.accumulate(&dw2);
+        dw2.recycle();
+        dy.recycle();
 
-        // Activation backward on the stored blocks.
+        // Activation backward on the stored blocks, as a launch plan over
+        // the nonzero elements.
         let mut dh = dh_act;
-        for (g, &pre) in dh.as_mut_slice().iter_mut().zip(cache.h_pre.as_slice()) {
-            *g *= gelu_grad_scalar(pre);
+        {
+            let pre = cache.h_pre.as_slice();
+            let data = dh.as_mut_slice();
+            let bands = exec::parallelism_for(data.len(), PARALLEL_THRESHOLD);
+            let per_band = data.len().div_ceil(bands);
+            let body = |band: &mut [f32], i0: usize| {
+                for (i, g) in band.iter_mut().enumerate() {
+                    *g *= gelu_grad_scalar(pre[i0 + i]);
+                }
+            };
+            exec::LaunchPlan::over_items("moe.gelu_grad", data, 1, per_band, &body).launch();
         }
 
         // First expert layer: data grad DSD^T, weight grad DD^TS.
         let dxg = ops::dsd_t(&dh, self.w1.value());
         let dw1 = ops::ddt_s(&cache.xg, &dh);
         self.w1.accumulate(&dw1);
+        dw1.recycle();
+        dh.recycle();
 
         // Permutation backward.
         let mut dx = padded_gather_backward(&dxg, &cache.permute);
+        dxg.recycle();
 
         // Router backward (confidence weights + load-balancing loss).
         let dx_router = self.router.backward(
@@ -253,6 +285,7 @@ impl DroplessMoe {
             &d_weights,
             Some(&cache.d_probs_aux),
         );
+        exec::workspace::recycle(d_weights);
         dx.add_assign(&dx_router);
         dx
     }

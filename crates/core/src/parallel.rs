@@ -13,6 +13,7 @@
 //! with the single-device layer and the communication volumes the
 //! `gpusim` timeline model charges for.
 
+use megablocks_exec as exec;
 use megablocks_sparse::{ops, Topology};
 use megablocks_tensor::ops::gelu_scalar;
 use megablocks_tensor::Matrix;
@@ -93,9 +94,13 @@ pub fn expert_parallel_forward(
     let dispatch_elements: usize = rows_per_shard.iter().map(|r| r * hidden).sum();
 
     // Each shard computes its local experts over a local topology using
-    // its slice of the concatenated weights.
-    let mut shard_outputs = Vec::with_capacity(num_shards);
-    for s in 0..num_shards {
+    // its slice of the concatenated weights. Shards are the bands of one
+    // launch plan over the combined output's row space: shard `s` writes
+    // its expert outputs straight into its row range of `y` (the combine
+    // all-to-all), and the nested sparse ops run inline on the worker.
+    let mut y = Matrix::pooled_zeros(permute.padded_rows(), hidden);
+    let band_lens: Vec<usize> = rows_per_shard.iter().map(|&r| r * hidden).collect();
+    let shard_body = |band: &mut [f32], s: usize| {
         let local_padded = &padded[s * experts_per_shard..(s + 1) * experts_per_shard];
         let topo = Topology::for_moe(local_padded, ffn, cfg.block_size)
             .expect("padded counts are block-aligned");
@@ -105,18 +110,28 @@ pub fn expert_parallel_forward(
         let w1_local = Matrix::from_fn(hidden, cols, |i, j| layer.w1().value()[(i, col0 + j)]);
         let w2_local = layer.w2().value().rows_range(col0, col0 + cols);
         let h = ops::sdd(&shard_inputs[s], &w1_local, &topo).map(gelu_scalar);
-        shard_outputs.push(ops::dsd(&h, &w2_local));
-    }
+        let out = ops::dsd(&h, &w2_local);
+        band.copy_from_slice(out.as_slice());
+        out.recycle();
+        h.recycle();
+    };
+    exec::LaunchPlan::over_bands(
+        "moe.expert_parallel",
+        y.as_mut_slice(),
+        band_lens,
+        &shard_body,
+    )
+    .launch();
 
-    // Combine all-to-all: concatenate shard outputs back into the global
-    // padded row space and un-permute.
-    let mut y = Matrix::zeros(permute.padded_rows(), hidden);
-    for (s, out) in shard_outputs.iter().enumerate() {
-        let lo = offsets[s * experts_per_shard];
-        for i in 0..out.rows() {
-            y.row_mut(lo + i).copy_from_slice(out.row(i));
-        }
-    }
+    // Materialize per-shard outputs for the buffers value (tests assert
+    // on the exchange volumes and shapes).
+    let shard_outputs: Vec<Matrix> = (0..num_shards)
+        .map(|s| {
+            let lo = offsets[s * experts_per_shard];
+            let hi = offsets[(s + 1) * experts_per_shard];
+            y.rows_range(lo, hi)
+        })
+        .collect();
     let output = padded_scatter(&y, &permute, &routing.weights);
 
     let stats = EpStats {

@@ -4,8 +4,14 @@
 //! to the next multiple of the block size, so the block-sparse kernels only
 //! ever see whole blocks. The paper fuses the padding into custom
 //! permutation kernels (`padded_gather` / `padded_scatter` in Figure 6);
-//! this module reproduces them as plain functions.
+//! this module reproduces them as launch plans on the shared execution
+//! runtime, parallelized over disjoint output-row bands: gather-style
+//! kernels iterate destination rows through the precomputed inverse
+//! assignment map, scatter-style kernels iterate tokens (a token's `top_k`
+//! assignments are consecutive), so no two bands ever touch the same
+//! output row.
 
+use megablocks_exec as exec;
 use megablocks_sparse::BlockSize;
 use megablocks_telemetry as telemetry;
 use megablocks_tensor::Matrix;
@@ -25,8 +31,20 @@ pub struct PermuteInfo {
     tokens_per_expert: Vec<usize>,
     padded_tokens_per_expert: Vec<usize>,
     assignment_row: Vec<usize>,
+    /// Inverse of `assignment_row`: the assignment landing on each padded
+    /// row, or [`PAD_ROW`] for pure padding rows. Lets gather-style
+    /// kernels parallelize over destination rows.
+    assignment_of_row: Vec<usize>,
     padded_rows: usize,
 }
+
+/// Marker in [`PermuteInfo::assignment_of_row`] for padding rows (no
+/// assignment writes there).
+const PAD_ROW: usize = usize::MAX;
+
+/// Elements moved below this stay single-banded: a permutation kernel is
+/// pure memory traffic, so small copies never amortize a pooled launch.
+const PARALLEL_THRESHOLD: usize = 1 << 16;
 
 impl PermuteInfo {
     /// Builds permutation metadata from a routing decision, padding each
@@ -86,7 +104,7 @@ impl PermuteInfo {
 
         // Stable grouping: assignments keep token order within each expert.
         let mut fill = vec![0usize; num_experts];
-        let assignment_row = expert_indices
+        let assignment_row: Vec<usize> = expert_indices
             .iter()
             .map(|&e| {
                 let row = offsets[e] + fill[e];
@@ -94,6 +112,10 @@ impl PermuteInfo {
                 row
             })
             .collect();
+        let mut assignment_of_row = vec![PAD_ROW; padded_rows];
+        for (a, &row) in assignment_row.iter().enumerate() {
+            assignment_of_row[row] = a;
+        }
 
         let info = Self {
             num_tokens,
@@ -101,6 +123,7 @@ impl PermuteInfo {
             tokens_per_expert,
             padded_tokens_per_expert,
             assignment_row,
+            assignment_of_row,
             padded_rows,
         };
         sanitize_permutation(&info);
@@ -194,11 +217,31 @@ pub fn padded_gather(x: &Matrix, info: &PermuteInfo) -> Matrix {
         "padded_gather token count mismatch"
     );
     let _span = telemetry::span("moe.padded_gather");
-    let mut out = Matrix::zeros(info.padded_rows(), x.cols());
-    for a in 0..info.num_assignments() {
-        let src = x.row(info.token_of(a));
-        out.row_mut(info.row_of(a)).copy_from_slice(src);
+    let cols = x.cols();
+    let rows = info.padded_rows();
+    let mut out = Matrix::pooled_zeros(rows, cols);
+    if cols == 0 || rows == 0 {
+        return out;
     }
+    // Bands of destination rows; each row's source (or padding) comes from
+    // the precomputed inverse map, so bands never share a write target.
+    let bands = exec::parallelism_for(rows * cols, PARALLEL_THRESHOLD).min(rows);
+    let body = |band: &mut [f32], r0: usize| {
+        for (i, orow) in band.chunks_mut(cols).enumerate() {
+            let a = info.assignment_of_row[r0 + i];
+            if a != PAD_ROW {
+                orow.copy_from_slice(x.row(info.token_of(a)));
+            }
+        }
+    };
+    exec::LaunchPlan::over_items(
+        "moe.padded_gather",
+        out.as_mut_slice(),
+        cols,
+        rows.div_ceil(bands),
+        &body,
+    )
+    .launch();
     out
 }
 
@@ -216,14 +259,34 @@ pub fn padded_gather_backward(d_gathered: &Matrix, info: &PermuteInfo) -> Matrix
         "padded_gather_backward row count mismatch"
     );
     let _span = telemetry::span("moe.padded_gather_backward");
-    let mut dx = Matrix::zeros(info.num_tokens(), d_gathered.cols());
-    for a in 0..info.num_assignments() {
-        let src = d_gathered.row(info.row_of(a));
-        let dst = dx.row_mut(info.token_of(a));
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d += s;
-        }
+    let cols = d_gathered.cols();
+    let tokens = info.num_tokens();
+    let mut dx = Matrix::pooled_zeros(tokens, cols);
+    if cols == 0 || tokens == 0 {
+        return dx;
     }
+    // Bands of token rows: a token's top_k assignments are consecutive, so
+    // each band reduces its own tokens' gradients without sharing writes.
+    let top_k = info.top_k();
+    let bands = exec::parallelism_for(tokens * top_k * cols, PARALLEL_THRESHOLD).min(tokens);
+    let body = |band: &mut [f32], t0: usize| {
+        for (i, dst) in band.chunks_mut(cols).enumerate() {
+            for k in 0..top_k {
+                let src = d_gathered.row(info.row_of((t0 + i) * top_k + k));
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+    };
+    exec::LaunchPlan::over_items(
+        "moe.padded_gather_backward",
+        dx.as_mut_slice(),
+        cols,
+        tokens.div_ceil(bands),
+        &body,
+    )
+    .launch();
     dx
 }
 
@@ -246,14 +309,36 @@ pub fn padded_scatter(y: &Matrix, info: &PermuteInfo, weights: &[f32]) -> Matrix
         "one weight per assignment required"
     );
     let _span = telemetry::span("moe.padded_scatter");
-    let mut out = Matrix::zeros(info.num_tokens(), y.cols());
-    for (a, &w) in weights.iter().enumerate() {
-        let src = y.row(info.row_of(a));
-        let dst = out.row_mut(info.token_of(a));
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d += w * s;
-        }
+    let cols = y.cols();
+    let tokens = info.num_tokens();
+    let mut out = Matrix::pooled_zeros(tokens, cols);
+    if cols == 0 || tokens == 0 {
+        return out;
     }
+    // Bands of token rows, as in the gather backward: each band sums its
+    // own tokens' weighted top_k contributions.
+    let top_k = info.top_k();
+    let bands = exec::parallelism_for(tokens * top_k * cols, PARALLEL_THRESHOLD).min(tokens);
+    let body = |band: &mut [f32], t0: usize| {
+        for (i, dst) in band.chunks_mut(cols).enumerate() {
+            for k in 0..top_k {
+                let a = (t0 + i) * top_k + k;
+                let w = weights[a];
+                let src = y.row(info.row_of(a));
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d += w * s;
+                }
+            }
+        }
+    };
+    exec::LaunchPlan::over_items(
+        "moe.padded_scatter",
+        out.as_mut_slice(),
+        cols,
+        tokens.div_ceil(bands),
+        &body,
+    )
+    .launch();
     out
 }
 
@@ -284,19 +369,57 @@ pub fn padded_scatter_backward(
         "weights count mismatch"
     );
     let _span = telemetry::span("moe.padded_scatter_backward");
-    let mut dy = Matrix::zeros(info.padded_rows(), d_out.cols());
-    let mut d_weights = vec![0.0f32; info.num_assignments()];
-    for a in 0..info.num_assignments() {
-        let t = info.token_of(a);
-        let r = info.row_of(a);
-        let d_row = d_out.row(t);
-        let y_row = y.row(r);
-        d_weights[a] = d_row.iter().zip(y_row).map(|(d, v)| d * v).sum();
-        let w = weights[a];
-        let dst = dy.row_mut(r);
-        for (o, d) in dst.iter_mut().zip(d_row) {
-            *o = w * d;
-        }
+    let cols = d_out.cols();
+    let rows = info.padded_rows();
+    let assignments = info.num_assignments();
+    let mut dy = Matrix::pooled_zeros(rows, cols);
+    let mut d_weights = exec::workspace::take_zeroed(assignments);
+
+    // Two independent plans: dy bands over padded rows (via the inverse
+    // map, padding rows stay zero) and d_weights bands over assignments.
+    if cols > 0 && rows > 0 {
+        let bands = exec::parallelism_for(rows * cols, PARALLEL_THRESHOLD).min(rows);
+        let body = |band: &mut [f32], r0: usize| {
+            for (i, dst) in band.chunks_mut(cols).enumerate() {
+                let a = info.assignment_of_row[r0 + i];
+                if a == PAD_ROW {
+                    continue;
+                }
+                let w = weights[a];
+                let d_row = d_out.row(info.token_of(a));
+                for (o, d) in dst.iter_mut().zip(d_row) {
+                    *o = w * d;
+                }
+            }
+        };
+        exec::LaunchPlan::over_items(
+            "moe.padded_scatter_backward",
+            dy.as_mut_slice(),
+            cols,
+            rows.div_ceil(bands),
+            &body,
+        )
+        .launch();
+    }
+    if assignments > 0 {
+        let bands =
+            exec::parallelism_for(assignments * cols.max(1), PARALLEL_THRESHOLD).min(assignments);
+        let body = |band: &mut [f32], a0: usize| {
+            for (i, dw) in band.iter_mut().enumerate() {
+                let a = a0 + i;
+                let d_row = d_out.row(info.token_of(a));
+                let y_row = y.row(info.row_of(a));
+                *dw = d_row.iter().zip(y_row).map(|(d, v)| d * v).sum();
+            }
+        };
+        exec::LaunchPlan::over_items(
+            "moe.padded_scatter_dw",
+            &mut d_weights,
+            1,
+            assignments.div_ceil(bands),
+            &body,
+        )
+        .launch();
     }
     (dy, d_weights)
 }

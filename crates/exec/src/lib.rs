@@ -1,0 +1,35 @@
+//! Unified execution runtime for MegaBlocks-RS.
+//!
+//! The paper's performance story rests on kernels that *launch cheaply*
+//! and iterate over precomputed metadata (§5.1.3–5.1.4); this crate is
+//! the CPU stand-in's version of that contract. It owns the three pieces
+//! every kernel in the workspace shares:
+//!
+//! * **A persistent worker pool** ([`pool`], [`Pool`]) — spawned once,
+//!   sized by [`configure_threads`] or the `MEGABLOCKS_THREADS`
+//!   environment variable (falling back to the CPU count), and reused by
+//!   every launch for the lifetime of the process. A panicking task is
+//!   re-raised on the submitter without poisoning or wedging the pool.
+//! * **First-class launch plans** ([`LaunchPlan`]) — a disjoint band
+//!   partition of an output slice plus a per-band body. The sparse
+//!   SDD/DSD/DDS kernels, the dense GEMM and the expert-parallel shard
+//!   loop all launch through this one abstraction; under
+//!   `--features sanitize` every plan's geometry is proven to tile its
+//!   output before a worker touches it.
+//! * **Reusable workspaces** ([`workspace`], [`Workspace`]) — a
+//!   per-thread buffer arena so kernel outputs and scratch reuse storage
+//!   across calls within a training step instead of round-tripping
+//!   through the allocator.
+//!
+//! Pool occupancy, queue depth, launch counts and workspace hit rates
+//! are reported through `megablocks-telemetry` (`exec.*` metrics).
+
+#![deny(missing_docs)]
+
+mod plan;
+mod pool;
+pub mod workspace;
+
+pub use plan::LaunchPlan;
+pub use pool::{configure_threads, parallelism, parallelism_for, pool, scoped_parallelism, Pool};
+pub use workspace::{Workspace, WorkspaceStats};

@@ -1,0 +1,255 @@
+//! First-class kernel launch plans.
+//!
+//! A [`LaunchPlan`] describes one kernel launch: a flat output slice, a
+//! partition of that slice into disjoint contiguous bands, and a band
+//! body. It replaces the hand-rolled scoped-thread launchers that the
+//! sparse (SDD/DSD/DDS), dense (GEMM) and expert-parallel paths used to
+//! duplicate — every parallel region in the workspace now goes through
+//! this one seam.
+//!
+//! Two partition shapes cover every kernel:
+//!
+//! * [`LaunchPlan::over_items`] — the output is `items` equal units of
+//!   `unit` floats (nonzero blocks for SDD, block-row bands for DSD,
+//!   rows for DDS/GEMM); each band owns `items_per_band` consecutive
+//!   items and the body receives `(band, first_item_index)`.
+//! * [`LaunchPlan::over_bands`] — explicitly sized bands (the
+//!   expert-parallel shard loop, where shards own different row counts);
+//!   the body receives `(band, band_index)`.
+//!
+//! Write disjointness holds *by construction*: bands are carved with
+//! `chunks_mut`/`split_at_mut`, so no two tasks can alias an output
+//! element. Under `--features sanitize` the plan is additionally proven
+//! coherent before launch — the declared geometry must tile the output
+//! exactly — which moves the old per-kernel band-partition audit into
+//! the one place every launch passes through.
+
+use megablocks_telemetry as telemetry;
+
+use crate::pool;
+
+/// How a plan slices its output.
+enum Partition {
+    /// `items` units of `unit` floats, `items_per_band` per band.
+    Uniform { unit: usize, items_per_band: usize },
+    /// Explicit per-band lengths, in floats.
+    Explicit { band_lens: Vec<usize> },
+}
+
+/// One kernel launch: output bands plus the per-band body.
+///
+/// Build with [`LaunchPlan::over_items`] or [`LaunchPlan::over_bands`],
+/// then call [`LaunchPlan::launch`]. The body must be `Sync`: every band
+/// task shares it by reference.
+pub struct LaunchPlan<'data, 'body> {
+    op: &'static str,
+    data: &'data mut [f32],
+    partition: Partition,
+    body: &'body (dyn Fn(&mut [f32], usize) + Sync),
+}
+
+impl<'data, 'body> LaunchPlan<'data, 'body> {
+    /// Plan over `data.len() / unit` uniform items, `items_per_band` per
+    /// band. The body receives each band and the index of its first item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit == 0` or `data.len()` is not a multiple of `unit`
+    /// — a malformed plan is a kernel bug, never a data condition.
+    pub fn over_items(
+        op: &'static str,
+        data: &'data mut [f32],
+        unit: usize,
+        items_per_band: usize,
+        body: &'body (dyn Fn(&mut [f32], usize) + Sync),
+    ) -> Self {
+        assert!(unit > 0, "{op}: launch plan unit must be nonzero");
+        assert!(
+            data.len().is_multiple_of(unit),
+            "{op}: output length {} is not a multiple of unit {unit}",
+            data.len()
+        );
+        LaunchPlan {
+            op,
+            data,
+            partition: Partition::Uniform {
+                unit,
+                items_per_band: items_per_band.max(1),
+            },
+            body,
+        }
+    }
+
+    /// Plan over explicitly sized bands (`band_lens` in floats). The body
+    /// receives each band and its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the band lengths do not sum to `data.len()` — the bands
+    /// must tile the output exactly.
+    pub fn over_bands(
+        op: &'static str,
+        data: &'data mut [f32],
+        band_lens: Vec<usize>,
+        body: &'body (dyn Fn(&mut [f32], usize) + Sync),
+    ) -> Self {
+        let total: usize = band_lens.iter().sum();
+        assert_eq!(
+            total,
+            data.len(),
+            "{op}: band lengths sum to {total}, output has {} floats",
+            data.len()
+        );
+        LaunchPlan {
+            op,
+            data,
+            partition: Partition::Explicit { band_lens },
+            body,
+        }
+    }
+
+    /// The op name the plan was built for (telemetry label).
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Number of bands the plan will launch.
+    pub fn bands(&self) -> usize {
+        match &self.partition {
+            Partition::Uniform {
+                unit,
+                items_per_band,
+            } => {
+                let items = self.data.len() / unit;
+                items.div_ceil(*items_per_band).max(1)
+            }
+            Partition::Explicit { band_lens } => band_lens.len().max(1),
+        }
+    }
+
+    /// Executes the plan on the shared worker pool.
+    ///
+    /// Single-band plans (and launches from inside a pool task) run
+    /// inline on the caller. A panicking band is re-raised on the caller
+    /// after every sibling band finished; the pool stays usable.
+    pub fn launch(self) {
+        self.run(false);
+    }
+
+    /// Executes the plan by spawning one fresh OS thread per band — the
+    /// pre-runtime behavior, kept as the ablation baseline the exec
+    /// microbenchmark compares pooled launches against.
+    pub fn launch_spawn_per_op(self) {
+        self.run(true);
+    }
+
+    fn run(self, spawn_per_op: bool) {
+        verify_plan(&self);
+        let bands = self.bands();
+        telemetry::histogram("exec.launch.bands").record(bands as u64);
+        let LaunchPlan {
+            data,
+            partition,
+            body,
+            ..
+        } = self;
+        if bands <= 1 {
+            telemetry::counter_with("exec.launches", "inline").inc();
+            body(data, 0);
+            return;
+        }
+
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bands);
+        match partition {
+            Partition::Uniform {
+                unit,
+                items_per_band,
+            } => {
+                for (i, band) in data.chunks_mut(items_per_band * unit).enumerate() {
+                    tasks.push(Box::new(move || body(band, i * items_per_band)));
+                }
+            }
+            Partition::Explicit { band_lens } => {
+                let mut rest = data;
+                for (i, &len) in band_lens.iter().enumerate() {
+                    let (band, tail) = rest.split_at_mut(len);
+                    rest = tail;
+                    tasks.push(Box::new(move || body(band, i)));
+                }
+            }
+        }
+
+        if spawn_per_op {
+            telemetry::counter_with("exec.launches", "spawn_per_op").inc();
+            run_spawn_per_op(tasks);
+        } else {
+            telemetry::counter_with("exec.launches", "pooled").inc();
+            pool::pool().run(tasks);
+        }
+    }
+}
+
+/// The spawn-per-op ablation launcher: a fresh scoped thread per band,
+/// exactly what the kernels did before the shared pool existed. Worker
+/// panics are re-raised on the caller with their original payload.
+fn run_spawn_per_op(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            for task in tasks {
+                s.spawn(task);
+            }
+        });
+    }));
+    if let Err(payload) = result {
+        std::panic::resume_unwind(payload);
+    }
+}
+
+/// Proves the plan's declared geometry tiles the output exactly — the
+/// uniform write-disjointness check every launch passes through under
+/// `--features sanitize`.
+#[cfg(feature = "sanitize")]
+fn verify_plan(plan: &LaunchPlan<'_, '_>) {
+    match &plan.partition {
+        Partition::Uniform {
+            unit,
+            items_per_band,
+        } => {
+            let items = plan.data.len() / unit;
+            // Bands are consecutive `items_per_band`-item ranges; prove
+            // they cover every item exactly once.
+            let bands = items.div_ceil((*items_per_band).max(1));
+            let mut covered = 0usize;
+            for b in 0..bands {
+                let lo = b * items_per_band;
+                let hi = ((b + 1) * items_per_band).min(items);
+                assert!(
+                    lo == covered && hi > lo,
+                    "sanitize: {} launch plan leaves a gap at item {covered} \
+                     (band {b} owns {lo}..{hi} of {items})",
+                    plan.op
+                );
+                covered = hi;
+            }
+            assert_eq!(
+                covered, items,
+                "sanitize: {} launch plan covers {covered} of {items} items",
+                plan.op
+            );
+        }
+        Partition::Explicit { band_lens } => {
+            let total: usize = band_lens.iter().sum();
+            assert_eq!(
+                total,
+                plan.data.len(),
+                "sanitize: {} launch plan bands sum to {total}, output has {}",
+                plan.op,
+                plan.data.len()
+            );
+        }
+    }
+}
+
+#[cfg(not(feature = "sanitize"))]
+#[inline(always)]
+fn verify_plan(_plan: &LaunchPlan<'_, '_>) {}

@@ -1,0 +1,325 @@
+//! The persistent worker pool.
+//!
+//! One pool per process, initialized lazily on the first pooled launch.
+//! Worker threads are spawned once and live for the lifetime of the
+//! process, so a kernel launch costs a queue push + condvar wake instead
+//! of `threads` fresh OS thread spawns — the CPU analogue of the paper's
+//! cheap kernel launches iterating precomputed metadata (§5.1.3).
+//!
+//! Panic safety: a panicking task is caught on the worker, its payload is
+//! parked in the launch's shared state, and the *submitter* re-raises it
+//! after every task of the launch has finished. Workers never unwind, so
+//! one poisoned launch cannot wedge the queue or leak a lock; the next
+//! launch sees a clean pool.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use megablocks_telemetry as telemetry;
+
+/// A unit of work queued on the pool. Tasks are lifetime-erased closures;
+/// the submitting thread blocks until every task of its launch completed,
+/// which is what makes the erasure sound (see [`Pool::run`]).
+type Job = Box<dyn FnOnce() + Send>;
+
+/// State shared by the pool's workers.
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    /// Workers currently executing a task (pool occupancy).
+    busy: AtomicUsize,
+}
+
+/// Completion tracking for one launch: the submitter waits on `done`
+/// until `remaining` queued tasks have finished; the first worker panic
+/// is parked in `panic` for the submitter to re-raise.
+struct LaunchState {
+    remaining: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl LaunchState {
+    fn new(remaining: usize) -> Self {
+        LaunchState {
+            remaining: Mutex::new(remaining),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Marks one task finished (storing `payload` if it panicked first).
+    fn finish(&self, payload: Option<Box<dyn Any + Send + 'static>>) {
+        if let Some(p) = payload {
+            let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+            slot.get_or_insert(p);
+        }
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every queued task of the launch has finished.
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock().unwrap_or_else(|e| e.into_inner());
+        while *remaining > 0 {
+            remaining = self.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The parked panic payload, if any task panicked.
+    fn take_panic(&self) -> Option<Box<dyn Any + Send + 'static>> {
+        self.panic.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
+/// The persistent worker pool. Obtain the process-wide instance with
+/// [`pool`]; plans submit through [`Pool::run`].
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Background workers spawned (the submitting thread is the
+    /// `target`-th executor, so this is `target - 1`).
+    workers: usize,
+}
+
+thread_local! {
+    /// Set on pool worker threads: launches submitted from inside a task
+    /// run inline to keep nested launches deadlock-free.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread parallelism override installed by [`scoped_parallelism`].
+    static PARALLELISM_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Parallelism target requested via [`configure_threads`] before first
+/// use (0 = unset).
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// The resolved process-wide parallelism target.
+static TARGET: OnceLock<usize> = OnceLock::new();
+
+/// The process-wide pool (spawned lazily, on the first pooled launch).
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+/// Requests a process-wide parallelism target, overriding the
+/// `MEGABLOCKS_THREADS` environment variable and the detected CPU count.
+///
+/// Returns `false` if the runtime already resolved its target (the pool
+/// keeps its original configuration in that case).
+pub fn configure_threads(threads: usize) -> bool {
+    CONFIGURED.store(threads.max(1), Relaxed);
+    TARGET.get().is_none()
+}
+
+/// Resolves the parallelism target: explicit [`configure_threads`] call,
+/// then the `MEGABLOCKS_THREADS` environment variable, then the detected
+/// CPU count. Never less than 1.
+fn resolve_target() -> usize {
+    let configured = CONFIGURED.load(Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(v) = std::env::var("MEGABLOCKS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// The process-wide parallelism target (workers + submitter), honoring a
+/// [`scoped_parallelism`] override on the current thread. Launch-plan
+/// builders use this to size their band partitions; it never spawns the
+/// pool by itself.
+pub fn parallelism() -> usize {
+    let override_n = PARALLELISM_OVERRIDE.with(Cell::get);
+    if override_n > 0 {
+        return override_n;
+    }
+    *TARGET.get_or_init(resolve_target)
+}
+
+/// Band count for a kernel with `work` fused multiply-adds (or moved
+/// elements): 1 below `threshold` — launch overhead would dominate —
+/// otherwise the full [`parallelism`] target.
+pub fn parallelism_for(work: usize, threshold: usize) -> usize {
+    if work < threshold {
+        1
+    } else {
+        parallelism()
+    }
+}
+
+/// Runs `f` with the parallelism target pinned to `threads` on this
+/// thread (nested scopes restore the previous value). Launches submitted
+/// inside still execute on the shared pool, but plans partition their
+/// output for `threads` bands — the hook the determinism suite uses to
+/// prove band count does not change results.
+pub fn scoped_parallelism<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PARALLELISM_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let previous = PARALLELISM_OVERRIDE.with(|c| c.replace(threads.max(1)));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Whether the current thread is a pool worker (nested launches run
+/// inline).
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// The process-wide pool, spawning its workers on first use.
+pub fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool::new(*TARGET.get_or_init(resolve_target)))
+}
+
+impl Pool {
+    fn new(target: usize) -> Self {
+        let workers = target.saturating_sub(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            busy: AtomicUsize::new(0),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("megablocks-exec-{i}"))
+                .spawn(move || worker_loop(&shared));
+            // A failed spawn degrades parallelism but not correctness:
+            // remaining workers (or the submitter) drain the queue.
+            drop(spawned);
+        }
+        telemetry::gauge("exec.pool.workers").set(workers as f64);
+        Pool { shared, workers }
+    }
+
+    /// Background worker threads owned by the pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Tasks currently queued (for tests and occupancy metrics).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Workers currently executing a task.
+    pub fn busy_workers(&self) -> usize {
+        self.shared.busy.load(Relaxed)
+    }
+
+    /// Executes `tasks` to completion, one per band of a launch plan.
+    ///
+    /// The first task runs on the calling thread; the rest are queued for
+    /// the workers. The call returns only after *every* task finished —
+    /// even when one panics — so tasks may freely borrow the caller's
+    /// stack. If any task panicked, the first payload is re-raised on the
+    /// caller once all sibling tasks are done (their borrows must outlive
+    /// the unwind).
+    ///
+    /// Launches submitted from inside a pool task, and launches with a
+    /// single task or on a worker-less pool, run inline on the calling
+    /// thread; panics then propagate directly.
+    pub fn run<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let queued = tasks.len().saturating_sub(1);
+        if queued == 0 || self.workers == 0 || in_worker() {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+
+        let state = Arc::new(LaunchState::new(queued));
+        let mut tasks = tasks.into_iter();
+        let first = match tasks.next() {
+            Some(t) => t,
+            None => return,
+        };
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            for task in tasks {
+                // SAFETY: the erased closure borrows from the caller's
+                // stack frame ('scope). This function does not return —
+                // normally or by unwinding — until `state` confirms the
+                // task ran to completion (`wait` below runs even when the
+                // inline task panics), so every borrow strictly outlives
+                // the task's execution.
+                let task: Box<dyn FnOnce() + Send + 'static> = unsafe { erase_lifetime(task) };
+                let state = Arc::clone(&state);
+                queue.push_back(Box::new(move || {
+                    let payload = catch_unwind(AssertUnwindSafe(task)).err();
+                    state.finish(payload);
+                }));
+            }
+            telemetry::gauge("exec.pool.queue_depth").set(queue.len() as f64);
+        }
+        self.shared.available.notify_all();
+
+        // Run the first band here: the submitter is the pool's extra
+        // executor. Capture its panic so queued siblings can finish
+        // before the stack unwinds past their borrows.
+        let inline_panic = catch_unwind(AssertUnwindSafe(first)).err();
+        state.wait();
+        if let Some(p) = inline_panic.or_else(|| state.take_panic()) {
+            resume_unwind(p);
+        }
+    }
+}
+
+/// Erases the borrow lifetime of a queued task.
+///
+/// # Safety
+///
+/// The caller must guarantee the task finishes executing before any
+/// borrow captured in it ends — [`Pool::run`] does so by blocking until
+/// the launch's completion count reaches zero.
+// SAFETY: declaring this fn unsafe delegates the outlives proof to the
+// caller; see the function docs above for the exact contract.
+unsafe fn erase_lifetime<'scope>(
+    task: Box<dyn FnOnce() + Send + 'scope>,
+) -> Box<dyn FnOnce() + Send + 'static> {
+    // SAFETY: identical vtable layout; only the borrow lifetime changes,
+    // and the caller upholds the outlives contract documented above.
+    unsafe { std::mem::transmute(task) }
+}
+
+/// Worker main loop: pop a task, run it, repeat. Tasks are already
+/// panic-wrapped, so the loop never unwinds and the pool never poisons.
+fn worker_loop(shared: &Shared) {
+    IN_WORKER.with(|c| c.set(true));
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    telemetry::gauge("exec.pool.queue_depth").set(queue.len() as f64);
+                    break job;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let busy = shared.busy.fetch_add(1, Relaxed) + 1;
+        telemetry::gauge("exec.pool.busy_workers").set(busy as f64);
+        telemetry::counter("exec.pool.tasks").inc();
+        job();
+        shared.busy.fetch_sub(1, Relaxed);
+    }
+}

@@ -1,0 +1,149 @@
+//! Pool and launch-plan behavior: panic recovery, nested launches, and
+//! the scoped parallelism override.
+//!
+//! The panic tests are the regression suite for the pool's recovery
+//! protocol: a launch whose band panics must re-raise on the submitter
+//! with the original payload, and the *next* launch over the same pool
+//! must behave normally (no wedged queue, no poisoned lock, no stale
+//! completion state).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use megablocks_exec::{configure_threads, parallelism, scoped_parallelism, LaunchPlan};
+
+/// Sums `1..=n` through a multi-band plan; the workhorse "normal launch"
+/// the panic tests interleave with.
+fn banded_sum(n: usize, bands: usize) -> f64 {
+    let mut data: Vec<f32> = (1..=n).map(|v| v as f32).collect();
+    let body = |band: &mut [f32], _i0: usize| {
+        for v in band.iter_mut() {
+            *v *= 2.0;
+        }
+    };
+    LaunchPlan::over_items("test.banded_sum", &mut data, 1, n.div_ceil(bands), &body).launch();
+    data.iter().map(|&v| v as f64).sum()
+}
+
+#[test]
+fn plans_partition_and_execute_all_bands() {
+    // Pin a parallelism target so the pool exists even on 1-CPU runners.
+    configure_threads(4);
+    let n = 10_000;
+    let want = (n * (n + 1)) as f64; // 2 * sum(1..=n)
+    for bands in [1, 2, 3, 7, 16] {
+        assert_eq!(banded_sum(n, bands), want, "bands={bands}");
+    }
+}
+
+#[test]
+fn explicit_bands_receive_their_index() {
+    configure_threads(4);
+    let mut data = vec![0.0f32; 10];
+    let lens = vec![3usize, 0, 5, 2];
+    let body = |band: &mut [f32], s: usize| {
+        for v in band.iter_mut() {
+            *v = s as f32;
+        }
+    };
+    LaunchPlan::over_bands("test.explicit", &mut data, lens, &body).launch();
+    assert_eq!(
+        data,
+        [0.0, 0.0, 0.0, 2.0, 2.0, 2.0, 2.0, 2.0, 3.0, 3.0] // band 1 is empty
+    );
+}
+
+#[test]
+fn panicking_band_reraises_payload_and_pool_survives() {
+    configure_threads(4);
+
+    // Round 1: a multi-band launch whose first (inline) band panics.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut data = vec![0.0f32; 1000];
+        let body = |band: &mut [f32], i0: usize| {
+            if i0 == 0 {
+                panic!("inline band boom");
+            }
+            band.fill(1.0);
+        };
+        LaunchPlan::over_items("test.panic_inline", &mut data, 1, 100, &body).launch();
+    }));
+    let payload = result.expect_err("inline band panic must re-raise");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .expect("original payload type preserved");
+    assert_eq!(msg, "inline band boom");
+
+    // Round 2: a queued (worker-side) band panics instead.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut data = vec![0.0f32; 1000];
+        let body = |band: &mut [f32], i0: usize| {
+            if i0 == 500 {
+                panic!("worker band boom");
+            }
+            band.fill(1.0);
+        };
+        LaunchPlan::over_items("test.panic_worker", &mut data, 1, 100, &body).launch();
+    }));
+    let payload = result.expect_err("worker band panic must re-raise");
+    assert_eq!(
+        payload.downcast_ref::<&str>().copied(),
+        Some("worker band boom")
+    );
+
+    // Round 3: the same pool still executes normal launches correctly.
+    let n = 10_000;
+    assert_eq!(banded_sum(n, 8), (n * (n + 1)) as f64);
+}
+
+#[test]
+fn nested_launches_run_inline_without_deadlock() {
+    configure_threads(4);
+    let outer_bands = 8;
+    let mut data = vec![0.0f32; 64 * outer_bands];
+    let per_band = data.len() / outer_bands;
+    let body = |band: &mut [f32], _i0: usize| {
+        // A launch from inside a pool task must not wait on the pool's
+        // own (busy) workers.
+        let inner_body = |inner: &mut [f32], _j0: usize| inner.fill(1.0);
+        LaunchPlan::over_items(
+            "test.nested_inner",
+            band,
+            1,
+            band.len().div_ceil(4),
+            &inner_body,
+        )
+        .launch();
+    };
+    LaunchPlan::over_items("test.nested_outer", &mut data, 1, per_band, &body).launch();
+    assert!(data.iter().all(|&v| v == 1.0));
+}
+
+#[test]
+fn scoped_parallelism_overrides_and_restores() {
+    configure_threads(4);
+    let outside = parallelism();
+    let inside = scoped_parallelism(2, || {
+        let a = parallelism();
+        let nested = scoped_parallelism(7, parallelism);
+        (a, nested, parallelism())
+    });
+    assert_eq!(inside, (2, 7, 2), "override must nest and restore");
+    assert_eq!(parallelism(), outside, "override must not leak");
+}
+
+#[test]
+fn spawn_per_op_baseline_matches_pooled() {
+    configure_threads(4);
+    let n = 4096;
+    let mut pooled: Vec<f32> = (0..n).map(|v| v as f32).collect();
+    let mut spawned = pooled.clone();
+    let body = |band: &mut [f32], i0: usize| {
+        for (i, v) in band.iter_mut().enumerate() {
+            *v = v.mul_add(3.0, (i0 + i) as f32);
+        }
+    };
+    LaunchPlan::over_items("test.pooled", &mut pooled, 1, n / 8, &body).launch();
+    LaunchPlan::over_items("test.spawned", &mut spawned, 1, n / 8, &body).launch_spawn_per_op();
+    assert_eq!(pooled, spawned);
+}

@@ -673,25 +673,6 @@ pub fn verify_dsd_partition(
     verify_slot_partition(op, topo, owners)
 }
 
-/// Verifies the DDS launch plan: horizontal bands of `rows_per_thread`
-/// output rows tile the `rows`-row output exactly.
-///
-/// # Errors
-///
-/// [`AuditError::BandPartitionBroken`] if the bands under- or over-cover.
-pub fn verify_band_partition(
-    op: &'static str,
-    rows: usize,
-    threads: usize,
-    rows_per_thread: usize,
-) -> Result<(), AuditError> {
-    let covered = (threads.max(1) * rows_per_thread).min(rows);
-    if covered != rows {
-        return Err(AuditError::BandPartitionBroken { op, rows, covered });
-    }
-    Ok(())
-}
-
 /// Scans a kernel output for NaN/Inf poisoning.
 ///
 /// # Errors
@@ -780,8 +761,6 @@ mod tests {
             let gpt = topo.block_cols().div_ceil(threads);
             assert_eq!(verify_dsd_partition(&topo, true, threads, gpt), Ok(()));
         }
-        assert_eq!(verify_band_partition("dds", 10, 4, 3), Ok(()));
-        assert!(verify_band_partition("dds", 10, 4, 2).is_err());
     }
 
     #[test]

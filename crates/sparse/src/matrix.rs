@@ -39,6 +39,23 @@ impl BlockSparseMatrix {
         }
     }
 
+    /// Creates a zero-valued matrix over `topo` backed by the execution
+    /// runtime's per-thread workspace arena. Pair with
+    /// [`BlockSparseMatrix::recycle`] on short-lived values so kernels
+    /// reuse storage across calls.
+    pub fn pooled_zeros(topo: &Topology) -> Self {
+        Self {
+            topo: topo.clone(),
+            data: megablocks_exec::workspace::take_zeroed(topo.nnz()),
+        }
+    }
+
+    /// Returns this matrix's block storage to the execution runtime's
+    /// workspace arena for reuse by a later pooled allocation.
+    pub fn recycle(self) {
+        megablocks_exec::workspace::recycle(self.data);
+    }
+
     /// Creates a matrix over `topo` from raw block data in storage order.
     ///
     /// # Errors

@@ -16,9 +16,12 @@
 //!   matrix in column-major order through the *transpose indices* secondary
 //!   index (§5.1.4); no nonzero values are moved. The explicit-transpose
 //!   alternative ([`dst_d_explicit`]) exists as the ablation baseline.
-//! * Workers are scoped threads over disjoint output bands, standing in for
-//!   threadblocks over output tiles.
+//! * Every kernel launches through the shared execution runtime
+//!   ([`megablocks_exec::LaunchPlan`]): disjoint output bands dispatched to
+//!   a persistent worker pool, standing in for threadblocks over output
+//!   tiles.
 
+use megablocks_exec as exec;
 use megablocks_telemetry as telemetry;
 use megablocks_tensor::{Matrix, Trans};
 
@@ -55,15 +58,6 @@ mod sanitize {
             .map_err(SparseError::Audit)
     }
 
-    pub(super) fn band_partition(
-        op: &'static str,
-        rows: usize,
-        threads: usize,
-        rows_per_thread: usize,
-    ) -> Result<(), SparseError> {
-        audit::verify_band_partition(op, rows, threads, rows_per_thread).map_err(SparseError::Audit)
-    }
-
     pub(super) fn output(op: &'static str, data: &[f32]) -> Result<(), SparseError> {
         audit::check_finite(op, data).map_err(SparseError::Audit)
     }
@@ -98,38 +92,14 @@ mod sanitize {
     }
 
     #[inline(always)]
-    pub(super) fn band_partition(
-        _op: &'static str,
-        _rows: usize,
-        _threads: usize,
-        _rows_per_thread: usize,
-    ) -> Result<(), SparseError> {
-        Ok(())
-    }
-
-    #[inline(always)]
     pub(super) fn output(_op: &'static str, _data: &[f32]) -> Result<(), SparseError> {
         Ok(())
     }
 }
 
-/// Re-raises a worker panic captured by a kernel's thread scope on the
-/// calling thread, preserving the original payload.
-#[cold]
-fn resume_worker_panic(payload: Box<dyn std::any::Any + Send + 'static>) -> ! {
-    std::panic::resume_unwind(payload)
-}
-
-/// Work below this many f32 multiply-adds stays single-threaded.
+/// Work below this many f32 multiply-adds stays single-banded: even a
+/// pooled launch costs a queue round-trip per band.
 const PARALLEL_THRESHOLD: usize = 1 << 16;
-
-fn thread_count(work: usize) -> usize {
-    if work < PARALLEL_THRESHOLD {
-        1
-    } else {
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    }
-}
 
 /// Telemetry name for an SDD transpose combination. The named public
 /// wrappers cover `sdd` / `sdd_t`; the remaining combinations get a
@@ -272,7 +242,7 @@ pub fn try_sdd_op(
     let _span = telemetry::span(variant);
     sanitize::topology(topo)?;
 
-    let mut out = BlockSparseMatrix::zeros(topo);
+    let mut out = BlockSparseMatrix::pooled_zeros(topo);
     let nnz = topo.nnz_blocks();
     telemetry::counter_with("sparse.blocks", variant).add(nnz as u64);
     telemetry::counter_with("sparse.flops", variant)
@@ -281,7 +251,7 @@ pub fn try_sdd_op(
         return Ok(out);
     }
 
-    let threads = thread_count(nnz * bs * bs * k).min(nnz);
+    let threads = exec::parallelism_for(nnz * bs * bs * k, PARALLEL_THRESHOLD).min(nnz);
     let area = topo.block_size().area();
     let a_data = a.as_slice();
     let b_data = b.as_slice();
@@ -372,21 +342,18 @@ pub fn try_sdd_op(
         }
     };
 
-    let data = out.as_mut_slice();
-    if threads <= 1 {
-        compute(data, 0);
-    } else {
-        let blocks_per_thread = nnz.div_ceil(threads);
+    let blocks_per_thread = nnz.div_ceil(threads);
+    if threads > 1 {
         sanitize::sdd_partition(topo, threads, blocks_per_thread)?;
-        if let Err(payload) = crossbeam::thread::scope(|s| {
-            for (idx, chunk) in data.chunks_mut(blocks_per_thread * area).enumerate() {
-                let compute = &compute;
-                s.spawn(move |_| compute(chunk, idx * blocks_per_thread));
-            }
-        }) {
-            resume_worker_panic(payload);
-        }
     }
+    exec::LaunchPlan::over_items(
+        variant,
+        out.as_mut_slice(),
+        area,
+        blocks_per_thread,
+        &compute,
+    )
+    .launch();
     sanitize::output(variant, out.as_slice())?;
     Ok(out)
 }
@@ -528,7 +495,7 @@ pub fn try_dsd_op(
     telemetry::counter_with("sparse.blocks", variant).add(topo.nnz_blocks() as u64);
     telemetry::counter_with("sparse.flops", variant).add(2 * topo.nnz() as u64 * n as u64);
 
-    let mut out = Matrix::zeros(sm, n);
+    let mut out = Matrix::pooled_zeros(sm, n);
     if topo.nnz_blocks() == 0 || n == 0 {
         return Ok(out);
     }
@@ -545,8 +512,7 @@ pub fn try_dsd_op(
         Trans::N => topo.block_rows(),
         Trans::T => topo.block_cols(),
     };
-    let work = topo.nnz() * n;
-    let threads = thread_count(work).min(groups);
+    let threads = exec::parallelism_for(topo.nnz() * n, PARALLEL_THRESHOLD).min(groups);
 
     let compute_group = |band: &mut [f32], g: usize| {
         debug_assert_eq!(band.len(), bs * n, "dsd: worker band has wrong length");
@@ -643,27 +609,23 @@ pub fn try_dsd_op(
         }
     };
 
-    let out_data = out.as_mut_slice();
-    if threads <= 1 {
-        for (g, band) in out_data.chunks_mut(bs * n).enumerate() {
-            compute_group(band, g);
-        }
-    } else {
-        let groups_per_thread = groups.div_ceil(threads);
+    let groups_per_thread = groups.div_ceil(threads);
+    if threads > 1 {
         sanitize::dsd_partition(topo, op_s == Trans::T, threads, groups_per_thread)?;
-        if let Err(payload) = crossbeam::thread::scope(|scope| {
-            for (idx, bands) in out_data.chunks_mut(groups_per_thread * bs * n).enumerate() {
-                let compute_group = &compute_group;
-                scope.spawn(move |_| {
-                    for (off, band) in bands.chunks_mut(bs * n).enumerate() {
-                        compute_group(band, idx * groups_per_thread + off);
-                    }
-                });
-            }
-        }) {
-            resume_worker_panic(payload);
-        }
     }
+    let body = |bands: &mut [f32], g0: usize| {
+        for (off, band) in bands.chunks_mut(bs * n).enumerate() {
+            compute_group(band, g0 + off);
+        }
+    };
+    exec::LaunchPlan::over_items(
+        variant,
+        out.as_mut_slice(),
+        bs * n,
+        groups_per_thread,
+        &body,
+    )
+    .launch();
     sanitize::output(variant, out.as_slice())?;
     Ok(out)
 }
@@ -777,7 +739,7 @@ pub fn try_dds_op(
     telemetry::counter_with("sparse.blocks", variant).add(topo.nnz_blocks() as u64);
     telemetry::counter_with("sparse.flops", variant).add(2 * topo.nnz() as u64 * m as u64);
 
-    let mut out = Matrix::zeros(m, n);
+    let mut out = Matrix::pooled_zeros(m, n);
     if topo.nnz_blocks() == 0 || m == 0 {
         return Ok(out);
     }
@@ -786,8 +748,7 @@ pub fn try_dds_op(
     let (_, d_cols) = d.shape();
     let col_indices = topo.col_indices();
     let row_indices = topo.row_indices();
-    let work = topo.nnz() * m;
-    let threads = thread_count(work).min(m);
+    let threads = exec::parallelism_for(topo.nnz() * m, PARALLEL_THRESHOLD).min(m);
 
     // Workers own bands of output rows; every worker walks all nonzero
     // blocks (each block touches a disjoint output column stripe).
@@ -832,22 +793,9 @@ pub fn try_dds_op(
         }
     };
 
-    let out_data = out.as_mut_slice();
-    if threads <= 1 {
-        compute_band(out_data, 0, m);
-    } else {
-        let rows_per_thread = m.div_ceil(threads);
-        sanitize::band_partition(variant, m, threads, rows_per_thread)?;
-        if let Err(payload) = crossbeam::thread::scope(|scope| {
-            for (idx, band) in out_data.chunks_mut(rows_per_thread * n).enumerate() {
-                let rows = band.len() / n;
-                let compute_band = &compute_band;
-                scope.spawn(move |_| compute_band(band, idx * rows_per_thread, rows));
-            }
-        }) {
-            resume_worker_panic(payload);
-        }
-    }
+    let rows_per_thread = m.div_ceil(threads);
+    let body = |band: &mut [f32], i0: usize| compute_band(band, i0, band.len() / n);
+    exec::LaunchPlan::over_items(variant, out.as_mut_slice(), n, rows_per_thread, &body).launch();
     sanitize::output(variant, out.as_slice())?;
     Ok(out)
 }

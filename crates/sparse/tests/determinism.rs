@@ -1,0 +1,136 @@
+//! Determinism and concurrency guarantees of the execution runtime.
+//!
+//! The band partition is the only parallelism-visible variable in the
+//! kernels: each band owns a disjoint output range and performs its
+//! reductions in a fixed order, so the *number* of bands must not change
+//! a single bit of any result. These tests pin that property across
+//! worker counts 1/2/8 for every sparse product and the dense gemm, and
+//! then hammer the shared pool from concurrent OS threads to show
+//! launches from different submitters never corrupt each other.
+//! (`std::thread` here is fine: the raw-parallelism lint exempts
+//! `tests/` directories.)
+
+use megablocks_exec::scoped_parallelism;
+use megablocks_sparse::{ops, BlockSize, Topology};
+use megablocks_tensor::{matmul, Matrix};
+
+/// An irregular MoE-style topology: imbalanced expert loads so bands do
+/// not align with expert boundaries.
+fn moe_topology() -> Topology {
+    let bs = BlockSize::new(8).expect("nonzero");
+    Topology::for_moe(&[64, 8, 0, 40, 16], 32, bs).expect("block-aligned counts")
+}
+
+fn inputs(topo: &Topology) -> (Matrix, Matrix) {
+    let (rows, cols) = topo.shape();
+    let a = Matrix::from_fn(rows, 24, |i, j| ((i * 31 + j * 7) as f32).sin());
+    let b = Matrix::from_fn(24, cols, |i, j| ((i * 13 + j * 5) as f32).cos());
+    (a, b)
+}
+
+/// Runs every kernel under test once and returns the raw output buffers.
+fn run_all_kernels() -> Vec<Vec<f32>> {
+    let topo = moe_topology();
+    let (a, b) = inputs(&topo);
+    let (rows, cols) = topo.shape();
+
+    let s = ops::sdd(&a, &b, &topo);
+    let d = Matrix::from_fn(cols, 24, |i, j| ((i * 3 + j * 11) as f32).sin());
+    let dsd = ops::dsd(&s, &d);
+    let dt = Matrix::from_fn(rows, 24, |i, j| ((i * 17 + j) as f32).cos());
+    let dst_d = ops::dst_d(&s, &dt);
+    let lhs = Matrix::from_fn(24, rows, |i, j| ((i + j * 29) as f32).sin());
+    let dds = ops::dds(&lhs, &s);
+    let gemm = matmul(&a, &b);
+
+    let mut outputs = vec![
+        s.as_slice().to_vec(),
+        dsd.as_slice().to_vec(),
+        dst_d.as_slice().to_vec(),
+        dds.as_slice().to_vec(),
+        gemm.as_slice().to_vec(),
+    ];
+    // Exercise the transpose-operand entry points too.
+    let bt = Matrix::from_fn(cols, 24, |i, j| ((i * 13 + j * 5) as f32).cos());
+    outputs.push(ops::sdd_t(&a, &bt, &topo).as_slice().to_vec());
+    let wide = Matrix::from_fn(18, cols, |i, j| ((i * 9 + j * 2) as f32).sin());
+    outputs.push(ops::dsd_t(&s, &wide).as_slice().to_vec());
+    outputs
+}
+
+#[test]
+fn outputs_are_bit_identical_across_worker_counts() {
+    let reference = scoped_parallelism(1, run_all_kernels);
+    for threads in [2usize, 8] {
+        let got = scoped_parallelism(threads, run_all_kernels);
+        assert_eq!(got.len(), reference.len());
+        for (k, (g, r)) in got.iter().zip(&reference).enumerate() {
+            // Bitwise equality, not approx: band count must be invisible.
+            let g_bits: Vec<u32> = g.iter().map(|v| v.to_bits()).collect();
+            let r_bits: Vec<u32> = r.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(g_bits, r_bits, "kernel #{k} diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn moe_layer_shapes_are_deterministic_too() {
+    // A second topology shape (block size 4, denser) through the same
+    // sweep, to rule out tuning-specific luck in the first.
+    let bs = BlockSize::new(4).expect("nonzero");
+    let topo = Topology::for_moe(&[20, 4, 12], 16, bs).expect("block-aligned");
+    let (rows, cols) = topo.shape();
+    let a = Matrix::from_fn(rows, 10, |i, j| ((i * 7 + j * 19) as f32).sin());
+    let b = Matrix::from_fn(10, cols, |i, j| ((i * 23 + j * 3) as f32).cos());
+    let run = || {
+        let s = ops::sdd(&a, &b, &topo);
+        let y = ops::dsd(&s, &Matrix::eye(cols));
+        (s.as_slice().to_vec(), y.as_slice().to_vec())
+    };
+    let reference = scoped_parallelism(1, run);
+    for threads in [2usize, 8] {
+        assert_eq!(scoped_parallelism(threads, run), reference, "{threads}");
+    }
+}
+
+#[test]
+fn concurrent_submitters_share_the_pool_safely() {
+    // Many OS threads drive full kernel chains through the one shared
+    // pool at the same time; every result must match the single-band
+    // reference exactly. This is the cross-submitter interference test:
+    // queued bands from different launches interleave on the workers.
+    let reference = scoped_parallelism(1, run_all_kernels);
+    let results: Vec<Vec<Vec<f32>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8).map(|_| scope.spawn(run_all_kernels)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter thread panicked"))
+            .collect()
+    });
+    for (t, got) in results.iter().enumerate() {
+        assert_eq!(got, &reference, "submitter thread {t} saw corruption");
+    }
+}
+
+#[test]
+fn pooled_buffers_start_zeroed_after_reuse() {
+    // Outputs come from the workspace arena; a recycled buffer must not
+    // leak its previous contents into the next kernel's zero blocks.
+    let bs = BlockSize::new(4).expect("nonzero");
+    let topo = Topology::for_moe(&[8, 4], 8, bs).expect("block-aligned");
+    let (rows, cols) = topo.shape();
+    let a = Matrix::from_fn(rows, 6, |i, j| 1.0 + (i * 6 + j) as f32);
+    let b = Matrix::full(6, cols, 1.0);
+    for _ in 0..4 {
+        let s = ops::sdd(&a, &b, &topo);
+        let dense = s.to_dense();
+        for i in 0..rows {
+            for j in 0..cols {
+                if topo.find(i / 4, j / 4).is_none() {
+                    assert_eq!(dense[(i, j)], 0.0, "stale data at ({i},{j})");
+                }
+            }
+        }
+        s.recycle();
+    }
+}

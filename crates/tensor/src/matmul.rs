@@ -1,9 +1,12 @@
 //! General matrix multiplication with transpose support.
 //!
 //! This is the CPU stand-in for a device GEMM (cuBLAS in the paper). The
-//! kernel is parallelized over horizontal bands of the output matrix with
-//! scoped threads; within a band the loop order is chosen per transpose
-//! combination for row-major-friendly access.
+//! kernel is parallelized over horizontal bands of the output matrix,
+//! launched through the shared execution runtime's worker pool
+//! ([`megablocks_exec::LaunchPlan`]); within a band the loop order is
+//! chosen per transpose combination for row-major-friendly access.
+
+use megablocks_exec as exec;
 
 use crate::Matrix;
 
@@ -26,8 +29,9 @@ impl Trans {
     }
 }
 
-/// Minimum number of output elements per spawned thread. Below this, the
-/// multiply runs single-threaded: thread spawn costs would dominate.
+/// Minimum number of output elements before the multiply is worth
+/// parallelizing. Below this it runs single-banded on the caller: even a
+/// pooled launch costs a queue round-trip per band.
 const PARALLEL_THRESHOLD: usize = 64 * 64;
 
 /// NaN/Inf poisoning check on a kernel output, auto-invoked under
@@ -94,13 +98,7 @@ pub fn gemm(
         return;
     }
 
-    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let work = m * n;
-    let threads = if work < PARALLEL_THRESHOLD {
-        1
-    } else {
-        threads.min(m)
-    };
+    let threads = exec::parallelism_for(m * n, PARALLEL_THRESHOLD).min(m);
 
     let a_data = a.as_slice();
     let b_data = b.as_slice();
@@ -192,25 +190,9 @@ pub fn gemm(
         let _ = a_rows;
     };
 
-    if threads <= 1 {
-        compute_band(c_data, 0, m);
-        sanitize_output("gemm", c_data);
-        return;
-    }
-
     let rows_per_band = m.div_ceil(threads);
-    if let Err(payload) = crossbeam::thread::scope(|s| {
-        for (band_idx, band) in c_data.chunks_mut(rows_per_band * n).enumerate() {
-            let row0 = band_idx * rows_per_band;
-            let rows = band.len() / n;
-            let compute_band = &compute_band;
-            s.spawn(move |_| compute_band(band, row0, rows));
-        }
-    }) {
-        // Re-raise the worker's panic on the calling thread with its
-        // original payload rather than swallowing it into a generic unwrap.
-        std::panic::resume_unwind(payload);
-    }
+    let body = |band: &mut [f32], row0: usize| compute_band(band, row0, band.len() / n);
+    exec::LaunchPlan::over_items("gemm", c_data, n, rows_per_band, &body).launch();
     sanitize_output("gemm", c_data);
 }
 

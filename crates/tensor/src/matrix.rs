@@ -45,6 +45,24 @@ impl Matrix {
         }
     }
 
+    /// Creates a `rows` x `cols` matrix of zeros backed by the execution
+    /// runtime's per-thread workspace arena. Pair with [`Matrix::recycle`]
+    /// on short-lived values (gradients, scratch) so kernels reuse
+    /// storage across calls instead of round-tripping the allocator.
+    pub fn pooled_zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: megablocks_exec::workspace::take_zeroed(rows * cols),
+        }
+    }
+
+    /// Returns this matrix's storage to the execution runtime's workspace
+    /// arena for reuse by a later [`Matrix::pooled_zeros`].
+    pub fn recycle(self) {
+        megablocks_exec::workspace::recycle(self.data);
+    }
+
     /// Creates the `n` x `n` identity matrix.
     pub fn eye(n: usize) -> Self {
         let mut m = Self::zeros(n, n);

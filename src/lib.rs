@@ -14,6 +14,11 @@
 //! * [`data`] — the synthetic Pile-like corpus.
 //! * [`gpusim`] — the analytic A100 performance/memory model used to
 //!   regenerate the paper's throughput and end-to-end timing figures.
+//! * [`exec`] — the execution runtime: the persistent worker pool every
+//!   kernel launches on, the [`exec::LaunchPlan`] band abstraction, and
+//!   the reusable buffer workspace. Thread count is controlled with
+//!   [`exec::configure_threads`] or the `MEGABLOCKS_THREADS` environment
+//!   variable.
 //! * [`telemetry`] — span timers, counters, histograms and JSONL export
 //!   for observing training runs (no-ops unless the `telemetry` feature is
 //!   enabled).
@@ -35,6 +40,7 @@
 
 pub use megablocks_core as core;
 pub use megablocks_data as data;
+pub use megablocks_exec as exec;
 pub use megablocks_gpusim as gpusim;
 pub use megablocks_sparse as sparse;
 pub use megablocks_telemetry as telemetry;
