@@ -3,7 +3,7 @@
 //! This crate is the static half of the correctness tooling (the dynamic
 //! half — the topology sanitizer and write-disjointness race checker —
 //! lives in `megablocks_sparse::audit` behind the `sanitize` feature).
-//! It enforces five workspace conventions that `rustc` and `clippy` do
+//! It enforces six workspace conventions that `rustc` and `clippy` do
 //! not check:
 //!
 //! 1. **SAFETY comments** — every `unsafe` block in the workspace crates
@@ -25,6 +25,14 @@
 //!    panic-safety and determinism guarantees cover the whole workspace.
 //!    Test and bench sources are exempt (they drive the pool from OS
 //!    threads on purpose).
+//! 6. **Fault-site telemetry** — every fault-injection site registered in
+//!    the resilience catalogue ([`FAULT_SITES`]) must declare its three
+//!    lifecycle counters following the `resilience.injected.<name>` /
+//!    `resilience.detected.<name>` / `resilience.recovered.<name>`
+//!    naming scheme, and must be referenced somewhere outside the
+//!    catalogue — a registered-but-unwired site, or a site whose
+//!    counters drift from the scheme dashboards key on, is a lint
+//!    failure.
 //!
 //! The checks are plain-text analysis (comments and string literals are
 //! stripped first); no compiler plumbing, no dependencies. Run them with
@@ -58,6 +66,9 @@ pub const TELEMETRY_PAIR: (&str, &str) = (
 /// runtime owns every spawn in the workspace (workspace-relative prefix).
 pub const EXEC_CRATE: &str = "crates/exec/";
 
+/// The fault-injection site catalogue rule 6 parses and cross-references.
+pub const FAULT_SITES: &str = "crates/resilience/src/sites.rs";
+
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -66,7 +77,8 @@ pub struct Finding {
     /// 1-based line, or 0 when the finding concerns the file as a whole.
     pub line: usize,
     /// Short rule identifier (`safety-comment`, `hot-path-panic`,
-    /// `try-twin`, `telemetry-parity`, `raw-parallelism`).
+    /// `try-twin`, `telemetry-parity`, `raw-parallelism`,
+    /// `fault-site-telemetry`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -150,8 +162,149 @@ pub fn run_all_lints(root: &Path) -> io::Result<Vec<Finding>> {
         findings.extend(check_raw_parallelism(&rel, &src));
     }
 
+    // Rule 6: the fault-site catalogue follows the telemetry naming
+    // scheme and every registered site is wired somewhere.
+    let sites_src = fs::read_to_string(root.join(FAULT_SITES))?;
+    let sites = parse_fault_sites(&sites_src);
+    findings.extend(check_fault_site_counters(FAULT_SITES, &sites));
+    let mut other_sources = String::new();
+    for file in rust_sources(&root.join("crates"))? {
+        let rel = rel_path(root, &file);
+        if rel == FAULT_SITES || rel.starts_with("crates/audit/") {
+            continue;
+        }
+        other_sources.push_str(&strip_comments_and_strings(&fs::read_to_string(&file)?));
+        other_sources.push('\n');
+    }
+    findings.extend(check_fault_site_references(
+        FAULT_SITES,
+        &sites,
+        &other_sources,
+    ));
+
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
+}
+
+/// One fault-injection site parsed out of the resilience catalogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSite {
+    /// The `pub const` identifier (e.g. `EXEC_WORKER_PANIC`).
+    pub ident: String,
+    /// The site's stable name (e.g. `exec.worker_panic`).
+    pub name: String,
+    /// Declared injection counter.
+    pub injected: String,
+    /// Declared detection counter.
+    pub detected: String,
+    /// Declared recovery counter.
+    pub recovered: String,
+    /// 1-based line of the `pub const` declaration.
+    pub line: usize,
+}
+
+/// Parses every `pub const NAME: Site = Site { ... }` block out of the
+/// fault-site catalogue source. Field values are read from the original
+/// (unstripped) source, since they are string literals.
+pub fn parse_fault_sites(src: &str) -> Vec<FaultSite> {
+    let mut sites = Vec::new();
+    let mut current: Option<FaultSite> = None;
+    for (i, line) in src.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("pub const ") {
+            if rest.contains(": Site =") {
+                current = Some(FaultSite {
+                    ident: ident_prefix(rest),
+                    name: String::new(),
+                    injected: String::new(),
+                    detected: String::new(),
+                    recovered: String::new(),
+                    line: i + 1,
+                });
+            }
+        }
+        if let Some(site) = current.as_mut() {
+            for (field, slot) in [
+                ("name", &mut site.name),
+                ("injected", &mut site.injected),
+                ("detected", &mut site.detected),
+                ("recovered", &mut site.recovered),
+            ] {
+                if let Some(value) = quoted_field(trimmed, field) {
+                    *slot = value;
+                }
+            }
+            if !site.name.is_empty()
+                && !site.injected.is_empty()
+                && !site.detected.is_empty()
+                && !site.recovered.is_empty()
+            {
+                sites.push(current.take().expect("just matched as Some"));
+            }
+        }
+    }
+    sites
+}
+
+/// Rule 6a: every site's three lifecycle counters must follow the
+/// `resilience.{injected,detected,recovered}.<site-name>` naming scheme.
+pub fn check_fault_site_counters(file: &str, sites: &[FaultSite]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for site in sites {
+        for (kind, got) in [
+            ("injected", &site.injected),
+            ("detected", &site.detected),
+            ("recovered", &site.recovered),
+        ] {
+            let want = format!("resilience.{kind}.{}", site.name);
+            if *got != want {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: site.line,
+                    rule: "fault-site-telemetry",
+                    message: format!(
+                        "fault site `{}` declares {kind} counter `{got}`, expected `{want}`",
+                        site.name
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Rule 6b: every registered site identifier must be referenced in the
+/// workspace outside the catalogue itself — `other_sources` is the
+/// concatenated, comment-stripped source of every other crate file.
+pub fn check_fault_site_references(
+    file: &str,
+    sites: &[FaultSite],
+    other_sources: &str,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for site in sites {
+        if !contains_word(other_sources, &site.ident) {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: site.line,
+                rule: "fault-site-telemetry",
+                message: format!(
+                    "fault site `{}` (`{}`) is registered but never referenced \
+                     outside the catalogue — wire an injection hook or remove it",
+                    site.ident, site.name
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// The `"..."` value of `field: "..."` on this line, if present.
+fn quoted_field(line: &str, field: &str) -> Option<String> {
+    let pat = format!("{field}: \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
 }
 
 /// Rule 1: every `unsafe` keyword in code must carry a `// SAFETY:`
@@ -656,6 +809,47 @@ mod tests {
     fn raw_parallelism_lint_exempts_tests_and_comments() {
         let src = "// thread::spawn is discussed here only\nfn k() {}\n#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
         assert!(check_raw_parallelism("x.rs", src).is_empty());
+    }
+
+    fn site_fixture(injected: &str) -> String {
+        format!(
+            "pub const DEMO_SITE: Site = Site {{\n    name: \"demo.site\",\n    injected: \"{injected}\",\n    detected: \"resilience.detected.demo.site\",\n    recovered: \"resilience.recovered.demo.site\",\n}};\n"
+        )
+    }
+
+    #[test]
+    fn fault_site_parser_reads_the_catalogue_fields() {
+        let sites = parse_fault_sites(&site_fixture("resilience.injected.demo.site"));
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].ident, "DEMO_SITE");
+        assert_eq!(sites[0].name, "demo.site");
+        assert_eq!(sites[0].line, 1);
+    }
+
+    #[test]
+    fn fault_site_lint_accepts_conforming_counters() {
+        let sites = parse_fault_sites(&site_fixture("resilience.injected.demo.site"));
+        assert!(check_fault_site_counters("sites.rs", &sites).is_empty());
+    }
+
+    #[test]
+    fn fault_site_lint_flags_counter_drift() {
+        let sites = parse_fault_sites(&site_fixture("resilience.fired.demo.site"));
+        let f = check_fault_site_counters("sites.rs", &sites);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "fault-site-telemetry");
+        assert!(f[0].message.contains("resilience.injected.demo.site"));
+    }
+
+    #[test]
+    fn fault_site_lint_flags_unreferenced_sites() {
+        let sites = parse_fault_sites(&site_fixture("resilience.injected.demo.site"));
+        let wired = "use resilience::sites::DEMO_SITE;\n";
+        assert!(check_fault_site_references("sites.rs", &sites, wired).is_empty());
+        let unwired = "use resilience::sites::OTHER_SITE;\n";
+        let f = check_fault_site_references("sites.rs", &sites, unwired);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("never referenced"));
     }
 
     #[test]

@@ -39,6 +39,9 @@ RULES:
     try-twin           every public sparse op has a fallible `try_*` twin
     telemetry-parity   telemetry enabled/disabled expose identical public APIs
     raw-parallelism    no thread spawning outside crates/exec (the runtime owns it)
+    fault-site-telemetry  every registered fault-injection site declares
+                       resilience.{injected,detected,recovered}.<name> counters
+                       and is wired somewhere outside the catalogue
 ";
 
 fn lint(root: Option<PathBuf>) -> ExitCode {
@@ -53,7 +56,7 @@ fn lint(root: Option<PathBuf>) -> ExitCode {
         }
         Ok(findings) if findings.is_empty() => {
             println!(
-                "megablocks-audit: workspace clean ({} hot-path files, 5 rules)",
+                "megablocks-audit: workspace clean ({} hot-path files, 6 rules)",
                 HOT_PATHS.len()
             );
             ExitCode::SUCCESS

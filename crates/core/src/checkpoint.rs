@@ -1,21 +1,38 @@
-//! Parameter checkpointing: save and restore the trainable state of any
-//! layer stack through its ordered parameter list.
+//! Parameter and training-state checkpointing.
 //!
-//! The format is a minimal, versioned binary layout (magic, version,
-//! parameter count, then per-parameter shape + little-endian f32 data).
-//! Loading validates the architecture implicitly: parameter counts and
-//! shapes must match the saved file exactly, so loading a checkpoint into
-//! the wrong model configuration fails loudly instead of silently
-//! scrambling weights.
+//! Two on-disk formats share the `MBRS` magic:
+//!
+//! * **v1** — parameter values only: magic, version, parameter count,
+//!   then per-parameter shape + little-endian f32 data. Still fully
+//!   loadable ([`load_params`] and [`load_train_state`] both accept it).
+//! * **v2** — full training state for exact resume: a header carrying
+//!   the optimizer step index, the Adam timestep, and the data-sampling
+//!   RNG state, then per-parameter value + Adam first/second moments,
+//!   and a trailing CRC32 of every preceding byte. A flipped bit or a
+//!   truncated tail anywhere fails validation before any state is
+//!   touched.
+//!
+//! Loading is **transactional** in both formats: the whole stream is
+//! parsed and every header validated against the model (count + shapes)
+//! *before* the first parameter is overwritten, so a mid-stream mismatch
+//! or truncation can never leave a model half-loaded. File-level writes
+//! go through [`save_train_state_atomic`] (write-temp + fsync + rename
+//! via `megablocks-resilience`), so a crash or injected I/O fault tears
+//! at most a temp file, never a committed checkpoint.
 
 use std::io::{self, Read, Write};
+use std::path::Path;
 
+use megablocks_resilience as resilience;
 use megablocks_tensor::Matrix;
 
 use crate::Param;
 
 const MAGIC: [u8; 4] = *b"MBRS";
-const VERSION: u32 = 1;
+/// The params-only format.
+pub const VERSION_V1: u32 = 1;
+/// The CRC-checked full-training-state format.
+pub const VERSION_V2: u32 = 2;
 
 /// Error type for checkpoint save/load.
 #[derive(Debug)]
@@ -28,6 +45,9 @@ pub enum CheckpointError {
     BadVersion(u32),
     /// The checkpoint does not match the model architecture.
     Mismatch(String),
+    /// The checkpoint failed integrity validation (CRC mismatch,
+    /// inconsistent structure).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -37,6 +57,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not a MegaBlocks-RS checkpoint"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Mismatch(s) => write!(f, "checkpoint/model mismatch: {s}"),
+            CheckpointError::Corrupt(s) => write!(f, "corrupt checkpoint: {s}"),
         }
     }
 }
@@ -56,7 +77,34 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-/// Writes the parameter values (not gradients or optimizer state) to `w`.
+/// Training state carried by a v2 checkpoint alongside the parameters.
+///
+/// Loaded from a v1 checkpoint, [`TrainState::has_optimizer`] is `false`
+/// and `step`/`opt_steps`/`rng_state` are zero: the caller resumes the
+/// weights but restarts the schedule.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrainState {
+    /// Optimizer steps completed when the checkpoint was taken.
+    pub step: u64,
+    /// The Adam timestep (bias-correction counter).
+    pub opt_steps: u64,
+    /// Raw state of the trainer's data-sampling RNG.
+    pub rng_state: [u64; 4],
+    /// Adam first moments, one per parameter (same shapes).
+    pub m: Vec<Matrix>,
+    /// Adam second moments, one per parameter (same shapes).
+    pub v: Vec<Matrix>,
+}
+
+impl TrainState {
+    /// Whether optimizer moments were present (always true for v2).
+    pub fn has_optimizer(&self) -> bool {
+        !self.m.is_empty()
+    }
+}
+
+/// Writes the parameter values (not gradients or optimizer state) to `w`
+/// in format v1.
 ///
 /// A `&mut` writer works too (std's blanket `Write for &mut W`).
 ///
@@ -65,7 +113,7 @@ impl From<io::Error> for CheckpointError {
 /// Returns [`CheckpointError::Io`] on write failure.
 pub fn save_params<W: Write>(params: &[&mut Param], mut w: W) -> Result<(), CheckpointError> {
     w.write_all(&MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&VERSION_V1.to_le_bytes())?;
     w.write_all(&(params.len() as u64).to_le_bytes())?;
     for p in params {
         let v = p.value();
@@ -78,61 +126,356 @@ pub fn save_params<W: Write>(params: &[&mut Param], mut w: W) -> Result<(), Chec
     Ok(())
 }
 
-/// Restores parameter values from `r` into `params` (in the same stable
-/// order they were saved).
+/// Serializes parameters plus training state in format v2
+/// (CRC-checksummed) to `w`.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Mismatch`] if `state.m`/`state.v` are
+/// nonempty but do not mirror `params` in count or shape, and
+/// [`CheckpointError::Io`] on write failure.
+pub fn save_train_state<W: Write>(
+    params: &[&mut Param],
+    state: &TrainState,
+    mut w: W,
+) -> Result<(), CheckpointError> {
+    let bytes = encode_v2(params, state)?;
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Encodes a v2 checkpoint into bytes (exposed for the atomic writer and
+/// tests).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Mismatch`] if the moment vectors do not
+/// mirror `params`.
+pub fn encode_v2(params: &[&mut Param], state: &TrainState) -> Result<Vec<u8>, CheckpointError> {
+    if !state.m.is_empty() && (state.m.len() != params.len() || state.v.len() != params.len()) {
+        return Err(CheckpointError::Mismatch(format!(
+            "optimizer has {}/{} moment matrices, model has {} parameters",
+            state.m.len(),
+            state.v.len(),
+            params.len()
+        )));
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION_V2.to_le_bytes());
+    out.extend_from_slice(&state.step.to_le_bytes());
+    out.extend_from_slice(&state.opt_steps.to_le_bytes());
+    for word in state.rng_state {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out.extend_from_slice(&(params.len() as u64).to_le_bytes());
+    out.push(u8::from(state.has_optimizer()));
+    for (i, p) in params.iter().enumerate() {
+        let v = p.value();
+        out.extend_from_slice(&(v.rows() as u64).to_le_bytes());
+        out.extend_from_slice(&(v.cols() as u64).to_le_bytes());
+        push_f32s(&mut out, v.as_slice());
+        if state.has_optimizer() {
+            for (kind, moment) in [("m", &state.m[i]), ("v", &state.v[i])] {
+                if moment.shape() != v.shape() {
+                    return Err(CheckpointError::Mismatch(format!(
+                        "parameter {i}: {kind}-moment shape {:?}, value shape {:?}",
+                        moment.shape(),
+                        v.shape()
+                    )));
+                }
+                push_f32s(&mut out, moment.as_slice());
+            }
+        }
+    }
+    let crc = resilience::crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(out)
+}
+
+/// Restores parameter values from `r` into `params` (v1 or v2 stream;
+/// v2 training state is discarded).
+///
+/// Transactional: the stream is fully parsed and validated against the
+/// model before any parameter is overwritten, so an error leaves the
+/// model exactly as it was.
 ///
 /// # Errors
 ///
 /// Returns an error if the stream is not a checkpoint, the version is
-/// unsupported, or the parameter count/shapes differ from the model's.
-pub fn load_params<R: Read>(params: &mut [&mut Param], mut r: R) -> Result<(), CheckpointError> {
-    let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
-    if magic != MAGIC {
-        return Err(CheckpointError::BadMagic);
-    }
-    let version = read_u32(&mut r)?;
-    if version != VERSION {
-        return Err(CheckpointError::BadVersion(version));
-    }
-    let count = read_u64(&mut r)? as usize;
-    if count != params.len() {
+/// unsupported, integrity validation fails, or the parameter
+/// count/shapes differ from the model's.
+pub fn load_params<R: Read>(params: &mut [&mut Param], r: R) -> Result<(), CheckpointError> {
+    load_train_state(params, r).map(|_| ())
+}
+
+/// Restores parameters *and* training state from `r`.
+///
+/// Accepts both formats: a v2 stream is CRC-validated and yields the
+/// full [`TrainState`]; a v1 stream yields a default state with
+/// [`TrainState::has_optimizer`] `false`. Transactional like
+/// [`load_params`].
+///
+/// # Errors
+///
+/// Returns an error if the stream is not a checkpoint, the version is
+/// unsupported, integrity validation fails, or the parameter
+/// count/shapes differ from the model's.
+pub fn load_train_state<R: Read>(
+    params: &mut [&mut Param],
+    mut r: R,
+) -> Result<TrainState, CheckpointError> {
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let parsed = parse_checkpoint(&bytes)?;
+
+    // Validate every header against the model before touching any value.
+    if parsed.values.len() != params.len() {
         return Err(CheckpointError::Mismatch(format!(
-            "checkpoint has {count} parameters, model has {}",
+            "checkpoint has {} parameters, model has {}",
+            parsed.values.len(),
             params.len()
         )));
     }
-    for (i, p) in params.iter_mut().enumerate() {
-        let rows = read_u64(&mut r)? as usize;
-        let cols = read_u64(&mut r)? as usize;
-        if (rows, cols) != p.value().shape() {
+    for (i, (staged, p)) in parsed.values.iter().zip(params.iter()).enumerate() {
+        if staged.shape() != p.value().shape() {
             return Err(CheckpointError::Mismatch(format!(
-                "parameter {i}: checkpoint shape {rows}x{cols}, model shape {:?}",
+                "parameter {i}: checkpoint shape {:?}, model shape {:?}",
+                staged.shape(),
                 p.value().shape()
             )));
         }
-        let mut data = vec![0.0f32; rows * cols];
-        let mut buf = [0u8; 4];
-        for x in &mut data {
-            r.read_exact(&mut buf)?;
-            *x = f32::from_le_bytes(buf);
-        }
-        *p.value_mut() =
-            Matrix::from_vec(rows, cols, data).expect("length matches shape by construction");
     }
+
+    // Commit. Everything is validated; this cannot fail halfway.
+    let mut values = parsed.values;
+    for (p, staged) in params.iter_mut().zip(values.drain(..)) {
+        *p.value_mut() = staged;
+    }
+    Ok(parsed.state)
+}
+
+/// Saves a v2 checkpoint to `path` atomically (write-temp + fsync +
+/// rename).
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Mismatch`] on inconsistent moments and
+/// [`CheckpointError::Io`] on write failure (including faults injected
+/// at the `checkpoint.io` chaos site); on failure `path` is untouched.
+pub fn save_train_state_atomic(
+    path: &Path,
+    params: &[&mut Param],
+    state: &TrainState,
+) -> Result<(), CheckpointError> {
+    let bytes = encode_v2(params, state)?;
+    resilience::atomic_write(path, &bytes)?;
     Ok(())
 }
 
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
+/// Loads a checkpoint file (v1 or v2) into `params`, returning the
+/// training state.
+///
+/// # Errors
+///
+/// As [`load_train_state`], plus [`CheckpointError::Io`] if the file
+/// cannot be read.
+pub fn load_train_state_file(
+    path: &Path,
+    params: &mut [&mut Param],
+) -> Result<TrainState, CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    load_train_state(params, bytes.as_slice())
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
+/// Structurally validates checkpoint bytes without a model: magic,
+/// version, exact framing, and (v2) the trailing CRC. Returns the
+/// format version.
+///
+/// # Errors
+///
+/// Returns the same errors as loading, minus model mismatches.
+pub fn validate_checkpoint_bytes(bytes: &[u8]) -> Result<u32, CheckpointError> {
+    parse_checkpoint(bytes).map(|p| p.version)
+}
+
+/// [`validate_checkpoint_bytes`] for a file on disk.
+///
+/// # Errors
+///
+/// As [`validate_checkpoint_bytes`], plus [`CheckpointError::Io`] if the
+/// file cannot be read.
+pub fn validate_checkpoint_file(path: &Path) -> Result<u32, CheckpointError> {
+    let bytes = std::fs::read(path)?;
+    validate_checkpoint_bytes(&bytes)
+}
+
+/// A fully parsed checkpoint, staged and not yet committed to a model.
+struct Parsed {
+    version: u32,
+    values: Vec<Matrix>,
+    state: TrainState,
+}
+
+fn parse_checkpoint(bytes: &[u8]) -> Result<Parsed, CheckpointError> {
+    let mut r = ByteReader::new(bytes);
+    if r.take(4)? != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = r.u32()?;
+    match version {
+        VERSION_V1 => parse_v1(r),
+        VERSION_V2 => parse_v2(bytes, r),
+        v => Err(CheckpointError::BadVersion(v)),
+    }
+}
+
+fn parse_v1(mut r: ByteReader<'_>) -> Result<Parsed, CheckpointError> {
+    let count = r.u64()? as usize;
+    let mut values = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        values.push(r.matrix()?);
+    }
+    Ok(Parsed {
+        version: VERSION_V1,
+        values,
+        state: TrainState::default(),
+    })
+}
+
+fn parse_v2(bytes: &[u8], mut r: ByteReader<'_>) -> Result<Parsed, CheckpointError> {
+    // Integrity first: the last 4 bytes are the CRC32 of everything
+    // before them. Checked before any structural parsing, so truncation
+    // and bit flips surface as corruption rather than arbitrary errors.
+    if bytes.len() < 8 + 4 {
+        return Err(CheckpointError::Corrupt("file too short".to_string()));
+    }
+    let payload_len = bytes.len() - 4;
+    let stored = u32::from_le_bytes(bytes[payload_len..].try_into().expect("4 bytes"));
+    let computed = resilience::crc32(&bytes[..payload_len]);
+    if stored != computed {
+        return Err(CheckpointError::Corrupt(format!(
+            "CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        )));
+    }
+    r.limit(payload_len);
+
+    let step = r.u64()?;
+    let opt_steps = r.u64()?;
+    let mut rng_state = [0u64; 4];
+    for word in &mut rng_state {
+        *word = r.u64()?;
+    }
+    let count = r.u64()? as usize;
+    let has_optimizer = r.take(1)?[0] != 0;
+    let mut values = Vec::with_capacity(count.min(1 << 20));
+    let mut m = Vec::new();
+    let mut v = Vec::new();
+    for _ in 0..count {
+        let value = r.matrix()?;
+        let (rows, cols) = value.shape();
+        if has_optimizer {
+            m.push(r.matrix_data(rows, cols)?);
+            v.push(r.matrix_data(rows, cols)?);
+        }
+        values.push(value);
+    }
+    if r.remaining() != 0 {
+        return Err(CheckpointError::Corrupt(format!(
+            "{} trailing bytes after the last parameter",
+            r.remaining()
+        )));
+    }
+    Ok(Parsed {
+        version: VERSION_V2,
+        values,
+        state: TrainState {
+            step,
+            opt_steps,
+            rng_state,
+            m,
+            v,
+        },
+    })
+}
+
+fn push_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    out.reserve(values.len() * 4);
+    for x in values {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+/// Bounded little-endian reader over a byte slice. Overruns surface as
+/// `Io(UnexpectedEof)`, matching what streaming v1 loads always
+/// reported for truncation.
+struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        ByteReader {
+            bytes,
+            pos: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Restricts reading to the first `end` bytes (v2 excludes its CRC).
+    fn limit(&mut self, end: usize) {
+        self.end = end.min(self.bytes.len());
+    }
+
+    fn remaining(&self) -> usize {
+        self.end - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.remaining() < n {
+            return Err(CheckpointError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated checkpoint",
+            )));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    /// A shape header followed by its f32 data.
+    fn matrix(&mut self) -> Result<Matrix, CheckpointError> {
+        let rows = self.u64()? as usize;
+        let cols = self.u64()? as usize;
+        self.matrix_data(rows, cols)
+    }
+
+    /// `rows * cols` f32s with a known shape (v2 moment blocks).
+    fn matrix_data(&mut self, rows: usize, cols: usize) -> Result<Matrix, CheckpointError> {
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| CheckpointError::Corrupt(format!("shape {rows}x{cols} overflows")))?;
+        let raw =
+            self.take(n.checked_mul(4).ok_or_else(|| {
+                CheckpointError::Corrupt(format!("shape {rows}x{cols} overflows"))
+            })?)?;
+        let mut data = vec![0.0f32; n];
+        for (x, chunk) in data.iter_mut().zip(raw.chunks_exact(4)) {
+            *x = f32::from_le_bytes(chunk.try_into().expect("4"));
+        }
+        Matrix::from_vec(rows, cols, data)
+            .map_err(|e| CheckpointError::Corrupt(format!("bad matrix block: {e}")))
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +487,22 @@ mod tests {
     fn layer(seed: u64) -> DroplessMoe {
         let mut rng = seeded_rng(seed);
         DroplessMoe::new(MoeConfig::new(6, 8, 2).with_block_size(4), &mut rng)
+    }
+
+    fn state_for(params: &[&mut Param]) -> TrainState {
+        TrainState {
+            step: 17,
+            opt_steps: 17,
+            rng_state: [1, 2, 3, 4],
+            m: params
+                .iter()
+                .map(|p| Matrix::full(p.value().rows(), p.value().cols(), 0.25))
+                .collect(),
+            v: params
+                .iter()
+                .map(|p| Matrix::full(p.value().rows(), p.value().cols(), 0.5))
+                .collect(),
+        }
     }
 
     #[test]
@@ -163,6 +522,34 @@ mod tests {
     }
 
     #[test]
+    fn v2_roundtrip_restores_params_and_state() {
+        let mut a = layer(1);
+        let mut b = layer(2);
+        let state = state_for(&a.params_mut());
+        let mut buf = Vec::new();
+        save_train_state(&a.params_mut(), &state, &mut buf).expect("save");
+        let loaded = load_train_state(&mut b.params_mut(), buf.as_slice()).expect("load");
+        assert_eq!(loaded, state);
+        assert!(loaded.has_optimizer());
+        for (pa, pb) in a.params_mut().iter().zip(b.params_mut().iter()) {
+            assert!(pa.value().approx_eq(pb.value(), 0.0));
+        }
+        assert_eq!(validate_checkpoint_bytes(&buf).expect("valid"), VERSION_V2);
+    }
+
+    #[test]
+    fn v1_stream_loads_as_train_state_without_optimizer() {
+        let mut a = layer(1);
+        let mut b = layer(2);
+        let mut buf = Vec::new();
+        save_params(&a.params_mut(), &mut buf).expect("save");
+        let loaded = load_train_state(&mut b.params_mut(), buf.as_slice()).expect("load");
+        assert!(!loaded.has_optimizer());
+        assert_eq!(loaded.step, 0);
+        assert_eq!(validate_checkpoint_bytes(&buf).expect("valid"), VERSION_V1);
+    }
+
+    #[test]
     fn rejects_wrong_architecture() {
         let mut a = layer(1);
         let mut buf = Vec::new();
@@ -172,6 +559,36 @@ mod tests {
         let mut other = DroplessMoe::new(MoeConfig::new(6, 8, 3).with_block_size(4), &mut rng);
         let err = load_params(&mut other.params_mut(), buf.as_slice()).unwrap_err();
         assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn mismatch_leaves_the_model_untouched() {
+        // A v1 stream whose *last* parameter header is wrong: the
+        // transactional loader must not have written the earlier ones.
+        let mut a = layer(1);
+        let mut buf = Vec::new();
+        save_params(&a.params_mut(), &mut buf).expect("save");
+        // Corrupt the final parameter's column count (header sits right
+        // before its data).
+        let params = a.params_mut();
+        let last_len = params.last().expect("params").value().len();
+        let header_at = buf.len() - last_len * 4 - 16;
+        buf[header_at + 8..header_at + 16].copy_from_slice(&999u64.to_le_bytes());
+        drop(params);
+
+        let mut b = layer(2);
+        let before: Vec<Matrix> = b.params_mut().iter().map(|p| p.value().clone()).collect();
+        let err = load_params(&mut b.params_mut(), buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::Mismatch(_) | CheckpointError::Io(_)),
+            "{err}"
+        );
+        for (p, orig) in b.params_mut().iter().zip(&before) {
+            assert!(
+                p.value().approx_eq(orig, 0.0),
+                "a failed load scrambled the model"
+            );
+        }
     }
 
     #[test]
@@ -199,5 +616,20 @@ mod tests {
         buf.truncate(buf.len() / 2);
         let err = load_params(&mut a.params_mut(), buf.as_slice()).unwrap_err();
         assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn v2_bit_flip_is_corrupt() {
+        let mut a = layer(7);
+        let state = state_for(&a.params_mut());
+        let bytes = encode_v2(&a.params_mut(), &state).expect("encode");
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x10;
+        let err = validate_checkpoint_bytes(&corrupt).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+        // Truncation also fails integrity, not just framing.
+        let err = validate_checkpoint_bytes(&bytes[..bytes.len() - 9]).unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
     }
 }

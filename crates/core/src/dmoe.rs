@@ -14,6 +14,7 @@
 //! beyond the next block boundary.
 
 use megablocks_exec as exec;
+use megablocks_resilience as resilience;
 use megablocks_sparse::{ops, BlockSparseMatrix, SparseError, Topology};
 use megablocks_telemetry as telemetry;
 use megablocks_tensor::ops::{gelu_grad_scalar, gelu_scalar};
@@ -193,7 +194,11 @@ impl DroplessMoe {
         };
 
         // (5) Un-permute the tokens and scale by router confidence.
-        let output = padded_scatter(&y, &permute, &routing.weights);
+        let mut output = padded_scatter(&y, &permute, &routing.weights);
+        // Chaos injection site: an installed FaultPlan may poison the
+        // layer output with a NaN here, exercising the trainer's
+        // non-finite detection + rollback path. No-op without `chaos`.
+        resilience::maybe_poison(&resilience::sites::KERNEL_NAN_POISON, output.as_mut_slice());
 
         let lb = load_balancing_loss(&routing, self.cfg.load_balance_weight);
         let stats = MoeStats {

@@ -57,7 +57,10 @@ pub use expert_choice::{
 };
 pub use ffn::{DenseFfn, FfnCache};
 pub use loss::{load_balancing_loss, LoadBalance};
-pub use parallel::{expert_parallel_forward, AllToAllBuffers, EpStats};
+pub use parallel::{
+    expert_parallel_forward, resilient_expert_parallel_forward, try_expert_parallel_forward,
+    AllToAllBuffers, EpError, EpOutcome, EpPolicy, EpRecovery, EpStats,
+};
 pub use param::Param;
 pub use permute::{
     padded_gather, padded_gather_backward, padded_scatter, padded_scatter_backward, PermuteInfo,

@@ -12,13 +12,37 @@
 //! [`AllToAllBuffers`], so tests can assert both numerical equivalence
 //! with the single-device layer and the communication volumes the
 //! `gpusim` timeline model charges for.
+//!
+//! Three entry points with increasing fault tolerance:
+//!
+//! * [`expert_parallel_forward`] — panics on invalid arguments or shard
+//!   failure (the original API).
+//! * [`try_expert_parallel_forward`] — the fallible twin: invalid
+//!   arguments and shard panics come back as a structured [`EpError`]
+//!   instead of unwinding.
+//! * [`resilient_expert_parallel_forward`] — the recovery path: each
+//!   failed shard is retried up to [`EpPolicy::max_shard_retries`] times,
+//!   stragglers (a shard slower than `straggler_factor`× the median,
+//!   above a floor) are detected and counted, and if a shard keeps
+//!   failing the layer degrades gracefully to a single-device
+//!   [`DroplessMoe::forward`]. Every detection and recovery emits
+//!   `resilience.*` telemetry against the `ep.shard_fail` /
+//!   `ep.shard_delay` fault sites.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use megablocks_exec as exec;
+use megablocks_resilience as resilience;
+use megablocks_resilience::sites::{EP_SHARD_DELAY, EP_SHARD_FAIL};
 use megablocks_sparse::{ops, Topology};
+use megablocks_telemetry as telemetry;
 use megablocks_tensor::ops::gelu_scalar;
 use megablocks_tensor::Matrix;
 
-use crate::{padded_gather, padded_scatter, DroplessMoe, PermuteInfo};
+use crate::{padded_gather, padded_scatter, DroplessMoe, PermuteInfo, Routing};
 
 /// The materialized all-to-all exchange of one expert-parallel layer
 /// invocation.
@@ -45,6 +69,108 @@ pub struct EpStats {
     pub alltoall_elements: usize,
 }
 
+/// Structured failure of an expert-parallel forward.
+#[derive(Debug)]
+pub enum EpError {
+    /// `num_shards` does not evenly partition the expert count.
+    InvalidShardCount {
+        /// The requested shard count.
+        num_shards: usize,
+        /// The layer's expert count.
+        num_experts: usize,
+    },
+    /// The input's feature dimension differs from the layer's.
+    InputShape {
+        /// Columns of the input actually passed.
+        got: usize,
+        /// The layer's hidden size.
+        expected: usize,
+    },
+    /// A shard's expert computation panicked (includes injected
+    /// `ep.shard_fail` faults).
+    ShardFailed {
+        /// Index of the first failed shard.
+        shard: usize,
+        /// The panic message, if it carried one.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for EpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpError::InvalidShardCount {
+                num_shards,
+                num_experts,
+            } => write!(
+                f,
+                "num_shards {num_shards} must divide num_experts {num_experts}"
+            ),
+            EpError::InputShape { got, expected } => write!(
+                f,
+                "input feature size mismatch: x has {got} columns, layer hidden size is {expected}"
+            ),
+            EpError::ShardFailed { shard, reason } => {
+                write!(f, "expert-parallel shard {shard} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EpError {}
+
+/// Tuning knobs for [`resilient_expert_parallel_forward`].
+#[derive(Debug, Clone)]
+pub struct EpPolicy {
+    /// Retries granted to each failed shard before falling back to the
+    /// single-device forward.
+    pub max_shard_retries: u32,
+    /// A shard is a straggler when it runs longer than this multiple of
+    /// the median shard time.
+    pub straggler_factor: f64,
+    /// Straggler floor in microseconds — below this, slowness is noise,
+    /// never a straggler.
+    pub straggler_floor_us: u64,
+}
+
+impl Default for EpPolicy {
+    fn default() -> Self {
+        EpPolicy {
+            max_shard_retries: 2,
+            straggler_factor: 8.0,
+            straggler_floor_us: 10_000,
+        }
+    }
+}
+
+/// What [`resilient_expert_parallel_forward`] did to produce its output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpRecovery {
+    /// Shard re-executions attempted (counts every retry, not shards).
+    pub shard_retries: u32,
+    /// Failed shards that a retry healed.
+    pub shards_recovered: u32,
+    /// Shards flagged as stragglers (they completed, but late).
+    pub stragglers_detected: u32,
+    /// Whether the layer degraded to the single-device forward.
+    pub fell_back: bool,
+}
+
+/// Result of a resilient expert-parallel forward. When the layer had to
+/// fall back to single-device execution, no meaningful exchange happened
+/// and `stats`/`buffers` are `None`.
+#[derive(Debug)]
+pub struct EpOutcome {
+    /// The layer output (EP or single-device fallback).
+    pub output: Matrix,
+    /// Exchange statistics, absent after fallback.
+    pub stats: Option<EpStats>,
+    /// Materialized all-to-all buffers, absent after fallback.
+    pub buffers: Option<AllToAllBuffers>,
+    /// What recovery machinery fired.
+    pub recovery: EpRecovery,
+}
+
 /// Runs the dMoE forward pass with `num_shards`-way expert parallelism
 /// and returns `(output, stats, buffers)`.
 ///
@@ -53,99 +179,343 @@ pub struct EpStats {
 ///
 /// # Panics
 ///
-/// Panics if `num_shards` does not divide the expert count, or if
-/// `x.cols()` differs from the layer's hidden size.
+/// Panics if `num_shards` does not divide the expert count, if
+/// `x.cols()` differs from the layer's hidden size, or if a shard's
+/// computation panics ([`try_expert_parallel_forward`] reports these as
+/// values instead).
 pub fn expert_parallel_forward(
     layer: &DroplessMoe,
     x: &Matrix,
     num_shards: usize,
 ) -> (Matrix, EpStats, AllToAllBuffers) {
-    let cfg = layer.config();
-    assert!(
-        num_shards >= 1 && cfg.num_experts.is_multiple_of(num_shards),
-        "num_shards {num_shards} must divide num_experts {}",
-        cfg.num_experts
-    );
-    assert_eq!(x.cols(), cfg.hidden_size, "input feature size mismatch");
-    let experts_per_shard = cfg.num_experts / num_shards;
-    let ffn = cfg.ffn_hidden_size;
-    let hidden = cfg.hidden_size;
+    try_expert_parallel_forward(layer, x, num_shards).unwrap_or_else(|e| panic!("{e}"))
+}
 
-    // Routing and the global permutation happen where the tokens live.
-    let routing = layer.router().forward(x);
-    let permute = PermuteInfo::new(&routing, cfg.num_experts, cfg.block_size);
-    let xg = padded_gather(x, &permute);
-    let padded = permute.padded_tokens_per_expert();
-
-    // Dispatch all-to-all: each shard receives the contiguous row range
-    // of its experts (the expert-major layout makes this a pure slice).
-    let mut shard_inputs = Vec::with_capacity(num_shards);
-    let mut rows_per_shard = Vec::with_capacity(num_shards);
-    let mut offsets = vec![0usize; cfg.num_experts + 1];
-    for e in 0..cfg.num_experts {
-        offsets[e + 1] = offsets[e] + padded[e];
+/// The fallible twin of [`expert_parallel_forward`].
+///
+/// # Errors
+///
+/// Returns [`EpError::InvalidShardCount`] / [`EpError::InputShape`] for
+/// argument problems and [`EpError::ShardFailed`] when a shard's expert
+/// computation panics; the panic is contained on the worker and reported
+/// as a value.
+pub fn try_expert_parallel_forward(
+    layer: &DroplessMoe,
+    x: &Matrix,
+    num_shards: usize,
+) -> Result<(Matrix, EpStats, AllToAllBuffers), EpError> {
+    let plan = EpPlan::new(layer, x, num_shards)?;
+    let mut y = Matrix::pooled_zeros(plan.permute.padded_rows(), plan.hidden);
+    let attempt = run_all_shards(&plan, &mut y);
+    if let Some((shard, reason)) = attempt.first_failure() {
+        resilience::record_detected(&EP_SHARD_FAIL);
+        return Err(EpError::ShardFailed { shard, reason });
     }
-    for s in 0..num_shards {
-        let lo = offsets[s * experts_per_shard];
-        let hi = offsets[(s + 1) * experts_per_shard];
-        shard_inputs.push(xg.rows_range(lo, hi));
-        rows_per_shard.push(hi - lo);
-    }
-    let dispatch_elements: usize = rows_per_shard.iter().map(|r| r * hidden).sum();
+    Ok(plan.finish(y))
+}
 
-    // Each shard computes its local experts over a local topology using
-    // its slice of the concatenated weights. Shards are the bands of one
-    // launch plan over the combined output's row space: shard `s` writes
-    // its expert outputs straight into its row range of `y` (the combine
-    // all-to-all), and the nested sparse ops run inline on the worker.
-    let mut y = Matrix::pooled_zeros(permute.padded_rows(), hidden);
-    let band_lens: Vec<usize> = rows_per_shard.iter().map(|&r| r * hidden).collect();
-    let shard_body = |band: &mut [f32], s: usize| {
-        let local_padded = &padded[s * experts_per_shard..(s + 1) * experts_per_shard];
-        let topo = Topology::for_moe(local_padded, ffn, cfg.block_size)
+/// Fault-tolerant expert-parallel forward: per-shard retry, straggler
+/// detection, and graceful degradation to the single-device layer.
+///
+/// Never fails on runtime faults — after `policy.max_shard_retries`
+/// unsuccessful re-runs of any shard the whole layer falls back to
+/// [`DroplessMoe::forward`] and reports it in [`EpRecovery::fell_back`].
+///
+/// # Errors
+///
+/// Only argument problems ([`EpError::InvalidShardCount`],
+/// [`EpError::InputShape`]) are returned as errors; those are caller
+/// bugs, not faults to recover from.
+pub fn resilient_expert_parallel_forward(
+    layer: &DroplessMoe,
+    x: &Matrix,
+    num_shards: usize,
+    policy: &EpPolicy,
+) -> Result<EpOutcome, EpError> {
+    let plan = EpPlan::new(layer, x, num_shards)?;
+    let mut y = Matrix::pooled_zeros(plan.permute.padded_rows(), plan.hidden);
+    let attempt = run_all_shards(&plan, &mut y);
+    let mut recovery = EpRecovery::default();
+    count_stragglers(&attempt.elapsed_us, policy, &mut recovery);
+
+    for (shard, failure) in attempt.failures.iter().enumerate() {
+        let Some(reason) = failure else { continue };
+        resilience::record_detected(&EP_SHARD_FAIL);
+        telemetry::counter_with("resilience.ep.shard_failures", plan.op_label(shard)).inc();
+        let mut healed = false;
+        for _ in 0..policy.max_shard_retries {
+            recovery.shard_retries += 1;
+            telemetry::counter_with("resilience.retries", "ep.shard").inc();
+            let rerun = catch_unwind(AssertUnwindSafe(|| {
+                resilience::maybe_panic(&EP_SHARD_FAIL);
+                plan.compute_shard(shard)
+            }));
+            if let Ok(out) = rerun {
+                plan.write_shard(&mut y, shard, &out);
+                out.recycle();
+                resilience::record_recovered(&EP_SHARD_FAIL);
+                recovery.shards_recovered += 1;
+                healed = true;
+                break;
+            }
+        }
+        if !healed {
+            // Graceful degradation: the shard is gone for good, so run
+            // the whole layer single-device. Correctness over speed.
+            telemetry::counter("resilience.ep.fallback").inc();
+            let _ = reason; // already surfaced via telemetry + counters
+            recovery.fell_back = true;
+            let output = layer.forward(x).output;
+            return Ok(EpOutcome {
+                output,
+                stats: None,
+                buffers: None,
+                recovery,
+            });
+        }
+    }
+
+    let (output, stats, buffers) = plan.finish(y);
+    Ok(EpOutcome {
+        output,
+        stats: Some(stats),
+        buffers: Some(buffers),
+        recovery,
+    })
+}
+
+/// Everything computed before shards launch: routing, the global
+/// permutation, the dispatch exchange, and per-shard geometry.
+struct EpPlan<'a> {
+    layer: &'a DroplessMoe,
+    routing: Routing,
+    permute: PermuteInfo,
+    padded: Vec<usize>,
+    offsets: Vec<usize>,
+    shard_inputs: Vec<Matrix>,
+    rows_per_shard: Vec<usize>,
+    num_shards: usize,
+    experts_per_shard: usize,
+    ffn: usize,
+    hidden: usize,
+}
+
+impl<'a> EpPlan<'a> {
+    fn new(layer: &'a DroplessMoe, x: &Matrix, num_shards: usize) -> Result<Self, EpError> {
+        let cfg = layer.config();
+        if num_shards < 1 || !cfg.num_experts.is_multiple_of(num_shards) {
+            return Err(EpError::InvalidShardCount {
+                num_shards,
+                num_experts: cfg.num_experts,
+            });
+        }
+        if x.cols() != cfg.hidden_size {
+            return Err(EpError::InputShape {
+                got: x.cols(),
+                expected: cfg.hidden_size,
+            });
+        }
+        let experts_per_shard = cfg.num_experts / num_shards;
+
+        // Routing and the global permutation happen where the tokens live.
+        let routing = layer.router().forward(x);
+        let permute = PermuteInfo::new(&routing, cfg.num_experts, cfg.block_size);
+        let xg = padded_gather(x, &permute);
+        let padded = permute.padded_tokens_per_expert().to_vec();
+
+        // Dispatch all-to-all: each shard receives the contiguous row
+        // range of its experts (the expert-major layout makes this a pure
+        // slice).
+        let mut offsets = vec![0usize; cfg.num_experts + 1];
+        for e in 0..cfg.num_experts {
+            offsets[e + 1] = offsets[e] + padded[e];
+        }
+        let mut shard_inputs = Vec::with_capacity(num_shards);
+        let mut rows_per_shard = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let lo = offsets[s * experts_per_shard];
+            let hi = offsets[(s + 1) * experts_per_shard];
+            shard_inputs.push(xg.rows_range(lo, hi));
+            rows_per_shard.push(hi - lo);
+        }
+        Ok(EpPlan {
+            layer,
+            routing,
+            permute,
+            padded,
+            offsets,
+            shard_inputs,
+            rows_per_shard,
+            num_shards,
+            experts_per_shard,
+            ffn: cfg.ffn_hidden_size,
+            hidden: cfg.hidden_size,
+        })
+    }
+
+    /// One shard's expert computation over its local block-diagonal
+    /// topology, using its slice of the concatenated weights.
+    fn compute_shard(&self, s: usize) -> Matrix {
+        let cfg = self.layer.config();
+        let eps = self.experts_per_shard;
+        let local_padded = &self.padded[s * eps..(s + 1) * eps];
+        let topo = Topology::for_moe(local_padded, self.ffn, cfg.block_size)
             .expect("padded counts are block-aligned");
-        // Weight slices for this shard's experts.
-        let col0 = s * experts_per_shard * ffn;
-        let cols = experts_per_shard * ffn;
-        let w1_local = Matrix::from_fn(hidden, cols, |i, j| layer.w1().value()[(i, col0 + j)]);
-        let w2_local = layer.w2().value().rows_range(col0, col0 + cols);
-        let h = ops::sdd(&shard_inputs[s], &w1_local, &topo).map(gelu_scalar);
+        let col0 = s * eps * self.ffn;
+        let cols = eps * self.ffn;
+        let w1_local = Matrix::from_fn(self.hidden, cols, |i, j| {
+            self.layer.w1().value()[(i, col0 + j)]
+        });
+        let w2_local = self.layer.w2().value().rows_range(col0, col0 + cols);
+        let h = ops::sdd(&self.shard_inputs[s], &w1_local, &topo).map(gelu_scalar);
         let out = ops::dsd(&h, &w2_local);
-        band.copy_from_slice(out.as_slice());
-        out.recycle();
         h.recycle();
+        out
+    }
+
+    /// Writes one shard's output into its row range of the combined `y`
+    /// (the combine all-to-all for a retried shard).
+    fn write_shard(&self, y: &mut Matrix, s: usize, out: &Matrix) {
+        let lo = self.offsets[s * self.experts_per_shard] * self.hidden;
+        let hi = self.offsets[(s + 1) * self.experts_per_shard] * self.hidden;
+        y.as_mut_slice()[lo..hi].copy_from_slice(out.as_slice());
+    }
+
+    fn band_lens(&self) -> Vec<usize> {
+        self.rows_per_shard
+            .iter()
+            .map(|&r| r * self.hidden)
+            .collect()
+    }
+
+    fn op_label(&self, shard: usize) -> &'static str {
+        // Telemetry labels are static; bucket shard indices coarsely.
+        match shard {
+            0 => "shard0",
+            1 => "shard1",
+            2 => "shard2",
+            3 => "shard3",
+            _ => "shard4plus",
+        }
+    }
+
+    /// Materializes the combine all-to-all and the final un-permuted,
+    /// confidence-scaled output.
+    fn finish(self, y: Matrix) -> (Matrix, EpStats, AllToAllBuffers) {
+        let dispatch_elements: usize = self.rows_per_shard.iter().map(|r| r * self.hidden).sum();
+        let shard_outputs: Vec<Matrix> = (0..self.num_shards)
+            .map(|s| {
+                let lo = self.offsets[s * self.experts_per_shard];
+                let hi = self.offsets[(s + 1) * self.experts_per_shard];
+                y.rows_range(lo, hi)
+            })
+            .collect();
+        let output = padded_scatter(&y, &self.permute, &self.routing.weights);
+        let stats = EpStats {
+            num_shards: self.num_shards,
+            experts_per_shard: self.experts_per_shard,
+            rows_per_shard: self.rows_per_shard,
+            alltoall_elements: dispatch_elements,
+        };
+        let buffers = AllToAllBuffers {
+            shard_inputs: self.shard_inputs,
+            shard_outputs,
+            dispatch_elements,
+        };
+        (output, stats, buffers)
+    }
+}
+
+/// Per-shard results of one parallel attempt: containment happens at the
+/// band level, so one shard's panic never tears down its siblings.
+struct Attempt {
+    failures: Vec<Option<String>>,
+    elapsed_us: Vec<u64>,
+}
+
+impl Attempt {
+    fn first_failure(&self) -> Option<(usize, String)> {
+        self.failures
+            .iter()
+            .enumerate()
+            .find_map(|(s, f)| f.as_ref().map(|r| (s, r.clone())))
+    }
+}
+
+/// Launches every shard as a band of one plan. Shards that panic
+/// (genuine bugs or injected `ep.shard_fail` faults) are contained and
+/// reported per shard; the `ep.shard_delay` site and a wall-clock timer
+/// sit inside each band for straggler detection.
+fn run_all_shards(plan: &EpPlan<'_>, y: &mut Matrix) -> Attempt {
+    let failures: Vec<Mutex<Option<String>>> =
+        (0..plan.num_shards).map(|_| Mutex::new(None)).collect();
+    let elapsed_us: Vec<AtomicU64> = (0..plan.num_shards).map(|_| AtomicU64::new(0)).collect();
+    let shard_body = |band: &mut [f32], s: usize| {
+        let t0 = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            resilience::maybe_panic(&EP_SHARD_FAIL);
+            resilience::inject_delay(&EP_SHARD_DELAY);
+            plan.compute_shard(s)
+        }));
+        elapsed_us[s].store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        match result {
+            Ok(out) => {
+                band.copy_from_slice(out.as_slice());
+                out.recycle();
+            }
+            Err(payload) => {
+                *failures[s].lock().expect("no panics hold this lock") =
+                    Some(panic_reason(payload.as_ref()));
+            }
+        }
     };
     exec::LaunchPlan::over_bands(
         "moe.expert_parallel",
         y.as_mut_slice(),
-        band_lens,
+        plan.band_lens(),
         &shard_body,
     )
     .launch();
+    Attempt {
+        failures: failures
+            .into_iter()
+            .map(|m| m.into_inner().expect("no panics hold this lock"))
+            .collect(),
+        elapsed_us: elapsed_us.into_iter().map(|a| a.into_inner()).collect(),
+    }
+}
 
-    // Materialize per-shard outputs for the buffers value (tests assert
-    // on the exchange volumes and shapes).
-    let shard_outputs: Vec<Matrix> = (0..num_shards)
-        .map(|s| {
-            let lo = offsets[s * experts_per_shard];
-            let hi = offsets[(s + 1) * experts_per_shard];
-            y.rows_range(lo, hi)
-        })
-        .collect();
-    let output = padded_scatter(&y, &permute, &routing.weights);
+/// Flags shards that ran longer than `straggler_factor`× the median
+/// shard time (with a floor). Stragglers completed, so each detection is
+/// immediately a recovery — the counters record how often the EP layer
+/// ran degraded-but-correct.
+fn count_stragglers(elapsed_us: &[u64], policy: &EpPolicy, recovery: &mut EpRecovery) {
+    if elapsed_us.len() < 2 {
+        return;
+    }
+    let mut sorted = elapsed_us.to_vec();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let threshold =
+        ((median as f64 * policy.straggler_factor) as u64).max(policy.straggler_floor_us);
+    for &us in elapsed_us {
+        if us > threshold {
+            resilience::record_detected(&EP_SHARD_DELAY);
+            resilience::record_recovered(&EP_SHARD_DELAY);
+            recovery.stragglers_detected += 1;
+            telemetry::histogram("resilience.ep.straggler_us").record(us);
+        }
+    }
+}
 
-    let stats = EpStats {
-        num_shards,
-        experts_per_shard,
-        rows_per_shard,
-        alltoall_elements: dispatch_elements,
-    };
-    let buffers = AllToAllBuffers {
-        shard_inputs,
-        shard_outputs,
-        dispatch_elements,
-    };
-    (output, stats, buffers)
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +586,35 @@ mod tests {
         let padded: Vec<usize> = tokens.iter().map(|&t| t.div_ceil(4) * 4).collect();
         assert_eq!(stats.rows_per_shard[0], padded[0] + padded[1]);
         assert_eq!(stats.rows_per_shard[1], padded[2] + padded[3]);
+    }
+
+    #[test]
+    fn try_reports_structured_errors() {
+        let l = layer(9);
+        let mut rng = seeded_rng(10);
+        let x = normal(8, 6, 1.0, &mut rng);
+        let err = try_expert_parallel_forward(&l, &x, 3).unwrap_err();
+        assert!(matches!(err, EpError::InvalidShardCount { .. }), "{err}");
+        assert!(err.to_string().contains("must divide"));
+        let bad = normal(8, 5, 1.0, &mut rng);
+        let err = try_expert_parallel_forward(&l, &bad, 2).unwrap_err();
+        assert!(matches!(err, EpError::InputShape { .. }), "{err}");
+    }
+
+    #[test]
+    fn resilient_matches_plain_forward_without_faults() {
+        let l = layer(11);
+        let mut rng = seeded_rng(12);
+        let x = normal(20, 6, 1.0, &mut rng);
+        let reference = l.forward(&x).output;
+        let outcome =
+            resilient_expert_parallel_forward(&l, &x, 2, &EpPolicy::default()).expect("valid args");
+        assert!(outcome.output.approx_eq(&reference, 1e-4));
+        assert!(!outcome.recovery.fell_back);
+        assert_eq!(outcome.recovery.shard_retries, 0);
+        assert_eq!(outcome.recovery.shards_recovered, 0);
+        let stats = outcome.stats.expect("no fallback, stats present");
+        assert_eq!(stats.num_shards, 2);
+        assert!(outcome.buffers.is_some());
     }
 }

@@ -24,6 +24,7 @@
 //! exactly — which moves the old per-kernel band-partition audit into
 //! the one place every launch passes through.
 
+use megablocks_resilience as resilience;
 use megablocks_telemetry as telemetry;
 
 use crate::pool;
@@ -155,10 +156,20 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
         } = self;
         if bands <= 1 {
             telemetry::counter_with("exec.launches", "inline").inc();
+            resilience::maybe_panic(&resilience::sites::EXEC_WORKER_PANIC);
             body(data, 0);
             return;
         }
 
+        // Chaos injection site: under an installed FaultPlan (chaos
+        // feature only) a band task may panic before running its body,
+        // exercising the pool's park-and-reraise recovery path end to
+        // end. Compiles to nothing without the feature.
+        let guarded = |band: &mut [f32], i: usize| {
+            resilience::maybe_panic(&resilience::sites::EXEC_WORKER_PANIC);
+            body(band, i);
+        };
+        let guarded = &guarded;
         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bands);
         match partition {
             Partition::Uniform {
@@ -166,7 +177,7 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
                 items_per_band,
             } => {
                 for (i, band) in data.chunks_mut(items_per_band * unit).enumerate() {
-                    tasks.push(Box::new(move || body(band, i * items_per_band)));
+                    tasks.push(Box::new(move || guarded(band, i * items_per_band)));
                 }
             }
             Partition::Explicit { band_lens } => {
@@ -174,7 +185,7 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
                 for (i, &len) in band_lens.iter().enumerate() {
                     let (band, tail) = rest.split_at_mut(len);
                     rest = tail;
-                    tasks.push(Box::new(move || body(band, i)));
+                    tasks.push(Box::new(move || guarded(band, i)));
                 }
             }
         }

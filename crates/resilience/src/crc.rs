@@ -1,0 +1,109 @@
+//! CRC32 (IEEE 802.3, the zlib/PNG polynomial) for checkpoint integrity.
+//!
+//! Dependency-free: the byte table is built at compile time. The v2
+//! checkpoint format appends the CRC of everything before it, so a
+//! flipped bit or truncated tail anywhere in the file fails validation
+//! before a single parameter is touched.
+
+/// Reflected polynomial of CRC-32/ISO-HDLC (zlib's `crc32`).
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// Streaming CRC32 state.
+///
+/// ```
+/// use megablocks_resilience::Crc32;
+/// let mut crc = Crc32::new();
+/// crc.update(b"123");
+/// crc.update(b"456789");
+/// assert_eq!(crc.finalize(), 0xCBF43926); // the standard check value
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Crc32 { state: !0 }
+    }
+
+    /// Folds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut c = self.state;
+        for &b in bytes {
+            c = TABLE[usize::from((c as u8) ^ b)] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// The checksum of everything folded in so far.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot_at_any_split() {
+        let data: Vec<u8> = (0u16..600).map(|i| (i * 31 % 251) as u8).collect();
+        let whole = crc32(&data);
+        for split in [0, 1, 7, 300, 599, 600] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.finalize(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let data = vec![0xA5u8; 128];
+        let base = crc32(&data);
+        for byte in [0usize, 64, 127] {
+            for bit in 0..8 {
+                let mut corrupt = data.clone();
+                corrupt[byte] ^= 1 << bit;
+                assert_ne!(crc32(&corrupt), base, "flip {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Fault-injection and fault-tolerance substrate for MegaBlocks-RS.
+//!
+//! The paper's dropless formulation removes one whole class of silent
+//! failures (token dropping); this crate is the workspace's answer to the
+//! *loud* ones — worker panics, NaN-poisoned kernels, failed
+//! expert-parallel shards, torn checkpoint writes. It owns the pieces the
+//! recovery paths in `exec`, `core` and `transformer` share:
+//!
+//! * **A deterministic fault-injection layer** ([`FaultPlan`], [`sites`])
+//!   behind the `chaos` cargo feature. A plan is seeded and installed
+//!   process-wide; registered injection sites ([`Site`]) query it through
+//!   hooks ([`maybe_panic`], [`maybe_poison`], [`should_fail`],
+//!   [`inject_delay`], [`maybe_io_error`]) that compile to inlined no-ops
+//!   when the feature is off — production builds carry no chaos machinery.
+//! * **CRC-checked, atomic file I/O** ([`crc32`], [`Crc32`],
+//!   [`atomic_write`]) — the write-temp + fsync + rename discipline the
+//!   v2 checkpoint format relies on, so a crash or injected I/O error can
+//!   tear at most a temp file, never a committed checkpoint.
+//! * **Bounded exponential-backoff retry** ([`RetryPolicy`],
+//!   [`run_with_retry`]) shared by the checkpoint writer and the
+//!   fault-tolerant trainer loop.
+//!
+//! Every injection and every recovery emits `resilience.*` telemetry:
+//! `resilience.injected.<site>` when a fault fires,
+//! `resilience.detected.<site>` when a recovery path notices one, and
+//! `resilience.recovered.<site>` when it heals it. The audit lint
+//! (rule 6) pins the site catalogue to this naming scheme.
+
+#![deny(missing_docs)]
+
+mod crc;
+mod io;
+mod plan;
+mod retry;
+pub mod sites;
+
+pub use crc::{crc32, Crc32};
+pub use io::atomic_write;
+pub use plan::{
+    clear_plan, inject_delay, install_plan, maybe_io_error, maybe_panic, maybe_poison,
+    plan_installed, report, should_fail, FaultPlan, FaultReport, SiteReport, INJECTED_PANIC_PREFIX,
+};
+pub use retry::{run_with_retry, RetryPolicy};
+pub use sites::Site;
+
+use megablocks_telemetry as telemetry;
+
+/// Whether the fault-injection hooks are compiled in (`chaos` feature).
+pub const fn chaos_enabled() -> bool {
+    cfg!(feature = "chaos")
+}
+
+/// Records that a recovery path *noticed* a fault at `site` (its own or
+/// an injected one). Always compiled: detection happens on the recovery
+/// path, never in a kernel hot loop.
+pub fn record_detected(site: &Site) {
+    telemetry::counter(site.detected).inc();
+}
+
+/// Records that a recovery path *healed* a fault at `site` — a retried
+/// step succeeded, a shard was re-run, a checkpoint write went through on
+/// a later attempt.
+pub fn record_recovered(site: &Site) {
+    telemetry::counter(site.recovered).inc();
+}

@@ -1,0 +1,461 @@
+//! Deterministic, seeded fault plans and the injection hooks sites query.
+//!
+//! A [`FaultPlan`] schedules faults per [`Site`] two ways, composable:
+//!
+//! * **Explicit call indices** ([`FaultPlan::at_calls`]) — fire on
+//!   exactly the n-th, m-th, … invocation of the site (0-based). Each
+//!   site keeps an atomic call counter, so the *count* of firings is
+//!   deterministic regardless of thread interleaving.
+//! * **Seeded rate with a budget** ([`FaultPlan::with_rate`]) — each call
+//!   fires with probability `rate`, decided by a SplitMix64 hash of
+//!   `(seed, site, call index)`, capped at `budget` total firings so a
+//!   chaos run always drains its faults and can finish.
+//!
+//! With the `chaos` feature off every hook in this module is an inlined
+//! constant no-op: [`install_plan`] discards the plan, the queries return
+//! "no fault", and no global state exists.
+
+use crate::sites::Site;
+
+/// How one site's faults are scheduled.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct Schedule {
+    /// Explicit 0-based call indices that fire.
+    at_calls: Vec<u64>,
+    /// Per-call firing probability in `[0, 1]`.
+    rate: f64,
+    /// Maximum rate-driven firings (explicit indices are exempt).
+    budget: u64,
+}
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Build one with [`FaultPlan::seeded`], add per-site schedules, then
+/// [`install_plan`] it process-wide. Installing replaces any previous
+/// plan and resets all call counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Milliseconds an injected [`crate::sites::EP_SHARD_DELAY`] fault
+    /// sleeps for.
+    delay_ms: u64,
+    schedules: Vec<(&'static str, Schedule)>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the given seed (drives rate decisions).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_ms: 20,
+            schedules: Vec::new(),
+        }
+    }
+
+    /// Fires `site` on exactly the listed 0-based call indices.
+    #[must_use]
+    pub fn at_calls(mut self, site: &Site, calls: &[u64]) -> Self {
+        let sched = self.schedule_mut(site);
+        sched.at_calls.extend_from_slice(calls);
+        sched.at_calls.sort_unstable();
+        sched.at_calls.dedup();
+        self
+    }
+
+    /// Fires `site` with probability `rate` per call, at most `budget`
+    /// times over the plan's lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    #[must_use]
+    pub fn with_rate(mut self, site: &Site, rate: f64, budget: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} outside [0, 1]");
+        let sched = self.schedule_mut(site);
+        sched.rate = rate;
+        sched.budget = budget;
+        self
+    }
+
+    /// Sets the sleep duration of injected straggler delays
+    /// (default 20 ms).
+    #[must_use]
+    pub fn delay_ms(mut self, ms: u64) -> Self {
+        self.delay_ms = ms;
+        self
+    }
+
+    fn schedule_mut(&mut self, site: &Site) -> &mut Schedule {
+        if let Some(i) = self.schedules.iter().position(|(n, _)| *n == site.name) {
+            return &mut self.schedules[i].1;
+        }
+        self.schedules.push((site.name, Schedule::default()));
+        &mut self.schedules.last_mut().expect("just pushed").1
+    }
+}
+
+/// Injection counts for one site, from [`report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteReport {
+    /// The site's registered name.
+    pub site: &'static str,
+    /// Calls the site made into the chaos layer.
+    pub calls: u64,
+    /// Faults actually injected.
+    pub injected: u64,
+}
+
+/// Snapshot of the installed plan's activity, from [`report`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Per-site activity, in plan order.
+    pub sites: Vec<SiteReport>,
+}
+
+impl FaultReport {
+    /// Faults injected at `site` so far (0 if the site is unscheduled or
+    /// no plan is installed).
+    pub fn injected_at(&self, site: &Site) -> u64 {
+        self.sites
+            .iter()
+            .find(|s| s.site == site.name)
+            .map_or(0, |s| s.injected)
+    }
+}
+
+#[cfg(feature = "chaos")]
+mod active {
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::{Arc, RwLock};
+
+    use megablocks_telemetry as telemetry;
+
+    use super::{FaultPlan, FaultReport, Schedule, SiteReport};
+    use crate::sites::Site;
+
+    struct ActiveSite {
+        name: &'static str,
+        injected_counter: &'static str,
+        sched: Schedule,
+        calls: AtomicU64,
+        fired: AtomicU64,
+        budget_left: AtomicU64,
+    }
+
+    struct ActivePlan {
+        seed: u64,
+        delay_ms: u64,
+        sites: Vec<ActiveSite>,
+    }
+
+    static PLAN: RwLock<Option<Arc<ActivePlan>>> = RwLock::new(None);
+
+    fn current() -> Option<Arc<ActivePlan>> {
+        PLAN.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    pub fn install(plan: FaultPlan) {
+        let sites = plan
+            .schedules
+            .iter()
+            .map(|(name, sched)| ActiveSite {
+                name,
+                injected_counter: crate::sites::ALL
+                    .iter()
+                    .find(|s| s.name == *name)
+                    .map(|s| s.injected)
+                    .unwrap_or("resilience.injected.unknown"),
+                sched: sched.clone(),
+                calls: AtomicU64::new(0),
+                fired: AtomicU64::new(0),
+                budget_left: AtomicU64::new(sched.budget),
+            })
+            .collect();
+        let active = ActivePlan {
+            seed: plan.seed,
+            delay_ms: plan.delay_ms,
+            sites,
+        };
+        *PLAN.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(active));
+    }
+
+    pub fn clear() {
+        *PLAN.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    pub fn installed() -> bool {
+        current().is_some()
+    }
+
+    pub fn report() -> FaultReport {
+        let Some(plan) = current() else {
+            return FaultReport::default();
+        };
+        FaultReport {
+            sites: plan
+                .sites
+                .iter()
+                .map(|s| SiteReport {
+                    site: s.name,
+                    calls: s.calls.load(Relaxed),
+                    injected: s.fired.load(Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// SplitMix64 over `(seed, site hash, call index)` — the whole
+    /// determinism story of rate-scheduled faults.
+    fn decision_hash(seed: u64, site: &str, call: u64) -> u64 {
+        let mut z = seed ^ call.wrapping_mul(0x9E3779B97F4A7C15);
+        for b in site.bytes() {
+            z = z.wrapping_add(u64::from(b)).wrapping_mul(0x100000001B3);
+        }
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// One call into the chaos layer from `site`: advances the site's
+    /// call counter and decides whether a fault fires here.
+    pub fn fires(site: &Site) -> bool {
+        let Some(plan) = current() else {
+            return false;
+        };
+        let Some(s) = plan.sites.iter().find(|s| s.name == site.name) else {
+            return false;
+        };
+        let call = s.calls.fetch_add(1, Relaxed);
+        let mut fire = s.sched.at_calls.binary_search(&call).is_ok();
+        if !fire && s.sched.rate > 0.0 {
+            let u = decision_hash(plan.seed, s.name, call) as f64 / u64::MAX as f64;
+            if u < s.sched.rate {
+                // Consume budget; back out on exhaustion.
+                let mut left = s.budget_left.load(Relaxed);
+                while left > 0 {
+                    match s
+                        .budget_left
+                        .compare_exchange(left, left - 1, Relaxed, Relaxed)
+                    {
+                        Ok(_) => {
+                            fire = true;
+                            break;
+                        }
+                        Err(now) => left = now,
+                    }
+                }
+            }
+        }
+        if fire {
+            s.fired.fetch_add(1, Relaxed);
+            telemetry::counter(s.injected_counter).inc();
+        }
+        fire
+    }
+
+    pub fn delay_ms() -> u64 {
+        current().map_or(0, |p| p.delay_ms)
+    }
+}
+
+/// Installs `plan` process-wide, replacing any previous plan and
+/// resetting all call counters. A no-op without the `chaos` feature.
+pub fn install_plan(plan: FaultPlan) {
+    #[cfg(feature = "chaos")]
+    active::install(plan);
+    #[cfg(not(feature = "chaos"))]
+    let _ = plan;
+}
+
+/// Removes the installed plan (all sites go quiet). A no-op without the
+/// `chaos` feature.
+pub fn clear_plan() {
+    #[cfg(feature = "chaos")]
+    active::clear();
+}
+
+/// Whether a plan is currently installed (always `false` without the
+/// `chaos` feature).
+pub fn plan_installed() -> bool {
+    #[cfg(feature = "chaos")]
+    return active::installed();
+    #[cfg(not(feature = "chaos"))]
+    false
+}
+
+/// Injection activity of the installed plan (empty without the `chaos`
+/// feature or when no plan is installed).
+pub fn report() -> FaultReport {
+    #[cfg(feature = "chaos")]
+    return active::report();
+    #[cfg(not(feature = "chaos"))]
+    FaultReport::default()
+}
+
+/// Payload prefix of every injected panic, so recovery paths (and tests)
+/// can tell injected faults from genuine ones.
+pub const INJECTED_PANIC_PREFIX: &str = "injected fault:";
+
+/// Worker-panic hook: panics with a recognizable payload if the plan
+/// fires at `site`. Inlines to nothing without the `chaos` feature.
+#[inline]
+pub fn maybe_panic(site: &Site) {
+    #[cfg(feature = "chaos")]
+    if active::fires(site) {
+        panic!("{} {}", INJECTED_PANIC_PREFIX, site.name);
+    }
+    #[cfg(not(feature = "chaos"))]
+    let _ = site;
+}
+
+/// NaN-poisoning hook: overwrites one element of `data` with NaN if the
+/// plan fires at `site`. Inlines to nothing without the `chaos` feature.
+#[inline]
+pub fn maybe_poison(site: &Site, data: &mut [f32]) {
+    #[cfg(feature = "chaos")]
+    if active::fires(site) {
+        if let Some(x) = data.first_mut() {
+            *x = f32::NAN;
+        }
+    }
+    #[cfg(not(feature = "chaos"))]
+    let _ = (site, data);
+}
+
+/// Structured-failure hook (EP shards): `true` if the plan fires at
+/// `site`. Inlines to `false` without the `chaos` feature.
+#[inline]
+pub fn should_fail(site: &Site) -> bool {
+    #[cfg(feature = "chaos")]
+    return active::fires(site);
+    #[cfg(not(feature = "chaos"))]
+    {
+        let _ = site;
+        false
+    }
+}
+
+/// Straggler hook: sleeps for the plan's configured delay if the plan
+/// fires at `site`, returning the milliseconds slept. Inlines to `0`
+/// without the `chaos` feature.
+#[inline]
+pub fn inject_delay(site: &Site) -> u64 {
+    #[cfg(feature = "chaos")]
+    if active::fires(site) {
+        let ms = active::delay_ms();
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+        return ms;
+    }
+    #[cfg(not(feature = "chaos"))]
+    let _ = site;
+    0
+}
+
+/// Checkpoint-I/O hook: returns an injected `io::Error` if the plan fires
+/// at `site`. Inlines to `Ok(())` without the `chaos` feature.
+#[inline]
+pub fn maybe_io_error(site: &Site) -> std::io::Result<()> {
+    #[cfg(feature = "chaos")]
+    if active::fires(site) {
+        return Err(std::io::Error::other(format!(
+            "{} {}",
+            INJECTED_PANIC_PREFIX, site.name
+        )));
+    }
+    #[cfg(not(feature = "chaos"))]
+    let _ = site;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sites;
+
+    #[test]
+    fn builder_dedups_and_sorts_call_indices() {
+        let plan = FaultPlan::seeded(1)
+            .at_calls(&sites::EXEC_WORKER_PANIC, &[5, 1])
+            .at_calls(&sites::EXEC_WORKER_PANIC, &[1, 3]);
+        assert_eq!(plan.schedules.len(), 1);
+        assert_eq!(plan.schedules[0].1.at_calls, vec![1, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn rate_must_be_a_probability() {
+        let _ = FaultPlan::seeded(0).with_rate(&sites::CHECKPOINT_IO, 1.5, 3);
+    }
+
+    #[cfg(not(feature = "chaos"))]
+    #[test]
+    fn hooks_are_noops_without_chaos() {
+        install_plan(FaultPlan::seeded(7).at_calls(&sites::KERNEL_NAN_POISON, &[0]));
+        assert!(!plan_installed());
+        let mut data = [1.0f32];
+        maybe_poison(&sites::KERNEL_NAN_POISON, &mut data);
+        assert_eq!(data[0], 1.0);
+        assert!(!should_fail(&sites::EP_SHARD_FAIL));
+        assert_eq!(inject_delay(&sites::EP_SHARD_DELAY), 0);
+        assert!(maybe_io_error(&sites::CHECKPOINT_IO).is_ok());
+        maybe_panic(&sites::EXEC_WORKER_PANIC); // must not panic
+        assert!(report().sites.is_empty());
+    }
+
+    #[cfg(feature = "chaos")]
+    mod chaos {
+        use super::super::*;
+        use crate::sites;
+
+        // The plan is process-global, so chaos tests run serially under a
+        // lock to keep installs from racing each other.
+        static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+        #[test]
+        fn explicit_calls_fire_exactly_once_each() {
+            let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+            install_plan(FaultPlan::seeded(3).at_calls(&sites::EP_SHARD_FAIL, &[1, 3]));
+            let fired: Vec<bool> = (0..6).map(|_| should_fail(&sites::EP_SHARD_FAIL)).collect();
+            assert_eq!(fired, vec![false, true, false, true, false, false]);
+            assert_eq!(report().injected_at(&sites::EP_SHARD_FAIL), 2);
+            clear_plan();
+        }
+
+        #[test]
+        fn rate_respects_budget_and_is_seed_deterministic() {
+            let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+            let run = |seed| {
+                install_plan(FaultPlan::seeded(seed).with_rate(&sites::CHECKPOINT_IO, 0.5, 4));
+                let fired: Vec<bool> = (0..64)
+                    .map(|_| maybe_io_error(&sites::CHECKPOINT_IO).is_err())
+                    .collect();
+                clear_plan();
+                fired
+            };
+            let a = run(11);
+            let b = run(11);
+            assert_eq!(a, b, "same seed, same schedule");
+            assert_eq!(a.iter().filter(|&&f| f).count(), 4, "budget caps firings");
+        }
+
+        #[test]
+        fn unscheduled_sites_stay_quiet() {
+            let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+            install_plan(FaultPlan::seeded(5).at_calls(&sites::EP_SHARD_FAIL, &[0]));
+            maybe_panic(&sites::EXEC_WORKER_PANIC);
+            assert_eq!(inject_delay(&sites::EP_SHARD_DELAY), 0);
+            clear_plan();
+        }
+
+        #[test]
+        fn injected_panics_carry_the_marker_payload() {
+            let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+            install_plan(FaultPlan::seeded(9).at_calls(&sites::EXEC_WORKER_PANIC, &[0]));
+            let err = std::panic::catch_unwind(|| maybe_panic(&sites::EXEC_WORKER_PANIC))
+                .expect_err("scheduled call must panic");
+            let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(msg.starts_with(INJECTED_PANIC_PREFIX), "{msg}");
+            clear_plan();
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! The registered fault-injection sites.
+//!
+//! A [`Site`] names one place in the workspace where a [`FaultPlan`]
+//! (see [`crate::FaultPlan`]) may inject a failure, together with the
+//! three `resilience.*` telemetry counters its lifecycle reports to:
+//! `injected` (the chaos layer fired), `detected` (a recovery path
+//! noticed a fault — injected or genuine) and `recovered` (the recovery
+//! path healed it).
+//!
+//! The audit lint's rule 6 parses this file: every site's counters must
+//! be `resilience.injected.<name>` / `resilience.detected.<name>` /
+//! `resilience.recovered.<name>`, and every site listed in [`ALL`] must
+//! be referenced outside this file — a registered-but-unwired site is a
+//! lint failure, not dead weight.
+
+/// One registered fault-injection site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Site {
+    /// Stable site name (`subsystem.fault`), the key a
+    /// [`crate::FaultPlan`] schedules against.
+    pub name: &'static str,
+    /// Counter incremented when the chaos layer injects a fault here.
+    pub injected: &'static str,
+    /// Counter incremented when a recovery path detects a fault here.
+    pub detected: &'static str,
+    /// Counter incremented when a recovery path heals a fault here.
+    pub recovered: &'static str,
+}
+
+/// Worker-panic injection inside the exec pool's launch path: a band task
+/// panics before running its body, exercising the pool's park-and-reraise
+/// path and the trainer's step retry.
+pub const EXEC_WORKER_PANIC: Site = Site {
+    name: "exec.worker_panic",
+    injected: "resilience.injected.exec.worker_panic",
+    detected: "resilience.detected.exec.worker_panic",
+    recovered: "resilience.recovered.exec.worker_panic",
+};
+
+/// Kernel-output poisoning: a NaN is written into a dMoE forward output,
+/// exercising non-finite loss/grad detection and step rollback.
+pub const KERNEL_NAN_POISON: Site = Site {
+    name: "kernel.nan_poison",
+    injected: "resilience.injected.kernel.nan_poison",
+    detected: "resilience.detected.kernel.nan_poison",
+    recovered: "resilience.recovered.kernel.nan_poison",
+};
+
+/// Expert-parallel shard failure: one shard of the EP launch plan fails,
+/// exercising per-shard retry and the single-device fallback.
+pub const EP_SHARD_FAIL: Site = Site {
+    name: "ep.shard_fail",
+    injected: "resilience.injected.ep.shard_fail",
+    detected: "resilience.detected.ep.shard_fail",
+    recovered: "resilience.recovered.ep.shard_fail",
+};
+
+/// Expert-parallel straggler: one shard sleeps for the plan's configured
+/// delay, exercising straggler detection around the shard launch.
+pub const EP_SHARD_DELAY: Site = Site {
+    name: "ep.shard_delay",
+    injected: "resilience.injected.ep.shard_delay",
+    detected: "resilience.detected.ep.shard_delay",
+    recovered: "resilience.recovered.ep.shard_delay",
+};
+
+/// Checkpoint I/O failure: an [`crate::atomic_write`] step returns an
+/// injected `io::Error`, exercising write retry/backoff and proving a
+/// torn write never commits.
+pub const CHECKPOINT_IO: Site = Site {
+    name: "checkpoint.io",
+    injected: "resilience.injected.checkpoint.io",
+    detected: "resilience.detected.checkpoint.io",
+    recovered: "resilience.recovered.checkpoint.io",
+};
+
+/// Every registered site, in catalogue order.
+pub const ALL: &[Site] = &[
+    EXEC_WORKER_PANIC,
+    KERNEL_NAN_POISON,
+    EP_SHARD_FAIL,
+    EP_SHARD_DELAY,
+    CHECKPOINT_IO,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_names_follow_the_lint_contract() {
+        for site in ALL {
+            assert_eq!(site.injected, format!("resilience.injected.{}", site.name));
+            assert_eq!(site.detected, format!("resilience.detected.{}", site.name));
+            assert_eq!(
+                site.recovered,
+                format!("resilience.recovered.{}", site.name)
+            );
+        }
+    }
+
+    #[test]
+    fn site_names_are_unique() {
+        let mut names: Vec<_> = ALL.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+}

@@ -57,6 +57,35 @@ impl Adam {
         self.t
     }
 
+    /// The optimizer state for checkpointing: `(t, m, v)`. The moment
+    /// vectors are empty until the first step.
+    pub fn state(&self) -> (u64, &[Matrix], &[Matrix]) {
+        (u64::from(self.t), &self.m, &self.v)
+    }
+
+    /// Restores optimizer state captured by [`Adam::state`] (typically
+    /// out of a v2 checkpoint). Empty moment vectors reset the optimizer
+    /// to its lazily-initialized pristine state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` and `v` disagree in length or element shapes — a
+    /// caller bug, since checkpoint loading validates shapes against the
+    /// model first.
+    pub fn restore(&mut self, t: u64, m: Vec<Matrix>, v: Vec<Matrix>) {
+        assert_eq!(m.len(), v.len(), "moment vectors disagree in length");
+        for (i, (mm, vv)) in m.iter().zip(&v).enumerate() {
+            assert_eq!(
+                mm.shape(),
+                vv.shape(),
+                "moment {i} shapes disagree between m and v"
+            );
+        }
+        self.t = u32::try_from(t).expect("optimizer step count fits in u32");
+        self.m = m;
+        self.v = v;
+    }
+
     /// Applies one Adam update at learning rate `lr` and zeroes the
     /// gradients.
     ///

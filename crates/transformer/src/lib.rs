@@ -35,6 +35,7 @@ mod block;
 mod config;
 mod model;
 mod norm;
+mod resilient;
 mod trainer;
 
 pub use adam::{clip_grad_norm, Adam, AdamConfig};
@@ -45,4 +46,5 @@ pub use config::{
 };
 pub use model::{StepStats, TransformerLm};
 pub use norm::LayerNorm;
-pub use trainer::{lr_at_step, EvalResult, TrainLog, Trainer, TrainerConfig};
+pub use resilient::{ResilienceConfig, ResilienceReport, ResilientTrainer, TrainAbort};
+pub use trainer::{lr_at_step, EvalResult, PendingStep, TrainLog, Trainer, TrainerConfig};

@@ -87,6 +87,32 @@ pub struct TrainLog {
     pub tokens_per_sec: f64,
 }
 
+/// The output of [`Trainer::accumulate_step`]: per-step statistics whose
+/// gradients are sitting on the model, waiting for
+/// [`Trainer::apply_step`]. Holding one of these is the window in which
+/// the fault-tolerant loop validates the step (finite loss, finite
+/// gradients) and can still roll it back untouched.
+#[derive(Debug, Clone)]
+pub struct PendingStep {
+    ce_loss: f32,
+    lb_loss: f32,
+    dropped_tokens: usize,
+    max_load_imbalance: f64,
+    started: Instant,
+}
+
+impl PendingStep {
+    /// Mean cross-entropy over the accumulated micro-batches.
+    pub fn ce_loss(&self) -> f32 {
+        self.ce_loss
+    }
+
+    /// Mean load-balancing loss over the accumulated micro-batches.
+    pub fn lb_loss(&self) -> f32 {
+        self.lb_loss
+    }
+}
+
 /// Result of a validation pass.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalResult {
@@ -149,10 +175,77 @@ impl Trainer {
         self.step
     }
 
+    /// Overrides the optimizer-step counter (checkpoint resume).
+    pub fn set_step(&mut self, step: usize) {
+        self.step = step;
+    }
+
+    /// The wrapped optimizer.
+    pub fn optimizer(&self) -> &Adam {
+        &self.optimizer
+    }
+
+    /// Mutable access to the wrapped optimizer (checkpoint resume).
+    pub fn optimizer_mut(&mut self) -> &mut Adam {
+        &mut self.optimizer
+    }
+
+    /// Raw state of the data-sampling RNG — snapshot before a step so a
+    /// retry can resample the exact same batches.
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Restores a data-sampling RNG snapshot taken by
+    /// [`Trainer::rng_state`] (step rollback or checkpoint resume).
+    pub fn set_rng_state(&mut self, state: [u64; 4]) {
+        self.rng = StdRng::from_state(state);
+    }
+
+    /// Zeroes every parameter gradient — a rollback discards all
+    /// accumulation from an abandoned step attempt.
+    pub fn zero_grads(&mut self) {
+        for p in self.model.params_mut().iter_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Whether every accumulated gradient element is finite. Scanned by
+    /// the fault-tolerant loop between accumulation and the optimizer
+    /// update, so a NaN/Inf can be rolled back before it poisons the
+    /// weights.
+    pub fn grads_finite(&mut self) -> bool {
+        self.model
+            .params_mut()
+            .iter()
+            .all(|p| p.grad().as_slice().iter().all(|g| g.is_finite()))
+    }
+
     /// Runs one optimizer step (with gradient accumulation over
     /// `batch_size / micro_batch_size` micro-batches) on `train`.
     pub fn train_step(&mut self, train: &TokenDataset) -> TrainLog {
-        let _span = telemetry::span("train.step");
+        let pending = self.accumulate_step(train);
+        self.apply_step(pending)
+    }
+
+    /// Advances the data RNG past one step's batches without training —
+    /// the fault-tolerant loop skips a persistently failing step this
+    /// way, keeping the data stream aligned with an uninterrupted run.
+    pub fn skip_step_data(&mut self, train: &TokenDataset) {
+        let micro_steps = self.cfg.batch_size / self.cfg.micro_batch_size;
+        for _ in 0..micro_steps {
+            let _ = train.sample_batch(self.cfg.micro_batch_size, self.cfg.seq_len, &mut self.rng);
+        }
+    }
+
+    /// The accumulation phase of one step: samples and runs every
+    /// micro-batch, leaving summed gradients on the parameters. Nothing
+    /// is mutated beyond gradients and the data RNG, so the phase can be
+    /// rolled back with [`Trainer::zero_grads`] +
+    /// [`Trainer::set_rng_state`] — which is exactly what the
+    /// fault-tolerant loop does when it catches a worker panic or a
+    /// non-finite loss before calling [`Trainer::apply_step`].
+    pub fn accumulate_step(&mut self, train: &TokenDataset) -> PendingStep {
         let started = Instant::now();
         let micro_steps = self.cfg.batch_size / self.cfg.micro_batch_size;
         let mut ce = 0.0f32;
@@ -173,8 +266,27 @@ impl Trainer {
                     imbalance.max(megablocks_core::load_imbalance(&layer.tokens_per_expert));
             }
         }
-        ce /= micro_steps as f32;
-        lb /= micro_steps as f32;
+        PendingStep {
+            ce_loss: ce / micro_steps as f32,
+            lb_loss: lb / micro_steps as f32,
+            dropped_tokens: dropped,
+            max_load_imbalance: imbalance,
+            started,
+        }
+    }
+
+    /// The update phase of one step: averages the accumulated gradients,
+    /// clips, applies the Adam update and advances the step counter.
+    pub fn apply_step(&mut self, pending: PendingStep) -> TrainLog {
+        let _span = telemetry::span("train.step");
+        let PendingStep {
+            ce_loss: ce,
+            lb_loss: lb,
+            dropped_tokens: dropped,
+            max_load_imbalance: imbalance,
+            started,
+        } = pending;
+        let micro_steps = self.cfg.batch_size / self.cfg.micro_batch_size;
 
         // Average accumulated gradients over micro-steps, clip, update.
         let scale = 1.0 / micro_steps as f32;

@@ -22,6 +22,9 @@
 //! * [`telemetry`] — span timers, counters, histograms and JSONL export
 //!   for observing training runs (no-ops unless the `telemetry` feature is
 //!   enabled).
+//! * [`resilience`] — fault injection (behind the `chaos` feature) and the
+//!   fault-tolerance primitives (CRC32, atomic writes, retry/backoff) the
+//!   checkpoint v2 format and [`transformer::ResilientTrainer`] build on.
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@ pub use megablocks_core as core;
 pub use megablocks_data as data;
 pub use megablocks_exec as exec;
 pub use megablocks_gpusim as gpusim;
+pub use megablocks_resilience as resilience;
 pub use megablocks_sparse as sparse;
 pub use megablocks_telemetry as telemetry;
 pub use megablocks_tensor as tensor;

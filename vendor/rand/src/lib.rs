@@ -190,6 +190,28 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The generator's raw internal state, for checkpointing.
+        ///
+        /// Not part of upstream `rand`'s API: the MegaBlocks-RS
+        /// checkpoint format persists the data-sampling RNG so a resumed
+        /// run replays the exact batch sequence of an uninterrupted one.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`StdRng::state`].
+        ///
+        /// An all-zero state (a fixed point of xoshiro) is reseeded the
+        /// same way [`SeedableRng::from_seed`] handles it.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s.iter().all(|&w| w == 0) {
+                return <Self as SeedableRng>::seed_from_u64(0);
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
