@@ -15,8 +15,10 @@
 //!    panic payloads instead of minting new ones.
 //! 3. **`try_*` twins** — every panicking public sparse op in
 //!    `crates/sparse/src/ops.rs` must have a fallible `try_*` twin.
-//! 4. **Telemetry API parity** — `telemetry/src/enabled.rs` and
-//!    `disabled.rs` must expose identical public items, so flipping the
+//! 4. **Telemetry API parity** — each feature-gated implementation pair
+//!    in [`TELEMETRY_PAIRS`] (`enabled.rs`/`disabled.rs` for the metric
+//!    registry, `trace_enabled.rs`/`trace_disabled.rs` for the timeline
+//!    recorder) must expose identical public items, so flipping the
 //!    feature can never change what compiles.
 //! 5. **No raw parallelism** — spawning threads directly
 //!    (`std::thread::spawn` / `thread::scope` / `thread::Builder` /
@@ -56,11 +58,18 @@ pub const HOT_PATHS: &[&str] = &[
 /// The file that must provide a `try_*` twin for every public sparse op.
 pub const SPARSE_OPS: &str = "crates/sparse/src/ops.rs";
 
-/// The feature-gated telemetry implementation pair that must agree.
-pub const TELEMETRY_PAIR: (&str, &str) = (
-    "crates/telemetry/src/enabled.rs",
-    "crates/telemetry/src/disabled.rs",
-);
+/// The feature-gated telemetry implementation pairs that must agree
+/// (enabled variant first, its no-op twin second).
+pub const TELEMETRY_PAIRS: &[(&str, &str)] = &[
+    (
+        "crates/telemetry/src/enabled.rs",
+        "crates/telemetry/src/disabled.rs",
+    ),
+    (
+        "crates/telemetry/src/trace_enabled.rs",
+        "crates/telemetry/src/trace_disabled.rs",
+    ),
+];
 
 /// The one directory allowed to use raw thread primitives: the execution
 /// runtime owns every spawn in the workspace (workspace-relative prefix).
@@ -140,10 +149,13 @@ pub fn run_all_lints(root: &Path) -> io::Result<Vec<Finding>> {
     let ops_src = fs::read_to_string(root.join(SPARSE_OPS))?;
     findings.extend(check_try_twins(SPARSE_OPS, &ops_src));
 
-    // Rule 4: telemetry enabled/disabled API parity.
-    let enabled = fs::read_to_string(root.join(TELEMETRY_PAIR.0))?;
-    let disabled = fs::read_to_string(root.join(TELEMETRY_PAIR.1))?;
-    findings.extend(check_telemetry_parity(&enabled, &disabled));
+    // Rule 4: telemetry enabled/disabled API parity, for every
+    // feature-gated implementation pair.
+    for pair in TELEMETRY_PAIRS {
+        let enabled = fs::read_to_string(root.join(pair.0))?;
+        let disabled = fs::read_to_string(root.join(pair.1))?;
+        findings.extend(check_telemetry_parity(*pair, &enabled, &disabled));
+    }
 
     // Rule 5: raw thread primitives only inside the execution runtime.
     // Tests and benches are exempt (determinism/stress suites drive the
@@ -398,20 +410,25 @@ pub fn check_try_twins(file: &str, src: &str) -> Vec<Finding> {
     findings
 }
 
-/// Rule 4: the enabled and disabled telemetry implementations must expose
-/// the same public items with the same signatures.
-pub fn check_telemetry_parity(enabled_src: &str, disabled_src: &str) -> Vec<Finding> {
+/// Rule 4: the enabled and disabled implementations of a feature-gated
+/// pair (`pair` names the two files, enabled first) must expose the same
+/// public items with the same signatures.
+pub fn check_telemetry_parity(
+    pair: (&str, &str),
+    enabled_src: &str,
+    disabled_src: &str,
+) -> Vec<Finding> {
     let enabled = public_items(enabled_src);
     let disabled = public_items(disabled_src);
     let mut findings = Vec::new();
     for item in &enabled {
         if !disabled.contains(item) {
-            findings.push(parity_finding(TELEMETRY_PAIR.1, item, "missing or differs"));
+            findings.push(parity_finding(pair.1, item, "missing or differs"));
         }
     }
     for item in &disabled {
         if !enabled.contains(item) {
-            findings.push(parity_finding(TELEMETRY_PAIR.0, item, "missing or differs"));
+            findings.push(parity_finding(pair.0, item, "missing or differs"));
         }
     }
     findings
@@ -775,7 +792,7 @@ mod tests {
     fn parity_lint_accepts_identical_apis() {
         let enabled = "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, n: u64) { let _ = n; }\n}\npub fn counter(name: &'static str) -> Counter { Counter }\n";
         let disabled = "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, _n: u64) {}\n}\npub fn counter(_name: &'static str) -> Counter { Counter }\n";
-        assert!(check_telemetry_parity(enabled, disabled).is_empty());
+        assert!(check_telemetry_parity(("e.rs", "d.rs"), enabled, disabled).is_empty());
     }
 
     #[test]
@@ -783,7 +800,7 @@ mod tests {
         let enabled = "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, n: u64) { let _ = n; }\n    pub fn get(&self) -> u64 { 0 }\n}\n";
         let disabled =
             "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, _n: u64) {}\n}\n";
-        let f = check_telemetry_parity(enabled, disabled);
+        let f = check_telemetry_parity(("e.rs", "d.rs"), enabled, disabled);
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("Counter::pub fn get"));
     }
@@ -792,7 +809,7 @@ mod tests {
     fn parity_lint_flags_signature_drift() {
         let enabled = "pub fn gauge(name: &'static str) -> Gauge { Gauge }\n";
         let disabled = "pub fn gauge(name: &str) -> Gauge { Gauge }\n";
-        let f = check_telemetry_parity(enabled, disabled);
+        let f = check_telemetry_parity(("e.rs", "d.rs"), enabled, disabled);
         assert_eq!(f.len(), 2); // each side reports the other's variant missing
     }
 

@@ -2,161 +2,27 @@
 //!
 //! Measures the end-to-end latency of identical banded kernels executed
 //! through [`megablocks_exec::LaunchPlan::launch`] (the pooled runtime)
-//! and [`LaunchPlan::launch_spawn_per_op`] (the old scoped-thread
+//! and `LaunchPlan::launch_spawn_per_op` (the old scoped-thread
 //! launcher, kept inside `crates/exec` as the ablation baseline). The
 //! band bodies run the SDD inner loop over real MoE topologies, so the
 //! small-topology scenarios are launch-overhead-bound — exactly where
 //! spawn-per-op pays `threads` fresh OS thread spawns per kernel call.
+//! The measurement core lives in `megablocks_bench::exec_bench`, shared
+//! with the `megablocks-bench gate` regression check.
 //!
 //! ```text
 //! cargo run --release -p megablocks-bench --bin bench_exec [> BENCH_exec.json]
 //! ```
 //!
-//! Emits one JSON document with per-scenario p50 latencies and the
-//! pooled speedup.
+//! Emits one JSON document with per-scenario p50 latencies, the pooled
+//! speedup, and a `meta` provenance block (threads, git rev, recording
+//! time) the gate uses to refuse apples-to-oranges comparisons.
 
-use std::time::Instant;
-
-use megablocks_exec::LaunchPlan;
-use megablocks_sparse::{BlockSize, Topology};
-use megablocks_tensor::Matrix;
-
-/// One benchmark scenario: a dMoE first-layer SDD over an MoE topology.
-struct Scenario {
-    name: &'static str,
-    /// Padded tokens per expert.
-    tokens: Vec<usize>,
-    ffn: usize,
-    block_size: usize,
-    hidden: usize,
-    iters: usize,
-}
-
-fn scenarios() -> Vec<Scenario> {
-    vec![
-        Scenario {
-            name: "tiny_moe_sdd",
-            tokens: vec![16, 8, 8, 16],
-            ffn: 32,
-            block_size: 8,
-            hidden: 16,
-            iters: 2000,
-        },
-        Scenario {
-            name: "small_moe_sdd",
-            tokens: vec![64, 32, 96, 64],
-            ffn: 64,
-            block_size: 16,
-            hidden: 32,
-            iters: 800,
-        },
-        Scenario {
-            name: "large_moe_sdd",
-            tokens: vec![512, 256, 768, 512],
-            ffn: 256,
-            block_size: 64,
-            hidden: 128,
-            iters: 40,
-        },
-    ]
-}
-
-/// Median of a sorted latency sample, in nanoseconds.
-fn p50(samples: &mut [u128]) -> u128 {
-    samples.sort_unstable();
-    samples[samples.len() / 2]
-}
-
-/// Runs the scenario's SDD band body through `launch` or
-/// `launch_spawn_per_op` and returns per-iteration latencies.
-fn run(s: &Scenario, bands: usize, spawn_per_op: bool) -> Vec<u128> {
-    let bs = BlockSize::new(s.block_size).expect("nonzero block size");
-    let topo = Topology::for_moe(&s.tokens, s.ffn, bs).expect("block-aligned counts");
-    let (rows, _) = topo.shape();
-    let a = Matrix::from_fn(rows, s.hidden, |i, j| ((i * 31 + j * 7) as f32).sin());
-    let b = Matrix::from_fn(s.hidden, topo.shape().1, |i, j| {
-        ((i * 13 + j * 5) as f32).cos()
-    });
-    let bsz = s.block_size;
-    let area = bsz * bsz;
-    let nnz_blocks = topo.nnz_blocks();
-    let mut out = vec![0.0f32; topo.nnz()];
-    let blocks_per_band = nnz_blocks.div_ceil(bands);
-
-    // The SDD inner loop, restated over the plan's (band, first-block)
-    // coordinates — same traversal the production kernel performs.
-    let body = |band: &mut [f32], first_block: usize| {
-        for (off, block) in band.chunks_mut(area).enumerate() {
-            let coord = topo.coord(first_block + off);
-            let row0 = coord.row * bsz;
-            let col0 = coord.col * bsz;
-            for bi in 0..bsz {
-                for bj in 0..bsz {
-                    let mut acc = 0.0f32;
-                    for k in 0..s.hidden {
-                        acc += a[(row0 + bi, k)] * b[(k, col0 + bj)];
-                    }
-                    block[bi * bsz + bj] = acc;
-                }
-            }
-        }
-    };
-
-    let mut samples = Vec::with_capacity(s.iters);
-    for _ in 0..s.iters {
-        let start = Instant::now();
-        let plan = LaunchPlan::over_items("bench.sdd", &mut out, area, blocks_per_band, &body);
-        if spawn_per_op {
-            plan.launch_spawn_per_op();
-        } else {
-            plan.launch();
-        }
-        samples.push(start.elapsed().as_nanos());
-    }
-    assert!(out.iter().any(|&v| v != 0.0), "kernel produced no output");
-    samples
-}
+use megablocks_bench::exec_bench::{measure_all, render_bench_json, BenchMeta};
 
 fn main() {
-    // Launch overhead only exists for multi-band plans: on boxes with
-    // too few CPUs, pin a 4-way pool so both paths actually fan out
-    // (spawn-per-op pays 3 OS thread spawns per launch, pooled pays a
-    // queue push). An explicit MEGABLOCKS_THREADS still wins.
-    let detected = std::thread::available_parallelism().map_or(1, |p| p.get());
-    if std::env::var("MEGABLOCKS_THREADS").is_err() && detected < 4 {
-        megablocks_exec::configure_threads(4);
-    }
-    let bands = megablocks_exec::parallelism();
-    // Warm the pool so the first timed launch does not pay worker spawns.
-    let mut warm = vec![0.0f32; 4096];
-    LaunchPlan::over_items(
-        "bench.warmup",
-        &mut warm,
-        1,
-        4096 / bands.max(1),
-        &|b: &mut [f32], _| b.fill(1.0),
-    )
-    .launch();
-
-    let mut entries = Vec::new();
-    for s in scenarios() {
-        let mut pooled = run(&s, bands, false);
-        let mut spawned = run(&s, bands, true);
-        let (p, sp) = (p50(&mut pooled), p50(&mut spawned));
-        let speedup = sp as f64 / p as f64;
-        eprintln!(
-            "{:<16} bands={bands} pooled p50 {:>10} ns   spawn-per-op p50 {:>10} ns   speedup {speedup:.2}x",
-            s.name, p, sp
-        );
-        entries.push(format!(
-            "    {{\"scenario\": \"{}\", \"bands\": {bands}, \"iters\": {}, \
-             \"pooled_ns_p50\": {p}, \"spawn_per_op_ns_p50\": {sp}, \
-             \"pooled_speedup\": {speedup:.4}}}",
-            s.name, s.iters
-        ));
-    }
-    println!(
-        "{{\n  \"bench\": \"exec_launch_overhead\",\n  \"threads\": {bands},\n  \"results\": [\n{}\n  ]\n}}",
-        entries.join(",\n")
-    );
+    let rows = measure_all(1.0);
+    let threads = rows.first().map_or(0, |m| m.bands);
+    let meta = BenchMeta::collect(threads);
+    print!("{}", render_bench_json(&meta, &rows));
 }

@@ -1,0 +1,90 @@
+//! Tracing-overhead microbenchmark: timeline recording on vs off.
+//!
+//! Runs the small dMoE forward+backward bench with the trace recorder's
+//! *runtime* switch toggled (the compile-time feature stays on for both
+//! sides, so both pay scalar-telemetry costs and the delta isolates the
+//! per-event ring-buffer pushes). The acceptance budget is < 5%
+//! overhead; the result is committed as `BENCH_trace.json` and the perf
+//! gate re-validates it.
+//!
+//! ```text
+//! cargo run --release -p megablocks-bench --bin bench_trace --features telemetry
+//! ```
+
+use std::time::Instant;
+
+use megablocks_bench::exec_bench::BenchMeta;
+use megablocks_core::{DroplessMoe, MoeConfig};
+use megablocks_telemetry as telemetry;
+use megablocks_tensor::init::{normal, seeded_rng};
+use megablocks_tensor::Matrix;
+
+fn p50(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// One timed pass: forward + backward over the small MoE layer.
+fn measure(layer: &mut DroplessMoe, x: &Matrix, d_out: &Matrix, iters: usize) -> u128 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let out = layer.forward(x);
+        let dx = layer.backward(&out.cache, d_out);
+        samples.push(start.elapsed().as_nanos());
+        assert!(dx.as_slice().iter().all(|v| v.is_finite()));
+    }
+    p50(&mut samples)
+}
+
+fn main() {
+    if !telemetry::is_enabled() {
+        eprintln!("bench_trace: build with --features telemetry to measure tracing overhead");
+        std::process::exit(2);
+    }
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_trace.json".to_string());
+
+    // The "small MoE bench": 128 tokens, 8 experts, hidden 32, FFN 64.
+    let cfg = MoeConfig::new(32, 64, 8).with_block_size(8);
+    let mut rng = seeded_rng(17);
+    let mut layer = DroplessMoe::new(cfg, &mut rng);
+    let x = normal(128, 32, 1.0, &mut rng);
+    let d_out = Matrix::from_fn(128, 32, |_, _| 0.01);
+
+    let warmup = 20;
+    let iters = 300;
+    telemetry::trace_set_enabled(false);
+    measure(&mut layer, &x, &d_out, warmup);
+    let off_ns = measure(&mut layer, &x, &d_out, iters);
+
+    telemetry::trace_set_enabled(true);
+    telemetry::trace_reset();
+    measure(&mut layer, &x, &d_out, warmup);
+    let on_ns = measure(&mut layer, &x, &d_out, iters);
+    let events = telemetry::trace_snapshot().events.len();
+    telemetry::trace_set_enabled(false);
+
+    let overhead_pct = (on_ns as f64 - off_ns as f64) / off_ns as f64 * 100.0;
+    eprintln!(
+        "trace off p50 {off_ns} ns   trace on p50 {on_ns} ns   overhead {overhead_pct:.2}% \
+         ({events} events captured)"
+    );
+    let meta = BenchMeta::collect(megablocks_exec::parallelism());
+    let doc = format!(
+        "{{\n  \"bench\": \"trace_overhead\",\n  \
+         \"meta\": {{\"threads\": {}, \"git_rev\": \"{}\", \"recorded_unix\": {}}},\n  \
+         \"iters\": {iters},\n  \"trace_off_ns_p50\": {off_ns},\n  \
+         \"trace_on_ns_p50\": {on_ns},\n  \"overhead_pct\": {overhead_pct:.4},\n  \
+         \"events_captured\": {events}\n}}\n",
+        meta.threads, meta.git_rev, meta.recorded_unix
+    );
+    std::fs::write(&out_path, &doc).expect("write BENCH_trace.json");
+    print!("{doc}");
+    eprintln!("bench_trace: wrote {out_path}");
+    if overhead_pct >= 5.0 {
+        eprintln!("bench_trace: overhead exceeds the 5% budget");
+        std::process::exit(1);
+    }
+}

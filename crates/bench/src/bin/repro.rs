@@ -37,6 +37,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let cmd = args.first().map(String::as_str).unwrap_or("help");
+    // With the `telemetry` feature on, every sink flushes when this
+    // guard drops — including during a panic unwind, so an aborted run
+    // still leaves its metrics, timeline trace and health report on
+    // disk. Plain `is_enabled()` checks inside the guard make this a
+    // no-op otherwise.
+    let _flush = telemetry::FlushOnDrop::new()
+        .jsonl(format!("results/telemetry_{cmd}.jsonl"))
+        .trace(format!("results/trace_{cmd}.json"))
+        .with_summary(true);
+    let _health = HealthExport(format!("results/health_{cmd}.json"));
     match cmd {
         "table1" => table1(),
         "table2" => table2(),
@@ -71,17 +81,18 @@ fn main() {
             std::process::exit(2);
         }
     }
+}
 
-    // With the `telemetry` feature on, dump everything the run recorded:
-    // kernel span timings, per-expert token histograms, padding overhead,
-    // per-step training events.
-    if telemetry::is_enabled() {
-        let path = format!("results/telemetry_{cmd}.jsonl");
-        match telemetry::export_jsonl(&path) {
-            Ok(()) => println!("telemetry: wrote {path}"),
-            Err(e) => eprintln!("telemetry: failed to write {path}: {e}"),
+/// Writes `results/health_<cmd>.json` on drop (panic-safe, like
+/// [`telemetry::FlushOnDrop`]); a no-op when telemetry is off or the
+/// run recorded no MoE steps.
+struct HealthExport(String);
+
+impl Drop for HealthExport {
+    fn drop(&mut self) {
+        if let Err(e) = megablocks_core::health::export_health_json(&self.0) {
+            eprintln!("telemetry: failed to write {}: {e}", self.0);
         }
-        telemetry::print_summary();
     }
 }
 

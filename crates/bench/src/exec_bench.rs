@@ -1,0 +1,264 @@
+//! The exec launch-overhead benchmark core, shared between the
+//! `bench_exec` binary (which prints `BENCH_exec.json`) and the
+//! `megablocks-bench gate` subcommand (which re-runs the same
+//! measurement and compares it against the committed baseline).
+//!
+//! Scenarios run the SDD inner loop over real MoE topologies through
+//! [`LaunchPlan::launch`] (pooled) and
+//! [`LaunchPlan::launch_spawn_per_op`] (the scoped-thread ablation
+//! baseline); the reported figure of merit is the *pooled speedup* —
+//! spawn-per-op p50 over pooled p50 — which is dimensionless and
+//! therefore comparable across machines of similar shape, unlike raw
+//! nanoseconds.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use megablocks_exec::LaunchPlan;
+use megablocks_sparse::{BlockSize, Topology};
+use megablocks_tensor::Matrix;
+
+/// One benchmark scenario: a dMoE first-layer SDD over an MoE topology.
+pub struct Scenario {
+    /// Stable scenario name (the gate joins baseline and fresh runs on it).
+    pub name: &'static str,
+    /// Padded tokens per expert.
+    pub tokens: Vec<usize>,
+    /// FFN width.
+    pub ffn: usize,
+    /// Sparse block size.
+    pub block_size: usize,
+    /// Hidden width (the GEMM reduction depth).
+    pub hidden: usize,
+    /// Timed iterations at scale 1.0.
+    pub iters: usize,
+}
+
+/// The fixed scenario set (`tiny`/`small` are launch-overhead-bound,
+/// `large` is compute-bound).
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "tiny_moe_sdd",
+            tokens: vec![16, 8, 8, 16],
+            ffn: 32,
+            block_size: 8,
+            hidden: 16,
+            iters: 2000,
+        },
+        Scenario {
+            name: "small_moe_sdd",
+            tokens: vec![64, 32, 96, 64],
+            ffn: 64,
+            block_size: 16,
+            hidden: 32,
+            iters: 800,
+        },
+        Scenario {
+            name: "large_moe_sdd",
+            tokens: vec![512, 256, 768, 512],
+            ffn: 256,
+            block_size: 64,
+            hidden: 128,
+            iters: 40,
+        },
+    ]
+}
+
+/// Median of a latency sample, in nanoseconds.
+pub fn p50(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Runs the scenario's SDD band body through `launch` or
+/// `launch_spawn_per_op` and returns per-iteration latencies.
+/// `iter_scale` shrinks the iteration count for smoke runs (at least 5
+/// iterations always run).
+pub fn run_scenario(s: &Scenario, bands: usize, spawn_per_op: bool, iter_scale: f64) -> Vec<u128> {
+    let bs = BlockSize::new(s.block_size).expect("nonzero block size");
+    let topo = Topology::for_moe(&s.tokens, s.ffn, bs).expect("block-aligned counts");
+    let (rows, _) = topo.shape();
+    let a = Matrix::from_fn(rows, s.hidden, |i, j| ((i * 31 + j * 7) as f32).sin());
+    let b = Matrix::from_fn(s.hidden, topo.shape().1, |i, j| {
+        ((i * 13 + j * 5) as f32).cos()
+    });
+    let bsz = s.block_size;
+    let area = bsz * bsz;
+    let nnz_blocks = topo.nnz_blocks();
+    let mut out = vec![0.0f32; topo.nnz()];
+    let blocks_per_band = nnz_blocks.div_ceil(bands);
+
+    // The SDD inner loop, restated over the plan's (band, first-block)
+    // coordinates — same traversal the production kernel performs.
+    let body = |band: &mut [f32], first_block: usize| {
+        for (off, block) in band.chunks_mut(area).enumerate() {
+            let coord = topo.coord(first_block + off);
+            let row0 = coord.row * bsz;
+            let col0 = coord.col * bsz;
+            for bi in 0..bsz {
+                for bj in 0..bsz {
+                    let mut acc = 0.0f32;
+                    for k in 0..s.hidden {
+                        acc += a[(row0 + bi, k)] * b[(k, col0 + bj)];
+                    }
+                    block[bi * bsz + bj] = acc;
+                }
+            }
+        }
+    };
+
+    let iters = ((s.iters as f64 * iter_scale) as usize).max(5);
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        let plan = LaunchPlan::over_items("bench.sdd", &mut out, area, blocks_per_band, &body);
+        if spawn_per_op {
+            plan.launch_spawn_per_op();
+        } else {
+            plan.launch();
+        }
+        samples.push(start.elapsed().as_nanos());
+    }
+    assert!(out.iter().any(|&v| v != 0.0), "kernel produced no output");
+    samples
+}
+
+/// Pins a 4-way pool when the box has fewer CPUs (launch overhead only
+/// exists for multi-band plans; an explicit `MEGABLOCKS_THREADS` still
+/// wins), warms the pool, and returns the band count.
+pub fn ensure_pool() -> usize {
+    let detected = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if std::env::var("MEGABLOCKS_THREADS").is_err() && detected < 4 {
+        megablocks_exec::configure_threads(4);
+    }
+    let bands = megablocks_exec::parallelism();
+    // Warm the pool so the first timed launch does not pay worker spawns.
+    let mut warm = vec![0.0f32; 4096];
+    LaunchPlan::over_items(
+        "bench.warmup",
+        &mut warm,
+        1,
+        4096 / bands.max(1),
+        &|b: &mut [f32], _| b.fill(1.0),
+    )
+    .launch();
+    bands
+}
+
+/// One scenario's measured result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecMeasurement {
+    /// Scenario name.
+    pub scenario: String,
+    /// Bands per launch (the pool's parallelism target).
+    pub bands: usize,
+    /// Timed iterations actually run.
+    pub iters: usize,
+    /// Pooled-launch p50 latency (ns).
+    pub pooled_ns_p50: u128,
+    /// Spawn-per-op p50 latency (ns).
+    pub spawn_per_op_ns_p50: u128,
+}
+
+impl ExecMeasurement {
+    /// Spawn-per-op p50 over pooled p50 (>1 means the pool wins).
+    pub fn pooled_speedup(&self) -> f64 {
+        self.spawn_per_op_ns_p50 as f64 / self.pooled_ns_p50.max(1) as f64
+    }
+}
+
+/// Runs every scenario at `iter_scale`, printing progress to stderr.
+pub fn measure_all(iter_scale: f64) -> Vec<ExecMeasurement> {
+    let bands = ensure_pool();
+    scenarios()
+        .iter()
+        .map(|s| {
+            let mut pooled = run_scenario(s, bands, false, iter_scale);
+            let mut spawned = run_scenario(s, bands, true, iter_scale);
+            let m = ExecMeasurement {
+                scenario: s.name.to_string(),
+                bands,
+                iters: pooled.len(),
+                pooled_ns_p50: p50(&mut pooled),
+                spawn_per_op_ns_p50: p50(&mut spawned),
+            };
+            eprintln!(
+                "{:<16} bands={bands} pooled p50 {:>10} ns   spawn-per-op p50 {:>10} ns   speedup {:.2}x",
+                m.scenario,
+                m.pooled_ns_p50,
+                m.spawn_per_op_ns_p50,
+                m.pooled_speedup()
+            );
+            m
+        })
+        .collect()
+}
+
+/// Provenance stamped into `BENCH_exec.json` so the regression gate can
+/// refuse apples-to-oranges comparisons (different thread counts) and
+/// stale baselines can be traced to a commit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchMeta {
+    /// Pool parallelism the numbers were recorded with.
+    pub threads: usize,
+    /// `git rev-parse --short HEAD` at recording time (`unknown` when
+    /// not in a git checkout).
+    pub git_rev: String,
+    /// Wall-clock recording time (seconds since the Unix epoch).
+    pub recorded_unix: u64,
+}
+
+impl BenchMeta {
+    /// Collects provenance for a run at `threads` parallelism.
+    pub fn collect(threads: usize) -> Self {
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        let recorded_unix = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        BenchMeta {
+            threads,
+            git_rev,
+            recorded_unix,
+        }
+    }
+}
+
+/// Renders the `BENCH_exec.json` document: top-level `threads` (kept
+/// from the original format), a `meta` provenance block, and one result
+/// object per scenario.
+pub fn render_bench_json(meta: &BenchMeta, rows: &[ExecMeasurement]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"scenario\": \"{}\", \"bands\": {}, \"iters\": {}, \
+                 \"pooled_ns_p50\": {}, \"spawn_per_op_ns_p50\": {}, \
+                 \"pooled_speedup\": {:.4}}}",
+                m.scenario,
+                m.bands,
+                m.iters,
+                m.pooled_ns_p50,
+                m.spawn_per_op_ns_p50,
+                m.pooled_speedup()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"exec_launch_overhead\",\n  \"threads\": {},\n  \
+         \"meta\": {{\"threads\": {}, \"git_rev\": \"{}\", \"recorded_unix\": {}}},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        meta.threads,
+        meta.threads,
+        meta.git_rev,
+        meta.recorded_unix,
+        entries.join(",\n")
+    )
+}

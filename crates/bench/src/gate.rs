@@ -1,0 +1,350 @@
+//! The perf-regression gate: `cargo run -p megablocks-bench -- gate`.
+//!
+//! Re-runs the exec launch-overhead benchmark and compares it against
+//! the committed `BENCH_exec.json` baseline. The comparison is on the
+//! *pooled speedup* ratio (dimensionless — robust to the absolute speed
+//! of the machine) with a configurable relative tolerance; a fresh
+//! speedup falling below `baseline * (1 - tolerance)` is a regression
+//! and the gate exits nonzero, so CI fails before a slow launch path
+//! lands. Runs recorded at a different pool parallelism are *refused*
+//! (distinct exit code) rather than compared — thread count changes the
+//! quantity being measured, not just its noise.
+//!
+//! When a committed `BENCH_trace.json` exists, the gate also checks the
+//! recorded tracing-on overhead stays under its budget.
+//!
+//! Exit codes: 0 pass · 1 regression · 2 usage/configuration error ·
+//! 3 metadata mismatch (comparison refused).
+
+use std::path::{Path, PathBuf};
+
+use megablocks_telemetry::json::Json;
+
+use crate::exec_bench::{measure_all, ExecMeasurement};
+
+/// Gate configuration (CLI flags of the `gate` subcommand).
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Committed baseline to compare against.
+    pub baseline: PathBuf,
+    /// Committed trace-overhead benchmark to validate (skipped when the
+    /// file does not exist).
+    pub trace_baseline: PathBuf,
+    /// Relative speedup tolerance: fresh speedup must be at least
+    /// `baseline * (1 - tolerance)`.
+    pub tolerance: f64,
+    /// Iteration scale for the fresh run (1.0 = full, CI uses less).
+    pub iter_scale: f64,
+    /// Synthetic slowdown factor applied to fresh pooled latencies
+    /// (testing hook: `--inflate 2` must make the gate fail).
+    pub inflate: f64,
+    /// Maximum tracing-on overhead (percent) accepted from
+    /// `BENCH_trace.json`.
+    pub max_trace_overhead_pct: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            baseline: PathBuf::from("BENCH_exec.json"),
+            trace_baseline: PathBuf::from("BENCH_trace.json"),
+            tolerance: 0.25,
+            iter_scale: 1.0,
+            inflate: 1.0,
+            max_trace_overhead_pct: 5.0,
+        }
+    }
+}
+
+/// One scenario row parsed from a committed baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Recorded pooled speedup.
+    pub pooled_speedup: f64,
+}
+
+/// A parsed `BENCH_exec.json` baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Pool parallelism the baseline was recorded with.
+    pub threads: usize,
+    /// Recording commit (`unknown` for pre-provenance baselines).
+    pub git_rev: String,
+    /// Per-scenario rows.
+    pub rows: Vec<BaselineRow>,
+}
+
+/// Parses a `BENCH_exec.json` document (with or without the `meta`
+/// provenance block — older baselines only carry top-level `threads`).
+pub fn parse_baseline(src: &str) -> Result<Baseline, String> {
+    let doc = Json::parse(src)?;
+    let threads = doc
+        .get("meta")
+        .and_then(|m| m.get("threads"))
+        .or_else(|| doc.get("threads"))
+        .and_then(Json::as_u64)
+        .ok_or("baseline missing threads")? as usize;
+    let git_rev = doc
+        .get("meta")
+        .and_then(|m| m.get("git_rev"))
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("baseline missing results array")?;
+    let mut rows = Vec::with_capacity(results.len());
+    for (i, row) in results.iter().enumerate() {
+        rows.push(BaselineRow {
+            scenario: row
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("result {i}: missing scenario"))?
+                .to_string(),
+            pooled_speedup: row
+                .get("pooled_speedup")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("result {i}: missing pooled_speedup"))?,
+        });
+    }
+    if rows.is_empty() {
+        return Err("baseline has no results".to_string());
+    }
+    Ok(Baseline {
+        threads,
+        git_rev,
+        rows,
+    })
+}
+
+/// Outcome of comparing a fresh run against a baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateOutcome {
+    /// Human-readable pass notes, one per checked scenario.
+    pub passes: Vec<String>,
+    /// Regressions found (empty means the gate passes).
+    pub failures: Vec<String>,
+}
+
+/// Compares fresh measurements against the baseline rows. Pure logic,
+/// separated from I/O so tests can drive it with synthetic numbers.
+pub fn compare(baseline: &Baseline, fresh: &[ExecMeasurement], tolerance: f64) -> GateOutcome {
+    let mut outcome = GateOutcome::default();
+    for base in &baseline.rows {
+        let Some(m) = fresh.iter().find(|m| m.scenario == base.scenario) else {
+            outcome
+                .failures
+                .push(format!("{}: missing from fresh run", base.scenario));
+            continue;
+        };
+        let floor = base.pooled_speedup * (1.0 - tolerance);
+        let speedup = m.pooled_speedup();
+        if speedup < floor {
+            outcome.failures.push(format!(
+                "{}: pooled speedup {speedup:.3}x below floor {floor:.3}x \
+                 (baseline {:.3}x, tolerance {:.0}%)",
+                base.scenario,
+                base.pooled_speedup,
+                tolerance * 100.0
+            ));
+        } else {
+            outcome.passes.push(format!(
+                "{}: pooled speedup {speedup:.3}x >= floor {floor:.3}x (baseline {:.3}x)",
+                base.scenario, base.pooled_speedup
+            ));
+        }
+    }
+    outcome
+}
+
+/// Validates the committed `BENCH_trace.json` overhead figure, if the
+/// file exists. `Ok(None)` when absent.
+pub fn check_trace_overhead(path: &Path, max_pct: f64) -> Result<Option<String>, String> {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(_) => return Ok(None),
+    };
+    let doc = Json::parse(&src).map_err(|e| format!("{}: {e}", path.display()))?;
+    let pct = doc
+        .get("overhead_pct")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{}: missing overhead_pct", path.display()))?;
+    if pct > max_pct {
+        Err(format!(
+            "{}: tracing overhead {pct:.2}% exceeds the {max_pct:.1}% budget",
+            path.display()
+        ))
+    } else {
+        Ok(Some(format!(
+            "trace overhead {pct:.2}% within the {max_pct:.1}% budget"
+        )))
+    }
+}
+
+/// Runs the gate end to end: parse baseline, fresh measurement,
+/// comparison, trace-overhead check. Returns the process exit code.
+pub fn run_gate(cfg: &GateConfig) -> i32 {
+    let src = match std::fs::read_to_string(&cfg.baseline) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gate: cannot read {}: {e}", cfg.baseline.display());
+            return 2;
+        }
+    };
+    let baseline = match parse_baseline(&src) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("gate: cannot parse {}: {e}", cfg.baseline.display());
+            return 2;
+        }
+    };
+    println!(
+        "gate: baseline {} (threads {}, rev {})",
+        cfg.baseline.display(),
+        baseline.threads,
+        baseline.git_rev
+    );
+
+    let mut fresh = measure_all(cfg.iter_scale);
+    let threads = fresh.first().map_or(0, |m| m.bands);
+    if threads != baseline.threads {
+        eprintln!(
+            "gate: REFUSED — baseline recorded at {} threads, this run uses {threads}; \
+             re-record the baseline or set MEGABLOCKS_THREADS={}",
+            baseline.threads, baseline.threads
+        );
+        return 3;
+    }
+    if cfg.inflate > 1.0 {
+        println!(
+            "gate: applying synthetic x{:.2} slowdown to pooled latencies",
+            cfg.inflate
+        );
+        for m in &mut fresh {
+            m.pooled_ns_p50 = (m.pooled_ns_p50 as f64 * cfg.inflate) as u128;
+        }
+    }
+
+    let outcome = compare(&baseline, &fresh, cfg.tolerance);
+    for line in &outcome.passes {
+        println!("gate: PASS {line}");
+    }
+    for line in &outcome.failures {
+        println!("gate: FAIL {line}");
+    }
+    match check_trace_overhead(&cfg.trace_baseline, cfg.max_trace_overhead_pct) {
+        Ok(Some(note)) => println!("gate: PASS {note}"),
+        Ok(None) => {}
+        Err(e) => {
+            println!("gate: FAIL {e}");
+            return 1;
+        }
+    }
+    if outcome.failures.is_empty() {
+        println!(
+            "gate: OK ({} scenarios within tolerance)",
+            outcome.passes.len()
+        );
+        0
+    } else {
+        println!("gate: {} regression(s) found", outcome.failures.len());
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meas(name: &str, pooled: u128, spawned: u128) -> ExecMeasurement {
+        ExecMeasurement {
+            scenario: name.to_string(),
+            bands: 4,
+            iters: 100,
+            pooled_ns_p50: pooled,
+            spawn_per_op_ns_p50: spawned,
+        }
+    }
+
+    fn baseline() -> Baseline {
+        Baseline {
+            threads: 4,
+            git_rev: "abc1234".to_string(),
+            rows: vec![
+                BaselineRow {
+                    scenario: "tiny_moe_sdd".to_string(),
+                    pooled_speedup: 1.5,
+                },
+                BaselineRow {
+                    scenario: "large_moe_sdd".to_string(),
+                    pooled_speedup: 1.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn matching_run_passes() {
+        let fresh = vec![
+            meas("tiny_moe_sdd", 100, 150),
+            meas("large_moe_sdd", 100, 101),
+        ];
+        let out = compare(&baseline(), &fresh, 0.25);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert_eq!(out.passes.len(), 2);
+    }
+
+    #[test]
+    fn slowed_run_regresses() {
+        // tiny collapses to 1.0x against a 1.5x baseline: below the
+        // 25%-tolerance floor of 1.125x.
+        let fresh = vec![
+            meas("tiny_moe_sdd", 150, 150),
+            meas("large_moe_sdd", 100, 101),
+        ];
+        let out = compare(&baseline(), &fresh, 0.25);
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.failures[0].contains("tiny_moe_sdd"));
+    }
+
+    #[test]
+    fn missing_scenario_regresses() {
+        let fresh = vec![meas("tiny_moe_sdd", 100, 150)];
+        let out = compare(&baseline(), &fresh, 0.25);
+        assert!(out.failures.iter().any(|f| f.contains("large_moe_sdd")));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render() {
+        use crate::exec_bench::{render_bench_json, BenchMeta};
+        let meta = BenchMeta {
+            threads: 4,
+            git_rev: "deadbee".to_string(),
+            recorded_unix: 1_754_000_000,
+        };
+        let rows = vec![meas("tiny_moe_sdd", 100, 157)];
+        let parsed = parse_baseline(&render_bench_json(&meta, &rows)).unwrap();
+        assert_eq!(parsed.threads, 4);
+        assert_eq!(parsed.git_rev, "deadbee");
+        assert_eq!(parsed.rows.len(), 1);
+        assert!((parsed.rows[0].pooled_speedup - 1.57).abs() < 1e-9);
+    }
+
+    #[test]
+    fn legacy_baseline_without_meta_parses() {
+        let legacy = r#"{
+  "bench": "exec_launch_overhead",
+  "threads": 4,
+  "results": [
+    {"scenario": "tiny_moe_sdd", "bands": 4, "iters": 2000,
+     "pooled_ns_p50": 100, "spawn_per_op_ns_p50": 157, "pooled_speedup": 1.5694}
+  ]
+}"#;
+        let parsed = parse_baseline(legacy).unwrap();
+        assert_eq!(parsed.threads, 4);
+        assert_eq!(parsed.git_rev, "unknown");
+    }
+}

@@ -41,6 +41,7 @@ mod dmoe;
 mod dropping;
 mod expert_choice;
 mod ffn;
+pub mod health;
 mod loss;
 mod parallel;
 mod param;
@@ -107,8 +108,9 @@ impl MoeStats {
 }
 
 /// Shannon entropy (nats) of a count distribution: `ln(len)` when counts
-/// are perfectly uniform, 0 when concentrated on one bin or empty.
-pub(crate) fn count_entropy(counts: &[usize]) -> f32 {
+/// are perfectly uniform, 0 when concentrated on one bin or empty. The
+/// per-step health report uses this as its router-entropy metric.
+pub fn count_entropy(counts: &[usize]) -> f32 {
     let total: usize = counts.iter().sum();
     if total == 0 {
         return 0.0;

@@ -149,26 +149,33 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
         let bands = self.bands();
         telemetry::histogram("exec.launch.bands").record(bands as u64);
         let LaunchPlan {
+            op,
             data,
             partition,
             body,
-            ..
         } = self;
-        if bands <= 1 {
-            telemetry::counter_with("exec.launches", "inline").inc();
-            resilience::maybe_panic(&resilience::sites::EXEC_WORKER_PANIC);
-            body(data, 0);
-            return;
-        }
-
         // Chaos injection site: under an installed FaultPlan (chaos
         // feature only) a band task may panic before running its body,
         // exercising the pool's park-and-reraise recovery path end to
-        // end. Compiles to nothing without the feature.
+        // end. Compiles to nothing without the feature. The trace
+        // interval is recorded directly (not via `telemetry::span`) so
+        // band executions land on each worker's timeline lane without
+        // inflating the op's scalar span-family call counts.
         let guarded = |band: &mut [f32], i: usize| {
             resilience::maybe_panic(&resilience::sites::EXEC_WORKER_PANIC);
+            let band_start_us = telemetry::trace_now_us();
             body(band, i);
+            telemetry::trace_complete(
+                op,
+                band_start_us,
+                telemetry::trace_now_us().saturating_sub(band_start_us),
+            );
         };
+        if bands <= 1 {
+            telemetry::counter_with("exec.launches", "inline").inc();
+            guarded(data, 0);
+            return;
+        }
         let guarded = &guarded;
         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bands);
         match partition {

@@ -250,6 +250,7 @@ impl Pool {
             Some(t) => t,
             None => return,
         };
+        let enqueued_us = telemetry::trace_now_us();
         {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             for task in tasks {
@@ -262,6 +263,15 @@ impl Pool {
                 let task: Box<dyn FnOnce() + Send + 'static> = unsafe { erase_lifetime(task) };
                 let state = Arc::clone(&state);
                 queue.push_back(Box::new(move || {
+                    // Queue wait: enqueue → the moment a worker dequeued
+                    // and started this task. Shows up on the worker's
+                    // trace lane right before the band interval.
+                    let started_us = telemetry::trace_now_us();
+                    telemetry::trace_complete(
+                        "exec.queue_wait",
+                        enqueued_us,
+                        started_us.saturating_sub(enqueued_us),
+                    );
                     let payload = catch_unwind(AssertUnwindSafe(task)).err();
                     state.finish(payload);
                 }));

@@ -74,10 +74,15 @@ impl Workspace {
             buf.resize(len, 0.0);
             self.hits += 1;
             telemetry::counter("exec.workspace.hits").inc();
+            telemetry::trace_counter_event("exec.workspace.hits", self.hits as f64);
             buf
         } else {
             self.misses += 1;
             telemetry::counter("exec.workspace.misses").inc();
+            // A miss is the interesting event on a timeline: it marks a
+            // cold allocation inside a step that should be steady-state.
+            telemetry::trace_instant("exec.workspace.miss");
+            telemetry::trace_counter_event("exec.workspace.misses", self.misses as f64);
             vec![0.0; len]
         }
     }

@@ -55,6 +55,7 @@ pub const fn chaos_enabled() -> bool {
 /// path, never in a kernel hot loop.
 pub fn record_detected(site: &Site) {
     telemetry::counter(site.detected).inc();
+    telemetry::trace_instant(site.detected);
 }
 
 /// Records that a recovery path *healed* a fault at `site` — a retried
@@ -62,4 +63,5 @@ pub fn record_detected(site: &Site) {
 /// a later attempt.
 pub fn record_recovered(site: &Site) {
     telemetry::counter(site.recovered).inc();
+    telemetry::trace_instant(site.recovered);
 }

@@ -249,6 +249,7 @@ mod active {
         if fire {
             s.fired.fetch_add(1, Relaxed);
             telemetry::counter(s.injected_counter).inc();
+            telemetry::trace_instant(s.injected_counter);
         }
         fire
     }

@@ -342,6 +342,9 @@ impl Drop for SpanGuard {
         core.durations.record(total_ns);
         core.self_ns
             .fetch_add(total_ns.saturating_sub(child_ns), Relaxed);
+        // Mirror the span onto the timeline so every instrumented stage
+        // shows up as an interval in the exported Chrome trace.
+        crate::record_span_complete(self.name, total_ns);
     }
 }
 

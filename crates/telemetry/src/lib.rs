@@ -32,11 +32,16 @@
 
 #![deny(missing_docs)]
 
+pub mod json;
 mod report;
+pub mod trace;
 mod value;
 pub use report::{
     render_jsonl, render_summary, CounterRow, GaugeRow, HistogramRow, JsonlSink, Sink, Snapshot,
     SpanRow, SummarySink,
+};
+pub use trace::{
+    parse_chrome_trace, render_chrome_trace, TraceEventRow, TraceLane, TracePhase, TraceSnapshot,
 };
 pub use value::Value;
 
@@ -49,6 +54,16 @@ pub use enabled::*;
 mod disabled;
 #[cfg(not(feature = "enabled"))]
 pub use disabled::*;
+
+#[cfg(feature = "enabled")]
+mod trace_enabled;
+#[cfg(feature = "enabled")]
+pub use trace_enabled::*;
+
+#[cfg(not(feature = "enabled"))]
+mod trace_disabled;
+#[cfg(not(feature = "enabled"))]
+pub use trace_disabled::*;
 
 /// Whether metric recording is compiled in (`enabled` cargo feature).
 pub const fn is_enabled() -> bool {
@@ -70,5 +85,73 @@ impl SummaryOnDrop {
 impl Drop for SummaryOnDrop {
     fn drop(&mut self) {
         print_summary();
+    }
+}
+
+/// Flushes telemetry sinks when dropped — including during a panic
+/// unwind, so chaos-run traces and metrics aren't silently truncated
+/// when a step aborts. Create one near the top of `main` (or hold one
+/// in a long-lived runner such as `ResilientTrainer`); configure which
+/// sinks to flush with the builder methods. Flushing is best-effort:
+/// I/O errors are reported on stderr, never panicked, because this
+/// runs inside `Drop`.
+#[derive(Debug, Default)]
+pub struct FlushOnDrop {
+    jsonl: Option<std::path::PathBuf>,
+    trace: Option<std::path::PathBuf>,
+    summary: bool,
+}
+
+impl FlushOnDrop {
+    /// Creates a guard that flushes nothing until configured.
+    pub fn new() -> Self {
+        FlushOnDrop::default()
+    }
+
+    /// Also export the metric registry as JSONL to `path` on drop.
+    pub fn jsonl(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.jsonl = Some(path.into());
+        self
+    }
+
+    /// Also export the timeline as Chrome-trace JSON to `path` on drop.
+    pub fn trace(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
+    /// Also print the human-readable summary table on drop.
+    pub fn with_summary(mut self, on: bool) -> Self {
+        self.summary = on;
+        self
+    }
+
+    /// Flushes the configured sinks now (also called from `drop`).
+    /// No-ops when recording is compiled out.
+    pub fn flush(&self) {
+        if !is_enabled() {
+            return;
+        }
+        if let Some(path) = &self.jsonl {
+            match export_jsonl(path) {
+                Ok(()) => eprintln!("telemetry: wrote {}", path.display()),
+                Err(e) => eprintln!("telemetry: failed to write {}: {e}", path.display()),
+            }
+        }
+        if let Some(path) = &self.trace {
+            match export_trace(path) {
+                Ok(()) => eprintln!("telemetry: wrote {}", path.display()),
+                Err(e) => eprintln!("telemetry: failed to write {}: {e}", path.display()),
+            }
+        }
+        if self.summary {
+            print_summary();
+        }
+    }
+}
+
+impl Drop for FlushOnDrop {
+    fn drop(&mut self) {
+        self.flush();
     }
 }

@@ -53,6 +53,39 @@ fn every_call_site_is_a_no_op() {
 }
 
 #[test]
+fn every_trace_call_site_is_a_no_op() {
+    assert!(!telemetry::trace_is_on());
+    telemetry::trace_set_enabled(true);
+    assert!(!telemetry::trace_is_on(), "runtime switch has no effect");
+    telemetry::trace_set_capacity(8);
+    assert_eq!(telemetry::trace_now_us(), 0, "no clock is read");
+    telemetry::trace_complete("noop.span", 0, 10);
+    telemetry::trace_instant("noop.instant");
+    telemetry::trace_counter_event("noop.counter", 1.0);
+    let snap = telemetry::trace_snapshot();
+    assert!(snap.lanes.is_empty());
+    assert!(snap.events.is_empty());
+    telemetry::trace_reset();
+    // The rendered empty trace is still valid, loadable JSON.
+    let parsed =
+        telemetry::parse_chrome_trace(&telemetry::trace_json_string()).expect("empty trace parses");
+    assert!(parsed.events.is_empty());
+}
+
+#[test]
+fn trace_export_writes_nothing_and_succeeds() {
+    let path = std::env::temp_dir().join(format!(
+        "megablocks_telemetry_noop_trace_{}.json",
+        std::process::id()
+    ));
+    std::fs::remove_file(&path).ok();
+    telemetry::export_trace(&path).expect("no-op export succeeds");
+    assert!(!path.exists(), "disabled build must not write artifacts");
+    drop(telemetry::FlushOnDrop::new().jsonl(&path).trace(&path));
+    assert!(!path.exists(), "disabled flush guard must not write");
+}
+
+#[test]
 fn export_writes_nothing_and_succeeds() {
     let path = std::env::temp_dir().join(format!(
         "megablocks_telemetry_noop_{}.jsonl",

@@ -52,6 +52,12 @@ pub struct ResilienceConfig {
     pub retry: RetryPolicy,
     /// Consecutive skipped steps tolerated before training aborts.
     pub max_consecutive_skips: usize,
+    /// When set, the trainer holds a [`telemetry::FlushOnDrop`] guard
+    /// exporting the metric registry (JSONL, at this path) and the
+    /// timeline trace (same path with a `.trace.json` extension) when it
+    /// is dropped — including during a panic unwind, so chaos-run
+    /// observability is never silently truncated by an abort.
+    pub telemetry_export: Option<PathBuf>,
 }
 
 impl Default for ResilienceConfig {
@@ -62,6 +68,7 @@ impl Default for ResilienceConfig {
             keep_checkpoints: 2,
             retry: RetryPolicy::default_transient(),
             max_consecutive_skips: 4,
+            telemetry_export: None,
         }
     }
 }
@@ -119,16 +126,25 @@ pub struct ResilientTrainer {
     cfg: ResilienceConfig,
     report: ResilienceReport,
     consecutive_skips: usize,
+    /// Flushes telemetry sinks on drop — even when dropping because a
+    /// panic is unwinding through the training loop.
+    _flush: Option<telemetry::FlushOnDrop>,
 }
 
 impl ResilientTrainer {
     /// Wraps `trainer` with the fault-tolerance policy `cfg`.
     pub fn new(trainer: Trainer, cfg: ResilienceConfig) -> Self {
+        let flush = cfg.telemetry_export.as_ref().map(|path| {
+            telemetry::FlushOnDrop::new()
+                .jsonl(path.clone())
+                .trace(path.with_extension("trace.json"))
+        });
         ResilientTrainer {
             trainer,
             cfg,
             report: ResilienceReport::default(),
             consecutive_skips: 0,
+            _flush: flush,
         }
     }
 
@@ -176,6 +192,7 @@ impl ResilientTrainer {
                     self.apply_state(state);
                     self.report.resumed_from_step = Some(step);
                     telemetry::counter("resilience.resumed").inc();
+                    telemetry::trace_instant("resilience.resumed");
                     return Some(step);
                 }
                 Err(e) => {
@@ -222,6 +239,7 @@ impl ResilientTrainer {
             if attempt > 0 {
                 self.report.step_retries += 1;
                 telemetry::counter_with("resilience.retries", "train.step").inc();
+                telemetry::trace_instant("resilience.step_retry");
                 let delay = self.cfg.retry.backoff(attempt - 1);
                 if !delay.is_zero() {
                     std::thread::sleep(delay);
@@ -270,6 +288,7 @@ impl ResilientTrainer {
         self.report.steps_skipped += 1;
         self.consecutive_skips += 1;
         telemetry::counter("resilience.trainer.skipped").inc();
+        telemetry::trace_instant("resilience.step_skip");
         if self.consecutive_skips > self.cfg.max_consecutive_skips {
             return Err(TrainAbort {
                 step: self.trainer.step_count(),
@@ -349,6 +368,7 @@ impl ResilientTrainer {
                     resilience::record_recovered(&CHECKPOINT_IO);
                 }
                 self.report.checkpoints_written += 1;
+                telemetry::trace_instant("resilience.checkpoint_written");
                 prune_checkpoints(&dir, self.cfg.keep_checkpoints.max(1));
             }
             Err(_) => {

@@ -99,6 +99,12 @@ pub struct PendingStep {
     dropped_tokens: usize,
     max_load_imbalance: f64,
     started: Instant,
+    /// MoE-layer observations for the per-step health report.
+    moe_layer_obs: usize,
+    padding_rows: usize,
+    kept_assignments: usize,
+    total_assignments: usize,
+    entropy_sum: f64,
 }
 
 impl PendingStep {
@@ -252,6 +258,11 @@ impl Trainer {
         let mut lb = 0.0f32;
         let mut dropped = 0usize;
         let mut imbalance = 1.0f64;
+        let mut moe_layer_obs = 0usize;
+        let mut padding_rows = 0usize;
+        let mut kept_assignments = 0usize;
+        let mut total_assignments = 0usize;
+        let mut entropy_sum = 0.0f64;
         for _ in 0..micro_steps {
             let batch =
                 train.sample_batch(self.cfg.micro_batch_size, self.cfg.seq_len, &mut self.rng);
@@ -264,6 +275,11 @@ impl Trainer {
             for layer in &stats.moe_stats {
                 imbalance =
                     imbalance.max(megablocks_core::load_imbalance(&layer.tokens_per_expert));
+                moe_layer_obs += 1;
+                padding_rows += layer.padding_rows;
+                kept_assignments += layer.expert_load.iter().sum::<usize>();
+                total_assignments += layer.tokens_per_expert.iter().sum::<usize>();
+                entropy_sum += megablocks_core::count_entropy(&layer.tokens_per_expert) as f64;
             }
         }
         PendingStep {
@@ -272,6 +288,11 @@ impl Trainer {
             dropped_tokens: dropped,
             max_load_imbalance: imbalance,
             started,
+            moe_layer_obs,
+            padding_rows,
+            kept_assignments,
+            total_assignments,
+            entropy_sum,
         }
     }
 
@@ -285,6 +306,11 @@ impl Trainer {
             dropped_tokens: dropped,
             max_load_imbalance: imbalance,
             started,
+            moe_layer_obs,
+            padding_rows,
+            kept_assignments,
+            total_assignments,
+            entropy_sum,
         } = pending;
         let micro_steps = self.cfg.batch_size / self.cfg.micro_batch_size;
 
@@ -321,6 +347,26 @@ impl Trainer {
                 ("tokens_per_sec", tokens_per_sec.into()),
             ],
         );
+        if moe_layer_obs > 0 {
+            // One health record per optimizer step, aggregated over every
+            // MoE layer observation in the accumulated micro-batches.
+            megablocks_core::health::record_step(megablocks_core::health::HealthRecord {
+                step: (self.step - 1) as u64,
+                imbalance,
+                padding_overhead: if kept_assignments == 0 {
+                    0.0
+                } else {
+                    padding_rows as f64 / kept_assignments as f64
+                },
+                drop_rate: if total_assignments == 0 {
+                    0.0
+                } else {
+                    dropped as f64 / total_assignments as f64
+                },
+                router_entropy: entropy_sum / moe_layer_obs as f64,
+                tokens_per_sec,
+            });
+        }
 
         TrainLog {
             step: self.step - 1,
