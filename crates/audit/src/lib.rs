@@ -1,51 +1,45 @@
 //! Source-level lints for the MegaBlocks-RS workspace.
 //!
 //! This crate is the static half of the correctness tooling (the dynamic
-//! half — the topology sanitizer and write-disjointness race checker —
-//! lives in `megablocks_sparse::audit` behind the `sanitize` feature).
-//! It enforces six workspace conventions that `rustc` and `clippy` do
-//! not check:
+//! half — the topology sanitizer and the launch-plan race sanitizer —
+//! lives behind the `sanitize` feature in `megablocks_sparse::audit` and
+//! `megablocks_exec`). All analysis runs on a real token model rather
+//! than line regexes: [`lexer`] produces a lossless token stream (raw
+//! strings, nested block comments, lifetimes vs. char literals) and
+//! [`model`] parses it into items with visibility, normalized signatures
+//! and per-item `cfg`/feature-gate attribution. Matches inside string
+//! literals or comments are therefore structurally impossible, and
+//! test-only code is recognized by its `#[cfg(test)]` gate rather than
+//! by line position.
 //!
-//! 1. **SAFETY comments** — every `unsafe` block in the workspace crates
-//!    must be preceded by (or share a line with) a `// SAFETY:` comment
-//!    justifying it.
-//! 2. **No panics in kernel hot paths** — `.unwrap()` / `.expect(` are
-//!    banned from the non-test portions of the kernel files
-//!    ([`HOT_PATHS`]); kernels must propagate errors or re-raise worker
-//!    panic payloads instead of minting new ones.
-//! 3. **`try_*` twins** — every panicking public sparse op in
-//!    `crates/sparse/src/ops.rs` must have a fallible `try_*` twin.
-//! 4. **Telemetry API parity** — each feature-gated implementation pair
-//!    in [`TELEMETRY_PAIRS`] (`enabled.rs`/`disabled.rs` for the metric
-//!    registry, `trace_enabled.rs`/`trace_disabled.rs` for the timeline
-//!    recorder) must expose identical public items, so flipping the
-//!    feature can never change what compiles.
-//! 5. **No raw parallelism** — spawning threads directly
-//!    (`std::thread::spawn` / `thread::scope` / `thread::Builder` /
-//!    `crossbeam::thread`) is banned outside `crates/exec`: every kernel
-//!    launch must go through the execution runtime's worker pool, so its
-//!    panic-safety and determinism guarantees cover the whole workspace.
-//!    Test and bench sources are exempt (they drive the pool from OS
-//!    threads on purpose).
-//! 6. **Fault-site telemetry** — every fault-injection site registered in
-//!    the resilience catalogue ([`FAULT_SITES`]) must declare its three
-//!    lifecycle counters following the `resilience.injected.<name>` /
-//!    `resilience.detected.<name>` / `resilience.recovered.<name>`
-//!    naming scheme, and must be referenced somewhere outside the
-//!    catalogue — a registered-but-unwired site, or a site whose
-//!    counters drift from the scheme dashboards key on, is a lint
-//!    failure.
+//! The enforced rules live in the central [`rules::RULES`] registry —
+//! run `cargo run -p megablocks-audit -- lint --list` for the table, and
+//! see each rule's doc string there for what it checks. Briefly:
+//! `safety-comment`, `hot-path-panic`, `try-twin`, `telemetry-parity`,
+//! `raw-parallelism` and `fault-site-telemetry` port the original
+//! line-based lints onto the token model; `feature-gate-parity`,
+//! `error-exhaustive` and `unsafe-safety-format` are only expressible on
+//! it; `suppression-justification` governs the
+//! `// audit: allow(<rule>) -- <justification>` escape hatch.
 //!
-//! The checks are plain-text analysis (comments and string literals are
-//! stripped first); no compiler plumbing, no dependencies. Run them with
-//! `cargo run -p megablocks-audit -- lint`.
+//! Run everything with `cargo run -p megablocks-audit -- lint`
+//! (`--json` for machine-readable output).
 
 #![deny(missing_docs)]
 
+pub mod lexer;
+pub mod model;
+pub mod rules;
+
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use lexer::{Token, TokenKind};
+use model::{Gate, Item, ItemKind, SourceFile};
+pub use rules::{render_rule_list, rule_by_slug, Rule, RULES};
 
 /// Kernel hot-path files where `.unwrap()` / `.expect(` are banned
 /// (workspace-relative).
@@ -75,8 +69,19 @@ pub const TELEMETRY_PAIRS: &[(&str, &str)] = &[
 /// runtime owns every spawn in the workspace (workspace-relative prefix).
 pub const EXEC_CRATE: &str = "crates/exec/";
 
-/// The fault-injection site catalogue rule 6 parses and cross-references.
+/// The fault-injection site catalogue the `fault-site-telemetry` rule
+/// parses and cross-references.
 pub const FAULT_SITES: &str = "crates/resilience/src/sites.rs";
+
+/// The cfg features whose gated items the `feature-gate-parity` rule
+/// requires to have opposite-branch counterparts. (The telemetry crate's
+/// internal `enabled` feature is covered by the dedicated
+/// `telemetry-parity` file-pair rule instead.)
+pub const GATED_FEATURES: &[&str] = &["telemetry", "sanitize", "chaos"];
+
+/// The workspace error enums whose variants the `error-exhaustive` rule
+/// requires to be constructed outside tests.
+pub const AUDITED_ERROR_ENUMS: &[&str] = &["SparseError", "AuditError", "EpError"];
 
 /// One lint violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,9 +90,7 @@ pub struct Finding {
     pub file: String,
     /// 1-based line, or 0 when the finding concerns the file as a whole.
     pub line: usize,
-    /// Short rule identifier (`safety-comment`, `hot-path-panic`,
-    /// `try-twin`, `telemetry-parity`, `raw-parallelism`,
-    /// `fault-site-telemetry`).
+    /// The violated rule's slug (see [`rules::RULES`]).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -107,6 +110,109 @@ impl fmt::Display for Finding {
     }
 }
 
+/// One workspace source file: its path, raw text, and parsed model.
+#[derive(Debug)]
+pub struct WorkspaceFile {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Raw source text.
+    pub src: String,
+    /// Lexed and item-parsed model of `src`.
+    pub sf: SourceFile,
+}
+
+impl WorkspaceFile {
+    /// Lexes and parses `src` under the given workspace-relative name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lexer's error when the source cannot be tokenized.
+    pub fn new(
+        rel: impl Into<String>,
+        src: impl Into<String>,
+    ) -> Result<WorkspaceFile, lexer::LexError> {
+        let src = src.into();
+        let sf = SourceFile::parse(&src)?;
+        Ok(WorkspaceFile {
+            rel: rel.into(),
+            src,
+            sf,
+        })
+    }
+
+    /// Indices (into `sf.tokens`) of the code tokens, in order.
+    fn code(&self) -> Vec<usize> {
+        (0..self.sf.tokens.len())
+            .filter(|&i| self.sf.tokens[i].is_code())
+            .collect()
+    }
+
+    /// The file's code reconstructed without comments, strings or char
+    /// literals (their token texts replaced by a placeholder), tokens
+    /// separated by spaces. Used as the cross-reference corpus for the
+    /// `fault-site-telemetry` rule.
+    pub fn code_only(&self) -> String {
+        let mut out = String::with_capacity(self.src.len());
+        for t in &self.sf.tokens {
+            match t.kind {
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment => {}
+                TokenKind::Str | TokenKind::RawStr | TokenKind::CharLit => out.push_str("\"\" "),
+                _ => {
+                    out.push_str(t.text(&self.src));
+                    out.push(' ');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A borrowed, code-token-only view over a [`WorkspaceFile`], with the
+/// pattern-matching helpers the token-scanning rules share.
+struct CodeView<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+    code: Vec<usize>,
+}
+
+impl<'a> CodeView<'a> {
+    fn new(wf: &'a WorkspaceFile) -> CodeView<'a> {
+        CodeView {
+            src: &wf.src,
+            tokens: &wf.sf.tokens,
+            code: wf.code(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    fn tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    fn text(&self, ci: usize) -> &str {
+        self.tok(ci).text(self.src)
+    }
+
+    fn is_ident(&self, ci: usize, w: &str) -> bool {
+        ci < self.len() && self.tok(ci).kind == TokenKind::Ident && self.text(ci) == w
+    }
+
+    fn is_punct(&self, ci: usize, p: &str) -> bool {
+        ci < self.len() && self.tok(ci).kind == TokenKind::Punct && self.text(ci) == p
+    }
+
+    /// Whether code tokens `ci` and `ci + 1` form an adjacent `::`.
+    fn double_colon(&self, ci: usize) -> bool {
+        ci + 1 < self.len()
+            && self.is_punct(ci, ":")
+            && self.is_punct(ci + 1, ":")
+            && self.tok(ci).end == self.tok(ci + 1).start
+    }
+}
+
 /// The workspace root, derived from this crate's manifest location
 /// (`crates/audit` → two levels up). Valid wherever the workspace is
 /// checked out, regardless of the invoking directory.
@@ -118,74 +224,98 @@ pub fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Runs every lint over the workspace at `root` and returns all findings.
+/// Loads, lexes and parses every `.rs` file under `root/crates`.
 ///
 /// # Errors
 ///
-/// Returns an error if a workspace source file cannot be read — the lint
-/// refuses to pass vacuously on an unreadable tree.
+/// Returns an error if a file cannot be read, or cannot be lexed — the
+/// lint refuses to pass vacuously on a tree it cannot analyze.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<WorkspaceFile>> {
+    let mut out = Vec::new();
+    for file in rust_sources(&root.join("crates"))? {
+        let rel = rel_path(root, &file);
+        let src = fs::read_to_string(&file)?;
+        let wf = WorkspaceFile::new(rel.clone(), src)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{rel}: {e}")))?;
+        out.push(wf);
+    }
+    Ok(out)
+}
+
+/// Runs every registered lint over the workspace at `root`, applies
+/// `// audit: allow(...)` suppressions, and returns the surviving
+/// findings sorted by file and line.
+///
+/// # Errors
+///
+/// Returns an error if a workspace source file cannot be read or lexed —
+/// the lint refuses to pass vacuously on an unreadable tree.
 pub fn run_all_lints(root: &Path) -> io::Result<Vec<Finding>> {
+    let files = load_workspace(root)?;
     let mut findings = Vec::new();
+    let mut suppressions = Vec::new();
 
-    // Rule 1: SAFETY comments, across every workspace crate. The audit
-    // crate itself is skipped: its tests embed deliberately-broken
-    // fixtures as string literals.
-    for file in rust_sources(&root.join("crates"))? {
-        let rel = rel_path(root, &file);
-        if rel.starts_with("crates/audit/") {
-            continue;
+    for wf in &files {
+        // `safety-comment` + `unsafe-safety-format`, across every crate.
+        // The audit crate itself is skipped: its tests embed
+        // deliberately-broken fixtures.
+        if !wf.rel.starts_with("crates/audit/") {
+            findings.extend(check_unsafe_safety(wf));
         }
-        let src = fs::read_to_string(&file)?;
-        findings.extend(check_safety_comments(&rel, &src));
-    }
 
-    // Rule 2: no unwrap/expect in kernel hot paths.
-    for rel in HOT_PATHS {
-        let src = fs::read_to_string(root.join(rel))?;
-        findings.extend(check_hot_path_panics(rel, &src));
-    }
+        // `hot-path-panic`, on the kernel hot-path files.
+        if HOT_PATHS.contains(&wf.rel.as_str()) {
+            findings.extend(check_hot_path_panics(wf));
+        }
 
-    // Rule 3: try_* twins for the public sparse ops.
-    let ops_src = fs::read_to_string(root.join(SPARSE_OPS))?;
-    findings.extend(check_try_twins(SPARSE_OPS, &ops_src));
-
-    // Rule 4: telemetry enabled/disabled API parity, for every
-    // feature-gated implementation pair.
-    for pair in TELEMETRY_PAIRS {
-        let enabled = fs::read_to_string(root.join(pair.0))?;
-        let disabled = fs::read_to_string(root.join(pair.1))?;
-        findings.extend(check_telemetry_parity(*pair, &enabled, &disabled));
-    }
-
-    // Rule 5: raw thread primitives only inside the execution runtime.
-    // Tests and benches are exempt (determinism/stress suites drive the
-    // pool from OS threads deliberately), as is the audit crate (fixture
-    // literals).
-    for file in rust_sources(&root.join("crates"))? {
-        let rel = rel_path(root, &file);
-        if rel.starts_with(EXEC_CRATE)
-            || rel.starts_with("crates/audit/")
-            || rel.contains("/tests/")
-            || rel.contains("/benches/")
+        // `raw-parallelism`: raw thread primitives only inside the
+        // execution runtime. Tests and benches are exempt
+        // (determinism/stress suites drive the pool from OS threads
+        // deliberately), as is the audit crate (fixture literals).
+        if !wf.rel.starts_with(EXEC_CRATE)
+            && !wf.rel.starts_with("crates/audit/")
+            && !wf.rel.contains("/tests/")
+            && !wf.rel.contains("/benches/")
         {
-            continue;
+            findings.extend(check_raw_parallelism(wf));
         }
-        let src = fs::read_to_string(&file)?;
-        findings.extend(check_raw_parallelism(&rel, &src));
+
+        // `feature-gate-parity`, across every crate except the audit
+        // crate's own fixtures.
+        if !wf.rel.starts_with("crates/audit/") {
+            findings.extend(check_feature_gate_parity(wf));
+        }
+
+        // `try-twin`, on the public sparse ops file.
+        if wf.rel == SPARSE_OPS {
+            findings.extend(check_try_twins(wf));
+        }
+
+        // Suppression comments: collect where they apply, and lint their
+        // own form (`suppression-justification`).
+        let (sup, sup_findings) = collect_suppressions(wf);
+        suppressions.extend(sup);
+        findings.extend(sup_findings);
     }
 
-    // Rule 6: the fault-site catalogue follows the telemetry naming
-    // scheme and every registered site is wired somewhere.
-    let sites_src = fs::read_to_string(root.join(FAULT_SITES))?;
-    let sites = parse_fault_sites(&sites_src);
+    // `telemetry-parity`: the feature-gated implementation file pairs.
+    for pair in TELEMETRY_PAIRS {
+        let enabled = find_file(&files, pair.0)?;
+        let disabled = find_file(&files, pair.1)?;
+        findings.extend(check_telemetry_parity(*pair, enabled, disabled));
+    }
+
+    // `fault-site-telemetry`: the catalogue follows the naming scheme and
+    // every registered site is wired somewhere.
+    let sites_wf = find_file(&files, FAULT_SITES)?;
+    let sites = parse_fault_sites(&sites_wf.src);
     findings.extend(check_fault_site_counters(FAULT_SITES, &sites));
     let mut other_sources = String::new();
-    for file in rust_sources(&root.join("crates"))? {
-        let rel = rel_path(root, &file);
-        if rel == FAULT_SITES || rel.starts_with("crates/audit/") {
+    for wf in &files {
+        if wf.rel == FAULT_SITES || wf.rel.starts_with("crates/audit/") {
             continue;
         }
-        other_sources.push_str(&strip_comments_and_strings(&fs::read_to_string(&file)?));
+        other_sources.push_str(&wf.code_only());
         other_sources.push('\n');
     }
     findings.extend(check_fault_site_references(
@@ -194,9 +324,668 @@ pub fn run_all_lints(root: &Path) -> io::Result<Vec<Finding>> {
         &other_sources,
     ));
 
+    // `error-exhaustive`: every audited error variant is constructed
+    // outside tests, somewhere in the workspace.
+    findings.extend(check_error_exhaustive(&files));
+
+    // Apply suppressions (file-level findings, line 0, are not
+    // suppressible; neither is the suppression lint itself).
+    findings.retain(|f| {
+        f.line == 0
+            || f.rule == "suppression-justification"
+            || !suppressions
+                .iter()
+                .any(|s| s.file == f.file && s.slug == f.rule && s.applies_line == f.line)
+    });
+
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(findings)
 }
+
+fn find_file<'a>(files: &'a [WorkspaceFile], rel: &str) -> io::Result<&'a WorkspaceFile> {
+    files.iter().find(|wf| wf.rel == rel).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("missing workspace file {rel}"),
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// safety-comment + unsafe-safety-format
+// ---------------------------------------------------------------------------
+
+/// `safety-comment` + `unsafe-safety-format`: every `unsafe` keyword in
+/// code must carry a `// SAFETY:` comment on the same line or in the
+/// contiguous comment block directly above it, and the comment must state
+/// the invariant being relied on (at least [`MIN_SAFETY_WORDS`] words
+/// after the colon), not merely exist.
+pub fn check_unsafe_safety(wf: &WorkspaceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let tokens = &wf.sf.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || t.text(&wf.src) != "unsafe" {
+            continue;
+        }
+        // Gather candidate justification comments: same-line comments plus
+        // the contiguous comment block immediately above (no blank line or
+        // code token in between).
+        let mut comments: Vec<&str> = Vec::new();
+        // Contiguous block above, collected top-down.
+        let mut above: Vec<&str> = Vec::new();
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            let p = &tokens[j];
+            // Tokens on the `unsafe` line itself (e.g. the `let pat =` of
+            // `let x = unsafe { … }`) don't end the block: the comment
+            // above the statement's line justifies the whole statement.
+            if p.line == t.line {
+                if p.is_comment() {
+                    above.push(p.text(&wf.src));
+                }
+                continue;
+            }
+            match p.kind {
+                TokenKind::Whitespace => {
+                    if p.text(&wf.src).matches('\n').count() >= 2 {
+                        break; // blank line ends the block
+                    }
+                }
+                TokenKind::LineComment | TokenKind::BlockComment => {
+                    above.push(p.text(&wf.src));
+                }
+                _ => {
+                    // Code on the same line as a preceding comment means
+                    // that comment is a trailing comment of other code;
+                    // stop the walk.
+                    break;
+                }
+            }
+        }
+        above.reverse();
+        comments.extend(above);
+        // Same-line comments (trailing the unsafe block's first line).
+        for n in tokens.iter().skip(i + 1) {
+            if n.line > t.line {
+                break;
+            }
+            if n.is_comment() {
+                comments.push(n.text(&wf.src));
+            }
+        }
+
+        let safety_at = comments.iter().position(|c| c.contains("SAFETY:"));
+        match safety_at {
+            None => findings.push(Finding {
+                file: wf.rel.clone(),
+                line: t.line,
+                rule: "safety-comment",
+                message: "`unsafe` without a `// SAFETY:` comment justifying it".to_string(),
+            }),
+            Some(at) => {
+                // The justification is everything after `SAFETY:` in that
+                // comment plus any continuation comment lines below it.
+                let first = comments[at];
+                let tail = &first[first.find("SAFETY:").expect("just matched") + "SAFETY:".len()..];
+                let mut text = comment_words(tail);
+                for c in comments.iter().skip(at + 1) {
+                    text.extend(comment_words(c));
+                }
+                if text.len() < MIN_SAFETY_WORDS {
+                    findings.push(Finding {
+                        file: wf.rel.clone(),
+                        line: t.line,
+                        rule: "unsafe-safety-format",
+                        message: format!(
+                            "SAFETY comment must state the invariant relied on \
+                             (found only `{}`; want >= {MIN_SAFETY_WORDS} words)",
+                            text.join(" ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Minimum number of words a SAFETY justification must contain after the
+/// colon for `unsafe-safety-format` to accept it.
+pub const MIN_SAFETY_WORDS: usize = 4;
+
+/// The alphanumeric words of a comment's text (comment markers stripped).
+fn comment_words(c: &str) -> Vec<String> {
+    c.split(|ch: char| !(ch.is_alphanumeric() || ch == '_' || ch == '\''))
+        .filter(|w| w.chars().any(char::is_alphanumeric))
+        .map(str::to_string)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// hot-path-panic
+// ---------------------------------------------------------------------------
+
+/// `hot-path-panic`: `.unwrap()` / `.expect(` are banned from the
+/// non-test portion of a kernel hot-path file. Test-gated items (found
+/// structurally via their `#[cfg(test)]` attribution) are exempt.
+pub fn check_hot_path_panics(wf: &WorkspaceFile) -> Vec<Finding> {
+    let cv = CodeView::new(wf);
+    let mut findings = Vec::new();
+    for i in 1..cv.len() {
+        let (name, pat) = match cv.text(i) {
+            "unwrap" => ("unwrap", ".unwrap()"),
+            "expect" => ("expect", ".expect("),
+            _ => continue,
+        };
+        let _ = name;
+        if cv.tok(i).kind != TokenKind::Ident || !cv.is_punct(i - 1, ".") {
+            continue;
+        }
+        if wf.sf.in_test_item(cv.tok(i).start) {
+            continue;
+        }
+        findings.push(Finding {
+            file: wf.rel.clone(),
+            line: cv.tok(i).line,
+            rule: "hot-path-panic",
+            message: format!("`{pat}` in a kernel hot path; propagate the error instead"),
+        });
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// try-twin
+// ---------------------------------------------------------------------------
+
+/// `try-twin`: every top-level `pub fn` in the sparse ops file that is
+/// not itself a `try_*` function must have a `try_*` twin.
+pub fn check_try_twins(wf: &WorkspaceFile) -> Vec<Finding> {
+    let names: Vec<(usize, &str)> = wf
+        .sf
+        .items
+        .iter()
+        .filter(|it| {
+            it.kind == ItemKind::Fn
+                && it.vis == model::Vis::Pub
+                && it.owner.is_none()
+                && it.mod_path.is_empty()
+                && !it.is_test_gated()
+        })
+        .map(|it| (it.line, it.name.as_str()))
+        .collect();
+    let mut findings = Vec::new();
+    for (line, name) in &names {
+        if name.starts_with("try_") {
+            continue;
+        }
+        let twin = format!("try_{name}");
+        if !names.iter().any(|(_, n)| *n == twin) {
+            findings.push(Finding {
+                file: wf.rel.clone(),
+                line: *line,
+                rule: "try-twin",
+                message: format!("public sparse op `{name}` has no fallible `{twin}` twin"),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// telemetry-parity
+// ---------------------------------------------------------------------------
+
+/// `telemetry-parity`: the enabled and disabled implementations of a
+/// feature-gated pair (`pair` names the two files, enabled first) must
+/// expose the same public items with the same signatures.
+pub fn check_telemetry_parity(
+    pair: (&str, &str),
+    enabled: &WorkspaceFile,
+    disabled: &WorkspaceFile,
+) -> Vec<Finding> {
+    let e = public_parity_items(&enabled.sf);
+    let d = public_parity_items(&disabled.sf);
+    let mut findings = Vec::new();
+    for item in &e {
+        if !d.contains(item) {
+            findings.push(parity_finding(pair.1, item, "missing or differs"));
+        }
+    }
+    for item in &d {
+        if !e.contains(item) {
+            findings.push(parity_finding(pair.0, item, "missing or differs"));
+        }
+    }
+    findings
+}
+
+fn parity_finding(file: &str, item: &str, what: &str) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line: 0,
+        rule: "telemetry-parity",
+        message: format!("public item `{item}` {what} in this implementation"),
+    }
+}
+
+/// Normalized public item keys for the parity rules: top-level `pub`
+/// structs and enums by name, top-level `pub fn`s by signature, and
+/// inherent-impl `pub fn`s by `Owner::signature`.
+fn public_parity_items(sf: &SourceFile) -> Vec<String> {
+    let mut items = Vec::new();
+    for it in &sf.items {
+        if it.vis != model::Vis::Pub || it.is_test_gated() {
+            continue;
+        }
+        match it.kind {
+            ItemKind::Struct if it.mod_path.is_empty() => {
+                items.push(format!("struct {}", it.name));
+            }
+            ItemKind::Enum if it.mod_path.is_empty() => {
+                items.push(format!("enum {}", it.name));
+            }
+            ItemKind::Fn => {
+                let sig = it.signature.clone().unwrap_or_default();
+                match &it.owner {
+                    Some(owner) => items.push(format!("{owner}::{sig}")),
+                    None if it.mod_path.is_empty() => items.push(sig),
+                    None => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    items
+}
+
+// ---------------------------------------------------------------------------
+// raw-parallelism
+// ---------------------------------------------------------------------------
+
+/// `raw-parallelism`: raw thread-spawning primitives are banned outside
+/// the execution runtime crate — kernels launch through
+/// `megablocks_exec::LaunchPlan`, never by spawning threads themselves.
+/// Test-gated items are exempt, like the hot-path rule.
+pub fn check_raw_parallelism(wf: &WorkspaceFile) -> Vec<Finding> {
+    let cv = CodeView::new(wf);
+    let mut findings = Vec::new();
+    for i in 0..cv.len() {
+        let pat = if cv.is_ident(i, "thread")
+            && cv.double_colon(i + 1)
+            && (cv.is_ident(i + 3, "spawn")
+                || cv.is_ident(i + 3, "scope")
+                || cv.is_ident(i + 3, "Builder"))
+        {
+            format!("thread::{}", cv.text(i + 3))
+        } else if cv.is_ident(i, "crossbeam")
+            && cv.double_colon(i + 1)
+            && cv.is_ident(i + 3, "thread")
+        {
+            "crossbeam::thread".to_string()
+        } else {
+            continue;
+        };
+        if wf.sf.in_test_item(cv.tok(i).start) {
+            continue;
+        }
+        findings.push(Finding {
+            file: wf.rel.clone(),
+            line: cv.tok(i).line,
+            rule: "raw-parallelism",
+            message: format!(
+                "`{pat}` outside crates/exec; launch through \
+                 megablocks_exec::LaunchPlan instead"
+            ),
+        });
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// feature-gate-parity
+// ---------------------------------------------------------------------------
+
+/// `feature-gate-parity`: items gated on one of [`GATED_FEATURES`] must
+/// have a counterpart in the opposite cfg branch, so flipping the feature
+/// can never change the API surface:
+///
+/// * a gated `fn` (any visibility — private gated fns are still API to
+///   their module) needs an opposite-gated fn of the same name, owner and
+///   normalized signature;
+/// * same-name gated inline `mod` twins are compared on their public-ish
+///   member items;
+/// * a gated public `mod`/`struct`/`enum`/`const`/`type` with no
+///   opposite-gated twin at all is flagged. Private gated mods with no
+///   twin are allowed (their callers gate at the statement level).
+///
+/// Items inherited into a gated mod are covered by the mod pairing, so
+/// only gates attached directly to an item (`own_gates`) trigger the fn
+/// check. Test-gated items are exempt.
+pub fn check_feature_gate_parity(wf: &WorkspaceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for feature in GATED_FEATURES {
+        for (idx, it) in wf.sf.items.iter().enumerate() {
+            let Some(not) = own_feature_gate(it, feature) else {
+                continue;
+            };
+            if it.is_test_gated() {
+                continue;
+            }
+            match it.kind {
+                ItemKind::Fn => {
+                    let counterpart = wf.sf.items.iter().any(|other| {
+                        other.kind == ItemKind::Fn
+                            && other.name == it.name
+                            && other.mod_path == it.mod_path
+                            && other.owner == it.owner
+                            && own_feature_gate(other, feature) == Some(!not)
+                            && other.signature == it.signature
+                    });
+                    let near_miss = wf.sf.items.iter().any(|other| {
+                        other.kind == ItemKind::Fn
+                            && other.name == it.name
+                            && other.mod_path == it.mod_path
+                            && other.owner == it.owner
+                            && own_feature_gate(other, feature) == Some(!not)
+                    });
+                    if !counterpart {
+                        findings.push(gate_parity_finding(
+                            wf,
+                            it,
+                            feature,
+                            not,
+                            if near_miss {
+                                "a counterpart whose signature differs"
+                            } else {
+                                "no counterpart"
+                            },
+                        ));
+                    }
+                }
+                ItemKind::Mod => {
+                    let twin = wf.sf.items.iter().enumerate().find(|(oi, other)| {
+                        *oi != idx
+                            && other.kind == ItemKind::Mod
+                            && other.name == it.name
+                            && other.mod_path == it.mod_path
+                            && own_feature_gate(other, feature) == Some(!not)
+                    });
+                    match twin {
+                        Some((_, twin)) => {
+                            let mine = mod_member_keys(&wf.sf, it);
+                            let theirs = mod_member_keys(&wf.sf, twin);
+                            for missing in mine.difference(&theirs) {
+                                findings.push(Finding {
+                                    file: wf.rel.clone(),
+                                    line: twin.line,
+                                    rule: "feature-gate-parity",
+                                    message: format!(
+                                        "gated mod `{}` twin lacks public item `{missing}` \
+                                         present in the opposite `{feature}` branch",
+                                        it.name
+                                    ),
+                                });
+                            }
+                        }
+                        None if it.vis.is_public() => {
+                            findings.push(gate_parity_finding(wf, it, feature, not, "no twin mod"));
+                        }
+                        None => {}
+                    }
+                }
+                ItemKind::Struct | ItemKind::Enum | ItemKind::Const | ItemKind::TypeAlias => {
+                    if !it.vis.is_public() {
+                        continue;
+                    }
+                    let counterpart = wf.sf.items.iter().enumerate().any(|(oi, other)| {
+                        oi != idx
+                            && other.kind == it.kind
+                            && other.name == it.name
+                            && other.mod_path == it.mod_path
+                            && own_feature_gate(other, feature) == Some(!not)
+                    });
+                    if !counterpart {
+                        findings.push(gate_parity_finding(wf, it, feature, not, "no counterpart"));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+fn gate_parity_finding(
+    wf: &WorkspaceFile,
+    it: &Item,
+    feature: &str,
+    not: bool,
+    what: &str,
+) -> Finding {
+    let branch = if not {
+        format!("cfg(not(feature = \"{feature}\"))")
+    } else {
+        format!("cfg(feature = \"{feature}\")")
+    };
+    Finding {
+        file: wf.rel.clone(),
+        line: it.line,
+        rule: "feature-gate-parity",
+        message: format!(
+            "`{}` is gated on {branch} but has {what} in the opposite branch",
+            it.name
+        ),
+    }
+}
+
+/// The feature gate attached *directly* to `it` (not inherited), if any.
+fn own_feature_gate(it: &Item, feature: &str) -> Option<bool> {
+    it.own_gates.iter().find_map(|g| match g {
+        Gate::Feature { name, not } if name == feature => Some(*not),
+        _ => None,
+    })
+}
+
+/// The comparable public-ish member keys of an inline mod item.
+fn mod_member_keys(sf: &SourceFile, m: &Item) -> std::collections::BTreeSet<String> {
+    sf.items
+        .iter()
+        .filter(|it| {
+            it.span.0 > m.span.0
+                && it.span.1 <= m.span.1
+                && it.vis.is_public()
+                && !it.is_test_gated()
+        })
+        .filter_map(|it| match it.kind {
+            ItemKind::Fn => it.signature.clone(),
+            ItemKind::Struct => Some(format!("struct {}", it.name)),
+            ItemKind::Enum => Some(format!("enum {}", it.name)),
+            ItemKind::Const => Some(format!("const {}", it.name)),
+            ItemKind::TypeAlias => Some(format!("type {}", it.name)),
+            _ => None,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// error-exhaustive
+// ---------------------------------------------------------------------------
+
+/// `error-exhaustive`: every variant of the audited error enums
+/// ([`AUDITED_ERROR_ENUMS`]) must appear as a path expression
+/// (`Enum::Variant`) somewhere in non-test code — a variant nobody can
+/// construct is either dead error surface or an unwired failure mode.
+/// Appearances inside the declaring enum, inside that enum's own trait
+/// impls (`Display`/`Error` formatting), in test files, and in
+/// test-gated items do not count.
+pub fn check_error_exhaustive(files: &[WorkspaceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for enum_name in AUDITED_ERROR_ENUMS {
+        // Locate the (non-test) declaring enum.
+        let Some((decl_wf, decl_item)) = files.iter().find_map(|wf| {
+            wf.sf
+                .items
+                .iter()
+                .find(|it| {
+                    it.kind == ItemKind::Enum && it.name == *enum_name && !it.is_test_gated()
+                })
+                .map(|it| (wf, it))
+        }) else {
+            continue;
+        };
+        for (variant, vline) in &decl_item.variants {
+            let mut constructed = false;
+            'files: for wf in files {
+                if wf.rel.contains("/tests/") || wf.rel.contains("/benches/") {
+                    continue;
+                }
+                let cv = CodeView::new(wf);
+                for i in 0..cv.len() {
+                    if !cv.is_ident(i, enum_name)
+                        || !cv.double_colon(i + 1)
+                        || !cv.is_ident(i + 3, variant)
+                    {
+                        continue;
+                    }
+                    let off = cv.tok(i).start;
+                    if wf.sf.in_test_item(off) {
+                        continue;
+                    }
+                    // Inside the declaring enum itself?
+                    if wf.rel == decl_wf.rel && decl_item.span.0 <= off && off < decl_item.span.1 {
+                        continue;
+                    }
+                    // Inside one of the enum's own trait impls
+                    // (Display/Error formatting matches)?
+                    let in_own_impl = wf.sf.items.iter().any(|it| {
+                        it.kind == ItemKind::TraitImpl
+                            && it.name == *enum_name
+                            && it.span.0 <= off
+                            && off < it.span.1
+                    });
+                    if in_own_impl {
+                        continue;
+                    }
+                    constructed = true;
+                    break 'files;
+                }
+            }
+            if !constructed {
+                findings.push(Finding {
+                    file: decl_wf.rel.clone(),
+                    line: *vline,
+                    rule: "error-exhaustive",
+                    message: format!(
+                        "error variant `{enum_name}::{variant}` is never constructed \
+                         outside tests — wire it up or remove it"
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// suppressions
+// ---------------------------------------------------------------------------
+
+/// One parsed `// audit: allow(<rule>) -- <justification>` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Workspace-relative file the suppression lives in.
+    pub file: String,
+    /// The suppressed rule's slug.
+    pub slug: String,
+    /// The 1-based line the suppression applies to: its own line when it
+    /// trails code, otherwise the next line holding a code token.
+    pub applies_line: usize,
+    /// The 1-based line of the comment itself.
+    pub comment_line: usize,
+}
+
+/// Parses the file's suppression comments. Returns the well-formed
+/// suppressions plus `suppression-justification` findings for malformed
+/// ones (unknown rule slug, or missing `-- <justification>` tail).
+pub fn collect_suppressions(wf: &WorkspaceFile) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut findings = Vec::new();
+    let tokens = &wf.sf.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::LineComment {
+            continue;
+        }
+        let body = t.text(&wf.src).trim_start_matches('/').trim();
+        let Some(directive) = body.strip_prefix("audit:") else {
+            continue;
+        };
+        let directive = directive.trim();
+        let mut bad = |msg: String| {
+            findings.push(Finding {
+                file: wf.rel.clone(),
+                line: t.line,
+                rule: "suppression-justification",
+                message: msg,
+            });
+        };
+        let Some(rest) = directive.strip_prefix("allow(") else {
+            bad(format!(
+                "malformed audit directive `{body}`; expected \
+                 `audit: allow(<rule>) -- <justification>`"
+            ));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad("unterminated `allow(` in audit directive".to_string());
+            continue;
+        };
+        let slug = rest[..close].trim();
+        if rule_by_slug(slug).is_none() {
+            bad(format!(
+                "audit suppression names unknown rule `{slug}` \
+                 (see `lint --list` for registered rules)"
+            ));
+            continue;
+        }
+        let tail = rest[close + 1..].trim();
+        let justification = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if justification.is_empty() {
+            bad(format!(
+                "audit suppression of `{slug}` is missing its \
+                 `-- <justification>` tail"
+            ));
+            continue;
+        }
+        // Where does it apply? Its own line when it trails code on that
+        // line, else the next line holding a code token.
+        let trails_code = tokens[..i]
+            .iter()
+            .rev()
+            .take_while(|p| p.line == t.line)
+            .any(|p| p.is_code());
+        let applies_line = if trails_code {
+            t.line
+        } else {
+            tokens[i + 1..]
+                .iter()
+                .find(|n| n.is_code())
+                .map_or(t.line + 1, |n| n.line)
+        };
+        sups.push(Suppression {
+            file: wf.rel.clone(),
+            slug: slug.to_string(),
+            applies_line,
+            comment_line: t.line,
+        });
+    }
+    (sups, findings)
+}
+
+// ---------------------------------------------------------------------------
+// fault-site-telemetry (catalogue parsing + checks)
+// ---------------------------------------------------------------------------
 
 /// One fault-injection site parsed out of the resilience catalogue.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -258,8 +1047,9 @@ pub fn parse_fault_sites(src: &str) -> Vec<FaultSite> {
     sites
 }
 
-/// Rule 6a: every site's three lifecycle counters must follow the
-/// `resilience.{injected,detected,recovered}.<site-name>` naming scheme.
+/// `fault-site-telemetry` (a): every site's three lifecycle counters must
+/// follow the `resilience.{injected,detected,recovered}.<site-name>`
+/// naming scheme.
 pub fn check_fault_site_counters(file: &str, sites: &[FaultSite]) -> Vec<Finding> {
     let mut findings = Vec::new();
     for site in sites {
@@ -285,9 +1075,10 @@ pub fn check_fault_site_counters(file: &str, sites: &[FaultSite]) -> Vec<Finding
     findings
 }
 
-/// Rule 6b: every registered site identifier must be referenced in the
-/// workspace outside the catalogue itself — `other_sources` is the
-/// concatenated, comment-stripped source of every other crate file.
+/// `fault-site-telemetry` (b): every registered site identifier must be
+/// referenced in the workspace outside the catalogue itself —
+/// `other_sources` is the concatenated code-token text of every other
+/// crate file (see [`WorkspaceFile::code_only`]).
 pub fn check_fault_site_references(
     file: &str,
     sites: &[FaultSite],
@@ -319,272 +1110,71 @@ fn quoted_field(line: &str, field: &str) -> Option<String> {
     Some(line[start..end].to_string())
 }
 
-/// Rule 1: every `unsafe` keyword in code must carry a `// SAFETY:`
-/// comment on the same line or in the contiguous comment block directly
-/// above it.
-pub fn check_safety_comments(file: &str, src: &str) -> Vec<Finding> {
-    let stripped = strip_comments_and_strings(src);
-    let code_lines: Vec<&str> = stripped.lines().collect();
-    let orig_lines: Vec<&str> = src.lines().collect();
-    let mut findings = Vec::new();
-    for (i, code) in code_lines.iter().enumerate() {
-        if !contains_word(code, "unsafe") {
-            continue;
-        }
-        let mut justified = orig_lines[i].contains("SAFETY:");
-        // Walk the contiguous comment block immediately above.
-        let mut j = i;
-        while !justified && j > 0 {
-            j -= 1;
-            let above = orig_lines[j].trim_start();
-            if !above.starts_with("//") {
-                break;
-            }
-            justified = above.contains("SAFETY:");
-        }
-        if !justified {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: i + 1,
-                rule: "safety-comment",
-                message: "`unsafe` without a `// SAFETY:` comment justifying it".to_string(),
-            });
-        }
+// ---------------------------------------------------------------------------
+// JSON rendering
+// ---------------------------------------------------------------------------
+
+/// Renders findings as the `--json` machine-readable report: total count,
+/// per-rule counts (every registered rule, including zeroes), and the
+/// finding list. Dependency-free, hand-escaped.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<&str, usize> = RULES.iter().map(|r| (r.slug, 0)).collect();
+    for f in findings {
+        *counts.entry(f.rule).or_insert(0) += 1;
     }
-    findings
+    let mut out = String::from("{");
+    out.push_str(&format!("\"total\":{},", findings.len()));
+    out.push_str("\"counts\":{");
+    let mut first = true;
+    for (slug, n) in &counts {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{slug}\":{n}"));
+    }
+    out.push_str("},\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule,
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
-/// Rule 2: `.unwrap()` / `.expect(` are banned from the non-test portion
-/// of a kernel hot-path file.
-pub fn check_hot_path_panics(file: &str, src: &str) -> Vec<Finding> {
-    let stripped = strip_comments_and_strings(src);
-    let mut findings = Vec::new();
-    for (i, (code, orig)) in stripped.lines().zip(src.lines()).enumerate() {
-        // Everything below the test module is exempt.
-        if orig.contains("#[cfg(test)]") {
-            break;
-        }
-        for pat in [".unwrap()", ".expect("] {
-            if code.contains(pat) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: i + 1,
-                    rule: "hot-path-panic",
-                    message: format!("`{pat}` in a kernel hot path; propagate the error instead"),
-                });
-            }
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
-    findings
+    out
 }
 
-/// Rule 3: every top-level `pub fn` in the sparse ops file that is not
-/// itself a `try_*` function must have a `try_*` twin.
-pub fn check_try_twins(file: &str, src: &str) -> Vec<Finding> {
-    let stripped = strip_comments_and_strings(src);
-    let mut names: Vec<(usize, String)> = Vec::new();
-    let mut depth = 0usize;
-    for (i, line) in stripped.lines().enumerate() {
-        if depth == 0 {
-            if let Some(name) = pub_fn_name(line) {
-                names.push((i + 1, name));
-            }
-        }
-        depth = next_depth(depth, line);
-    }
-    let mut findings = Vec::new();
-    for (line, name) in &names {
-        if name.starts_with("try_") {
-            continue;
-        }
-        let twin = format!("try_{name}");
-        if !names.iter().any(|(_, n)| *n == twin) {
-            findings.push(Finding {
-                file: file.to_string(),
-                line: *line,
-                rule: "try-twin",
-                message: format!("public sparse op `{name}` has no fallible `{twin}` twin"),
-            });
-        }
-    }
-    findings
-}
-
-/// Rule 4: the enabled and disabled implementations of a feature-gated
-/// pair (`pair` names the two files, enabled first) must expose the same
-/// public items with the same signatures.
-pub fn check_telemetry_parity(
-    pair: (&str, &str),
-    enabled_src: &str,
-    disabled_src: &str,
-) -> Vec<Finding> {
-    let enabled = public_items(enabled_src);
-    let disabled = public_items(disabled_src);
-    let mut findings = Vec::new();
-    for item in &enabled {
-        if !disabled.contains(item) {
-            findings.push(parity_finding(pair.1, item, "missing or differs"));
-        }
-    }
-    for item in &disabled {
-        if !enabled.contains(item) {
-            findings.push(parity_finding(pair.0, item, "missing or differs"));
-        }
-    }
-    findings
-}
-
-/// Rule 5: raw thread-spawning primitives are banned outside the
-/// execution runtime crate — kernels launch through
-/// `megablocks_exec::LaunchPlan`, never by spawning threads themselves.
-/// The `#[cfg(test)]` portion of a file is exempt, like the hot-path rule.
-pub fn check_raw_parallelism(file: &str, src: &str) -> Vec<Finding> {
-    const BANNED: [&str; 4] = [
-        "crossbeam::thread",
-        "thread::spawn",
-        "thread::scope",
-        "thread::Builder",
-    ];
-    let stripped = strip_comments_and_strings(src);
-    let mut findings = Vec::new();
-    for (i, (code, orig)) in stripped.lines().zip(src.lines()).enumerate() {
-        // Everything below the test module is exempt.
-        if orig.contains("#[cfg(test)]") {
-            break;
-        }
-        for pat in BANNED {
-            if code.contains(pat) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: i + 1,
-                    rule: "raw-parallelism",
-                    message: format!(
-                        "`{pat}` outside crates/exec; launch through \
-                         megablocks_exec::LaunchPlan instead"
-                    ),
-                });
-            }
-        }
-    }
-    findings
-}
-
-fn parity_finding(file: &str, item: &str, what: &str) -> Finding {
-    Finding {
-        file: file.to_string(),
-        line: 0,
-        rule: "telemetry-parity",
-        message: format!("public item `{item}` {what} in this implementation"),
-    }
-}
-
-/// Extracts normalized public item signatures: `struct Name`, `enum Name`,
-/// and `pub fn` signatures (free functions and inherent-impl methods,
-/// prefixed with their owning type).
-fn public_items(src: &str) -> Vec<String> {
-    let stripped = strip_comments_and_strings(src);
-    let lines: Vec<&str> = stripped.lines().collect();
-    let mut items = Vec::new();
-    let mut depth = 0usize;
-    let mut impl_owner: Option<(String, usize)> = None; // (type, entry depth)
-    let mut i = 0;
-    while i < lines.len() {
-        let line = lines[i];
-        let trimmed = line.trim_start();
-        if depth == 0 {
-            if let Some(rest) = trimmed
-                .strip_prefix("pub struct ")
-                .or_else(|| trimmed.strip_prefix("pub enum "))
-            {
-                let name: String = ident_prefix(rest);
-                let kind = if trimmed.starts_with("pub struct") {
-                    "struct"
-                } else {
-                    "enum"
-                };
-                items.push(format!("{kind} {name}"));
-            } else if let Some(rest) = trimmed.strip_prefix("impl ") {
-                // Inherent impls only: `impl Trait for Type` adds no public
-                // items of its own.
-                if !contains_word(rest, "for") {
-                    impl_owner = Some((ident_prefix(rest), depth));
-                }
-            }
-        }
-        let in_impl = matches!(&impl_owner, Some((_, d)) if depth == d + 1);
-        if (depth == 0 || in_impl) && trimmed.starts_with("pub fn ") {
-            // Capture the signature, possibly spanning lines, up to the
-            // body's `{` or a trailing `;`.
-            let mut sig = String::new();
-            let mut j = i;
-            loop {
-                let l = lines[j];
-                let end = l.find('{').or_else(|| l.find(';'));
-                match end {
-                    Some(pos) => {
-                        sig.push_str(&l[..pos]);
-                        break;
-                    }
-                    None => {
-                        sig.push_str(l);
-                        sig.push(' ');
-                    }
-                }
-                j += 1;
-                if j == lines.len() {
-                    break;
-                }
-            }
-            let owner = match &impl_owner {
-                Some((name, d)) if depth == *d + 1 => format!("{name}::"),
-                _ => String::new(),
-            };
-            items.push(format!("{owner}{}", normalize_signature(&sig)));
-        }
-        let new_depth = next_depth(depth, line);
-        if let Some((_, d)) = &impl_owner {
-            if new_depth <= *d && line.contains('}') {
-                impl_owner = None;
-            }
-        }
-        depth = new_depth;
-        i += 1;
-    }
-    items
-}
-
-/// Collapses whitespace and strips the `_` prefix convention off unused
-/// parameter names so `(&self, _n: u64)` equals `(&self, n: u64)`.
-fn normalize_signature(sig: &str) -> String {
-    let collapsed = sig.split_whitespace().collect::<Vec<_>>().join(" ");
-    collapsed.replace("(_", "(").replace(", _", ", ")
-}
+// ---------------------------------------------------------------------------
+// shared helpers
+// ---------------------------------------------------------------------------
 
 /// The leading Rust identifier of `s`.
 fn ident_prefix(s: &str) -> String {
     s.chars()
         .take_while(|c| c.is_alphanumeric() || *c == '_')
         .collect()
-}
-
-/// The name of a top-level `pub fn` declared on this (stripped) line.
-fn pub_fn_name(line: &str) -> Option<String> {
-    let rest = line.trim_start().strip_prefix("pub fn ")?;
-    let name = ident_prefix(rest);
-    (!name.is_empty()).then_some(name)
-}
-
-/// Brace depth after processing one stripped line starting at `depth`.
-fn next_depth(depth: usize, line: &str) -> usize {
-    let mut d = depth;
-    for c in line.chars() {
-        match c {
-            '{' => d += 1,
-            '}' => d = d.saturating_sub(1),
-            _ => {}
-        }
-    }
-    d
 }
 
 /// Whether `word` occurs in `s` delimited by non-identifier characters.
@@ -606,89 +1196,6 @@ fn contains_word(s: &str, word: &str) -> bool {
 
 fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Replaces comments and string/char literals with spaces, preserving the
-/// line structure, so the lints only ever match real code tokens.
-fn strip_comments_and_strings(src: &str) -> String {
-    let chars: Vec<char> = src.chars().collect();
-    let mut out = String::with_capacity(src.len());
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match c {
-            '/' if next == Some('/') => {
-                // Line comment: blank to end of line.
-                while i < chars.len() && chars[i] != '\n' {
-                    out.push(' ');
-                    i += 1;
-                }
-            }
-            '/' if next == Some('*') => {
-                // Block comment: blank through the closing `*/`.
-                out.push_str("  ");
-                i += 2;
-                while i < chars.len() {
-                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                        out.push_str("  ");
-                        i += 2;
-                        break;
-                    }
-                    out.push(if chars[i] == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            '"' => {
-                // String literal (escape-aware): blank the contents.
-                out.push(' ');
-                i += 1;
-                while i < chars.len() {
-                    match chars[i] {
-                        '\\' => {
-                            out.push_str("  ");
-                            i += 2;
-                        }
-                        '"' => {
-                            out.push(' ');
-                            i += 1;
-                            break;
-                        }
-                        '\n' => {
-                            out.push('\n');
-                            i += 1;
-                        }
-                        _ => {
-                            out.push(' ');
-                            i += 1;
-                        }
-                    }
-                }
-            }
-            '\'' => {
-                // Char literal vs lifetime: `'x'` / `'\n'` are literals;
-                // `'a` followed by anything else is a lifetime.
-                if next == Some('\\') {
-                    out.push_str("    ");
-                    i += 3; // ' \ x
-                    if chars.get(i) == Some(&'\'') {
-                        i += 1;
-                    }
-                } else if chars.get(i + 2) == Some(&'\'') {
-                    out.push_str("   ");
-                    i += 3;
-                } else {
-                    out.push('\'');
-                    i += 1;
-                }
-            }
-            _ => {
-                out.push(c);
-                i += 1;
-            }
-        }
-    }
-    out
 }
 
 /// All `.rs` files under `dir`, recursively, skipping `target` directories.
@@ -723,16 +1230,20 @@ fn rel_path(root: &Path, file: &Path) -> String {
 mod tests {
     use super::*;
 
+    fn wf(src: &str) -> WorkspaceFile {
+        WorkspaceFile::new("x.rs", src).expect("fixture lexes")
+    }
+
     #[test]
     fn safety_lint_accepts_commented_unsafe() {
         let src = "fn f(v: &[f32]) -> f32 {\n    // SAFETY: i < v.len() checked above.\n    unsafe { *v.get_unchecked(0) }\n}\n";
-        assert!(check_safety_comments("x.rs", src).is_empty());
+        assert!(check_unsafe_safety(&wf(src)).is_empty());
     }
 
     #[test]
     fn safety_lint_flags_bare_unsafe() {
         let src = "fn f(v: &[f32]) -> f32 {\n    unsafe { *v.get_unchecked(0) }\n}\n";
-        let f = check_safety_comments("x.rs", src);
+        let f = check_unsafe_safety(&wf(src));
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, "safety-comment");
         assert_eq!(f[0].line, 2);
@@ -742,19 +1253,45 @@ mod tests {
     fn safety_lint_ignores_comments_and_strings() {
         let src =
             "// unsafe is discussed here only\nfn f() -> &'static str {\n    \"unsafe { }\"\n}\n";
-        assert!(check_safety_comments("x.rs", src).is_empty());
+        assert!(check_unsafe_safety(&wf(src)).is_empty());
     }
 
     #[test]
     fn safety_lint_reads_multi_line_comment_blocks() {
         let src = "fn f(v: &[f32]) -> f32 {\n    // SAFETY: index is bounded by the loop\n    // condition three lines up.\n    unsafe { *v.get_unchecked(0) }\n}\n";
-        assert!(check_safety_comments("x.rs", src).is_empty());
+        assert!(check_unsafe_safety(&wf(src)).is_empty());
+    }
+
+    #[test]
+    fn safety_lint_handles_multi_line_unsafe_blocks() {
+        // A second `unsafe` keyword further down the same block, with no
+        // comment of its own, must still be flagged — the regex engine
+        // could not see this.
+        let src = "fn f(v: &mut [f32]) {\n    // SAFETY: disjoint halves proven by split_at_mut.\n    unsafe {\n        let p = v.as_mut_ptr();\n    }\n    unsafe { *v.get_unchecked_mut(0) = 1.0; }\n}\n";
+        let f = check_unsafe_safety(&wf(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 6);
+    }
+
+    #[test]
+    fn safety_format_flags_vacuous_comments() {
+        let src =
+            "fn f(v: &[f32]) -> f32 {\n    // SAFETY: ok.\n    unsafe { *v.get_unchecked(0) }\n}\n";
+        let f = check_unsafe_safety(&wf(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "unsafe-safety-format");
+    }
+
+    #[test]
+    fn safety_format_accepts_substantive_comments() {
+        let src = "fn f(v: &[f32]) -> f32 {\n    // SAFETY: index zero is in bounds because the caller checked is_empty.\n    unsafe { *v.get_unchecked(0) }\n}\n";
+        assert!(check_unsafe_safety(&wf(src)).is_empty());
     }
 
     #[test]
     fn hot_path_lint_flags_unwrap_and_expect() {
         let src = "fn k(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\nfn j(v: Option<u32>) -> u32 {\n    v.expect(\"present\")\n}\n";
-        let f = check_hot_path_panics("x.rs", src);
+        let f = check_hot_path_panics(&wf(src));
         assert_eq!(f.len(), 2);
         assert!(f.iter().all(|f| f.rule == "hot-path-panic"));
     }
@@ -762,21 +1299,31 @@ mod tests {
     #[test]
     fn hot_path_lint_exempts_test_module_and_docs() {
         let src = "/// Call `.unwrap()` on the result.\nfn k() {}\n#[cfg(test)]\nmod tests {\n    fn t(v: Option<u32>) { v.unwrap(); }\n}\n";
-        assert!(check_hot_path_panics("x.rs", src).is_empty());
+        assert!(check_hot_path_panics(&wf(src)).is_empty());
+    }
+
+    #[test]
+    fn hot_path_lint_sees_code_after_test_module() {
+        // The old engine stopped scanning at the first `#[cfg(test)]`
+        // line; the token model exempts only the gated item itself.
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(v: Option<u32>) { v.unwrap(); }\n}\nfn k(v: Option<u32>) -> u32 {\n    v.unwrap()\n}\n";
+        let f = check_hot_path_panics(&wf(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 6);
     }
 
     #[test]
     fn hot_path_lint_allows_unwrap_or_else() {
         let src = "fn k(v: Option<u32>) -> u32 {\n    v.unwrap_or_else(|| 0)\n}\n";
-        assert!(check_hot_path_panics("x.rs", src).is_empty());
+        assert!(check_hot_path_panics(&wf(src)).is_empty());
     }
 
     #[test]
     fn try_twin_lint_requires_twin() {
         let with_twin = "pub fn sdd() {}\npub fn try_sdd() {}\n";
-        assert!(check_try_twins("x.rs", with_twin).is_empty());
+        assert!(check_try_twins(&wf(with_twin)).is_empty());
         let without = "pub fn sdd() {}\npub fn dsd() {}\npub fn try_dsd() {}\n";
-        let f = check_try_twins("x.rs", without);
+        let f = check_try_twins(&wf(without));
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("`sdd`"));
     }
@@ -785,38 +1332,40 @@ mod tests {
     fn try_twin_lint_ignores_nested_functions() {
         let src =
             "mod helpers {\n    pub fn internal() {}\n}\npub fn op() {}\npub fn try_op() {}\n";
-        assert!(check_try_twins("x.rs", src).is_empty());
+        assert!(check_try_twins(&wf(src)).is_empty());
     }
 
     #[test]
     fn parity_lint_accepts_identical_apis() {
-        let enabled = "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, n: u64) { let _ = n; }\n}\npub fn counter(name: &'static str) -> Counter { Counter }\n";
-        let disabled = "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, _n: u64) {}\n}\npub fn counter(_name: &'static str) -> Counter { Counter }\n";
-        assert!(check_telemetry_parity(("e.rs", "d.rs"), enabled, disabled).is_empty());
+        let enabled = wf("pub struct Counter;\nimpl Counter {\n    pub fn add(&self, n: u64) { let _ = n; }\n}\npub fn counter(name: &'static str) -> Counter { Counter }\n");
+        let disabled = wf("pub struct Counter;\nimpl Counter {\n    pub fn add(&self, _n: u64) {}\n}\npub fn counter(_name: &'static str) -> Counter { Counter }\n");
+        assert!(check_telemetry_parity(("e.rs", "d.rs"), &enabled, &disabled).is_empty());
     }
 
     #[test]
     fn parity_lint_flags_missing_method() {
-        let enabled = "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, n: u64) { let _ = n; }\n    pub fn get(&self) -> u64 { 0 }\n}\n";
+        let enabled = wf("pub struct Counter;\nimpl Counter {\n    pub fn add(&self, n: u64) { let _ = n; }\n    pub fn get(&self) -> u64 { 0 }\n}\n");
         let disabled =
-            "pub struct Counter;\nimpl Counter {\n    pub fn add(&self, _n: u64) {}\n}\n";
-        let f = check_telemetry_parity(("e.rs", "d.rs"), enabled, disabled);
+            wf("pub struct Counter;\nimpl Counter {\n    pub fn add(&self, _n: u64) {}\n}\n");
+        let f = check_telemetry_parity(("e.rs", "d.rs"), &enabled, &disabled);
         assert_eq!(f.len(), 1);
-        assert!(f[0].message.contains("Counter::pub fn get"));
+        assert!(f[0].message.contains("Counter::"));
+        assert!(f[0].message.contains("get"));
     }
 
     #[test]
     fn parity_lint_flags_signature_drift() {
-        let enabled = "pub fn gauge(name: &'static str) -> Gauge { Gauge }\n";
-        let disabled = "pub fn gauge(name: &str) -> Gauge { Gauge }\n";
-        let f = check_telemetry_parity(("e.rs", "d.rs"), enabled, disabled);
+        let enabled = wf("pub fn gauge(name: &'static str) -> Gauge { Gauge }\n");
+        let disabled = wf("pub fn gauge(name: &str) -> Gauge { Gauge }\n");
+        let f = check_telemetry_parity(("e.rs", "d.rs"), &enabled, &disabled);
         assert_eq!(f.len(), 2); // each side reports the other's variant missing
     }
 
     #[test]
     fn raw_parallelism_lint_flags_spawns() {
-        let src = "fn k() {\n    std::thread::spawn(|| {});\n    crossbeam::thread::scope(|s| {}).unwrap();\n}\n";
-        let f = check_raw_parallelism("x.rs", src);
+        let src =
+            "fn k() {\n    std::thread::spawn(|| {});\n    crossbeam::thread::scope(|s| {});\n}\n";
+        let f = check_raw_parallelism(&wf(src));
         assert!(f.len() >= 2);
         assert!(f.iter().all(|f| f.rule == "raw-parallelism"));
         assert_eq!(f[0].line, 2);
@@ -825,7 +1374,125 @@ mod tests {
     #[test]
     fn raw_parallelism_lint_exempts_tests_and_comments() {
         let src = "// thread::spawn is discussed here only\nfn k() {}\n#[cfg(test)]\nmod tests {\n    fn t() { std::thread::spawn(|| {}); }\n}\n";
-        assert!(check_raw_parallelism("x.rs", src).is_empty());
+        assert!(check_raw_parallelism(&wf(src)).is_empty());
+    }
+
+    #[test]
+    fn raw_parallelism_lint_ignores_strings() {
+        let src = "fn k() -> &'static str {\n    \"thread::spawn\"\n}\n";
+        assert!(check_raw_parallelism(&wf(src)).is_empty());
+    }
+
+    #[test]
+    fn gate_parity_accepts_fn_twins() {
+        let src = "#[cfg(feature = \"sanitize\")]\nfn verify(x: &[f32]) {}\n#[cfg(not(feature = \"sanitize\"))]\nfn verify(_x: &[f32]) {}\n";
+        assert!(check_feature_gate_parity(&wf(src)).is_empty());
+    }
+
+    #[test]
+    fn gate_parity_flags_missing_fn_twin() {
+        let src = "#[cfg(feature = \"sanitize\")]\nfn verify(x: &[f32]) {}\n";
+        let f = check_feature_gate_parity(&wf(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "feature-gate-parity");
+        assert!(f[0].message.contains("no counterpart"));
+    }
+
+    #[test]
+    fn gate_parity_flags_signature_drift() {
+        let src = "#[cfg(feature = \"sanitize\")]\nfn verify(x: &[f32]) -> bool { true }\n#[cfg(not(feature = \"sanitize\"))]\nfn verify(_x: &[f32]) {}\n";
+        let f = check_feature_gate_parity(&wf(src));
+        assert_eq!(f.len(), 2); // both branches flag the drift
+        assert!(f[0].message.contains("signature differs"));
+    }
+
+    #[test]
+    fn gate_parity_compares_mod_twin_members() {
+        let ok = "#[cfg(feature = \"sanitize\")]\nmod sanitize {\n    pub(super) fn check(x: usize) {}\n}\n#[cfg(not(feature = \"sanitize\"))]\nmod sanitize {\n    pub(super) fn check(_x: usize) {}\n}\n";
+        assert!(check_feature_gate_parity(&wf(ok)).is_empty());
+        let missing = "#[cfg(feature = \"sanitize\")]\nmod sanitize {\n    pub(super) fn check(x: usize) {}\n    pub(super) fn extra() {}\n}\n#[cfg(not(feature = \"sanitize\"))]\nmod sanitize {\n    pub(super) fn check(_x: usize) {}\n}\n";
+        let f = check_feature_gate_parity(&wf(missing));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("extra"));
+    }
+
+    #[test]
+    fn gate_parity_allows_private_untwinned_mod() {
+        let src = "#[cfg(feature = \"chaos\")]\nmod active {\n    pub(super) fn arm() {}\n}\n";
+        assert!(check_feature_gate_parity(&wf(src)).is_empty());
+    }
+
+    #[test]
+    fn gate_parity_ignores_test_gated_items() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[cfg(feature = \"sanitize\")]\n    fn helper() {}\n}\n";
+        assert!(check_feature_gate_parity(&wf(src)).is_empty());
+    }
+
+    #[test]
+    fn error_exhaustive_flags_unconstructed_variant() {
+        let decl = WorkspaceFile::new(
+            "crates/x/src/err.rs",
+            "pub enum EpError {\n    Used,\n    Orphan,\n}\nimpl std::fmt::Display for EpError {\n    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {\n        match self { EpError::Used => Ok(()), EpError::Orphan => Ok(()) }\n    }\n}\n",
+        )
+        .unwrap();
+        let user = WorkspaceFile::new(
+            "crates/x/src/use_site.rs",
+            "pub fn f() -> Result<(), super::EpError> {\n    Err(EpError::Used)\n}\n",
+        )
+        .unwrap();
+        let f = check_error_exhaustive(&[decl, user]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "error-exhaustive");
+        assert!(f[0].message.contains("Orphan"));
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn error_exhaustive_ignores_test_constructions() {
+        let decl = WorkspaceFile::new(
+            "crates/x/src/err.rs",
+            "pub enum EpError { Orphan }\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = super::EpError::Orphan; }\n}\n",
+        )
+        .unwrap();
+        let f = check_error_exhaustive(&[decl]);
+        assert_eq!(f.len(), 1, "test-only construction must not count");
+    }
+
+    #[test]
+    fn suppression_parses_and_targets_next_line() {
+        let src = "// audit: allow(hot-path-panic) -- index proven in bounds by caller\nfn k(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        let (sups, findings) = collect_suppressions(&wf(src));
+        assert!(findings.is_empty());
+        assert_eq!(sups.len(), 1);
+        assert_eq!(sups[0].slug, "hot-path-panic");
+        assert_eq!(sups[0].applies_line, 2);
+    }
+
+    #[test]
+    fn suppression_targets_same_line_when_trailing() {
+        let src = "fn k(v: Option<u32>) -> u32 { v.unwrap() } // audit: allow(hot-path-panic) -- demo harness only\n";
+        let (sups, findings) = collect_suppressions(&wf(src));
+        assert!(findings.is_empty());
+        assert_eq!(sups[0].applies_line, 1);
+    }
+
+    #[test]
+    fn suppression_without_justification_is_flagged() {
+        let src = "// audit: allow(hot-path-panic)\nfn k() {}\n";
+        let (sups, findings) = collect_suppressions(&wf(src));
+        assert!(sups.is_empty());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "suppression-justification");
+        assert!(findings[0].message.contains("missing"));
+    }
+
+    #[test]
+    fn suppression_with_unknown_rule_is_flagged() {
+        let src = "// audit: allow(no-such-rule) -- because\nfn k() {}\n";
+        let (sups, findings) = collect_suppressions(&wf(src));
+        assert!(sups.is_empty());
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("unknown rule"));
     }
 
     fn site_fixture(injected: &str) -> String {
@@ -861,22 +1528,34 @@ mod tests {
     #[test]
     fn fault_site_lint_flags_unreferenced_sites() {
         let sites = parse_fault_sites(&site_fixture("resilience.injected.demo.site"));
-        let wired = "use resilience::sites::DEMO_SITE;\n";
+        let wired = "use resilience :: sites :: DEMO_SITE ;\n";
         assert!(check_fault_site_references("sites.rs", &sites, wired).is_empty());
-        let unwired = "use resilience::sites::OTHER_SITE;\n";
+        let unwired = "use resilience :: sites :: OTHER_SITE ;\n";
         let f = check_fault_site_references("sites.rs", &sites, unwired);
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("never referenced"));
     }
 
     #[test]
-    fn stripper_preserves_line_count_and_braces_in_strings() {
-        let src = "fn f() {\n    let s = \"{ not a brace }\";\n    let c = '}';\n}\n";
-        let stripped = strip_comments_and_strings(src);
-        assert_eq!(stripped.lines().count(), src.lines().count());
-        assert_eq!(next_depth(0, stripped.lines().nth(1).unwrap()), 0);
-        // The whole function still balances.
-        let d = stripped.lines().fold(0, next_depth);
-        assert_eq!(d, 0);
+    fn code_only_strips_comments_and_strings() {
+        let w = wf("fn f() {\n    // DEMO_SITE in a comment\n    let s = \"DEMO_SITE\";\n}\n");
+        let code = w.code_only();
+        assert!(!contains_word(&code, "DEMO_SITE"));
+        assert!(contains_word(&code, "fn"));
+    }
+
+    #[test]
+    fn json_report_counts_every_rule() {
+        let findings = vec![Finding {
+            file: "a.rs".to_string(),
+            line: 3,
+            rule: "try-twin",
+            message: "needs a \"twin\"".to_string(),
+        }];
+        let json = findings_to_json(&findings);
+        assert!(json.contains("\"total\":1"));
+        assert!(json.contains("\"try-twin\":1"));
+        assert!(json.contains("\"safety-comment\":0"));
+        assert!(json.contains("needs a \\\"twin\\\""));
     }
 }

@@ -1,21 +1,44 @@
 //! `megablocks-audit` CLI: run the workspace lint pass.
 //!
 //! ```text
-//! cargo run -p megablocks-audit -- lint [ROOT]
+//! cargo run -p megablocks-audit -- lint [--json] [ROOT]
+//! cargo run -p megablocks-audit -- lint --list
 //! ```
 //!
 //! Exits 0 when the workspace is clean, 1 when any lint fires, 2 on
-//! usage or I/O errors.
+//! usage or I/O errors. `--json` switches to the machine-readable report
+//! (total, per-rule counts, findings) consumed by CI; `--list` prints the
+//! rule registry and exits 0.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use megablocks_audit::{run_all_lints, workspace_root, HOT_PATHS};
+use megablocks_audit::{findings_to_json, render_rule_list, run_all_lints, workspace_root, RULES};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(args.get(1).map(PathBuf::from)),
+        Some("lint") => {
+            let mut json = false;
+            let mut list = false;
+            let mut root: Option<PathBuf> = None;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--list" => list = true,
+                    other if other.starts_with('-') => {
+                        eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                    path => root = Some(PathBuf::from(path)),
+                }
+            }
+            if list {
+                print!("{}", render_rule_list());
+                return ExitCode::SUCCESS;
+            }
+            lint(root, json)
+        }
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::from(if args.is_empty() { 2 } else { 0 })
@@ -31,42 +54,46 @@ const USAGE: &str = "\
 megablocks-audit: static correctness checks for the MegaBlocks-RS workspace
 
 USAGE:
-    megablocks-audit lint [ROOT]    run all lints (ROOT defaults to the workspace)
+    megablocks-audit lint [--json] [ROOT]   run all lints (ROOT defaults to the workspace)
+    megablocks-audit lint --list            print the rule registry and exit
 
-RULES:
-    safety-comment     every `unsafe` block carries a `// SAFETY:` justification
-    hot-path-panic     no `.unwrap()` / `.expect(` in kernel hot paths
-    try-twin           every public sparse op has a fallible `try_*` twin
-    telemetry-parity   telemetry enabled/disabled expose identical public APIs
-    raw-parallelism    no thread spawning outside crates/exec (the runtime owns it)
-    fault-site-telemetry  every registered fault-injection site declares
-                       resilience.{injected,detected,recovered}.<name> counters
-                       and is wired somewhere outside the catalogue
+FLAGS:
+    --json    machine-readable report: {total, counts per rule, findings}
+    --list    render the central RULES registry (id, slug, since, doc)
+
+Rules are registered centrally; see `lint --list` for the authoritative
+table. Suppress a finding with a justified comment on (or directly above)
+the offending line:
+
+    // audit: allow(<rule-slug>) -- <justification>
 ";
 
-fn lint(root: Option<PathBuf>) -> ExitCode {
+fn lint(root: Option<PathBuf>, json: bool) -> ExitCode {
     let root = root.unwrap_or_else(workspace_root);
     match run_all_lints(&root) {
         Err(e) => {
             eprintln!(
-                "megablocks-audit: cannot read workspace at {}: {e}",
+                "megablocks-audit: cannot analyze workspace at {}: {e}",
                 root.display()
             );
             ExitCode::from(2)
         }
-        Ok(findings) if findings.is_empty() => {
-            println!(
-                "megablocks-audit: workspace clean ({} hot-path files, 6 rules)",
-                HOT_PATHS.len()
-            );
-            ExitCode::SUCCESS
-        }
         Ok(findings) => {
-            for f in &findings {
-                println!("{f}");
+            if json {
+                println!("{}", findings_to_json(&findings));
+            } else if findings.is_empty() {
+                println!("megablocks-audit: workspace clean ({} rules)", RULES.len());
+            } else {
+                for f in &findings {
+                    println!("{f}");
+                }
+                println!("megablocks-audit: {} finding(s)", findings.len());
             }
-            println!("megablocks-audit: {} finding(s)", findings.len());
-            ExitCode::FAILURE
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }

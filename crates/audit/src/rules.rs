@@ -1,0 +1,147 @@
+//! The central rule registry.
+//!
+//! Every lint the workspace enforces is declared here exactly once, with
+//! a stable numeric id, the slug used in findings and suppression
+//! comments, a one-line doc string, and the PR that introduced it.
+//! Nothing else in the crate refers to rules by ordinal — comments,
+//! CHANGES entries and CI summaries all key on the slug, and
+//! `megablocks-audit -- lint --list` renders this table.
+
+/// One registered lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable numeric id (historical ordering; never reused).
+    pub id: u8,
+    /// The slug used in findings and `// audit: allow(<slug>)` comments.
+    pub slug: &'static str,
+    /// One-line description of what the rule enforces.
+    pub doc: &'static str,
+    /// The PR that introduced the rule.
+    pub since: &'static str,
+}
+
+/// Every rule the workspace enforces, in id order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: 1,
+        slug: "safety-comment",
+        doc: "every `unsafe` block carries a `// SAFETY:` comment on the same \
+              line or in the contiguous comment block above it",
+        since: "PR 2",
+    },
+    Rule {
+        id: 2,
+        slug: "hot-path-panic",
+        doc: "`.unwrap()` / `.expect(` are banned from the non-test portions \
+              of the kernel hot-path files",
+        since: "PR 2",
+    },
+    Rule {
+        id: 3,
+        slug: "try-twin",
+        doc: "every panicking public sparse op in crates/sparse/src/ops.rs \
+              has a fallible `try_*` twin",
+        since: "PR 2",
+    },
+    Rule {
+        id: 4,
+        slug: "telemetry-parity",
+        doc: "each telemetry enabled/disabled implementation pair exposes \
+              identical public items, so flipping the feature never changes \
+              what compiles",
+        since: "PR 2",
+    },
+    Rule {
+        id: 5,
+        slug: "raw-parallelism",
+        doc: "raw thread primitives (`thread::spawn` & co.) are banned \
+              outside crates/exec; kernels launch through the worker pool",
+        since: "PR 3",
+    },
+    Rule {
+        id: 6,
+        slug: "fault-site-telemetry",
+        doc: "every registered fault-injection site declares scheme-conformant \
+              lifecycle counters and is referenced outside the catalogue",
+        since: "PR 4",
+    },
+    Rule {
+        id: 7,
+        slug: "feature-gate-parity",
+        doc: "every `telemetry`/`sanitize`/`chaos`-gated item has a \
+              same-signature counterpart in the opposite cfg branch",
+        since: "PR 7",
+    },
+    Rule {
+        id: 8,
+        slug: "error-exhaustive",
+        doc: "every `SparseError`/`AuditError`/`EpError` variant is \
+              constructed somewhere outside tests",
+        since: "PR 7",
+    },
+    Rule {
+        id: 9,
+        slug: "unsafe-safety-format",
+        doc: "SAFETY comments state the invariant being relied on (at least \
+              four words after the colon), not just that one exists",
+        since: "PR 7",
+    },
+    Rule {
+        id: 10,
+        slug: "suppression-justification",
+        doc: "`// audit: allow(<rule>)` suppressions name a registered rule \
+              and carry a `-- <justification>` tail",
+        since: "PR 7",
+    },
+];
+
+/// Looks a rule up by slug.
+pub fn rule_by_slug(slug: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.slug == slug)
+}
+
+/// Renders the registry as the table shown by `lint --list`.
+pub fn render_rule_list() -> String {
+    let mut out = String::new();
+    out.push_str("registered lint rules:\n");
+    for r in RULES {
+        out.push_str(&format!(
+            "  {:>2}  {:<26} {:<6} {}\n",
+            r.id,
+            r.slug,
+            r.since,
+            r.doc.split_whitespace().collect::<Vec<_>>().join(" ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_and_slugs_are_unique_and_ordered() {
+        for w in RULES.windows(2) {
+            assert!(w[0].id < w[1].id, "ids must be strictly increasing");
+        }
+        let mut slugs: Vec<&str> = RULES.iter().map(|r| r.slug).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), RULES.len(), "slugs must be unique");
+    }
+
+    #[test]
+    fn lookup_by_slug() {
+        assert_eq!(rule_by_slug("try-twin").unwrap().id, 3);
+        assert!(rule_by_slug("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn list_mentions_every_slug() {
+        let list = render_rule_list();
+        for r in RULES {
+            assert!(list.contains(r.slug), "missing {}", r.slug);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Adversarial lexer properties: the lexer must never panic, never
+//! produce a non-tiling token stream, and must round-trip byte-exactly on
+//! every input it accepts — including pathological fragment soup built
+//! from the constructs most likely to desynchronize a hand-rolled lexer
+//! (unbalanced quotes, nested comment markers, raw-string hash fences,
+//! lifetimes vs char literals, multibyte unicode).
+
+use megablocks_audit::lexer::{lex, round_trip};
+use megablocks_audit::model::SourceFile;
+use proptest::prelude::*;
+
+/// Fragments chosen to collide: string openers without closers, comment
+/// markers inside strings, hash fences of different depths, `'` in both
+/// its lifetime and char-literal roles, and multibyte characters that
+/// punish byte-offset arithmetic.
+const FRAGMENTS: &[&str] = &[
+    "\"",
+    "\\\"",
+    "\\\\",
+    "'",
+    "'a",
+    "'a'",
+    "'\\n'",
+    "r\"",
+    "r#\"",
+    "\"#",
+    "r##\"x\"##",
+    "//",
+    "/*",
+    "*/",
+    "/**/",
+    "/* /* */",
+    "\n",
+    " ",
+    "fn main() {}",
+    "let x = 1;",
+    "#[cfg(feature = \"x\")]",
+    "mod m { }",
+    "0xFF",
+    "1.5e-3",
+    "über",
+    "→",
+    "🦀",
+    "b\"bytes\"",
+    "{",
+    "}",
+    "::",
+    "macro_rules! m { () => {} }",
+];
+
+fn soup(parts: &[usize]) -> String {
+    parts
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexing_fragment_soup_never_breaks_the_tiling(
+        parts in proptest::collection::vec(0usize..1000, 0..40),
+    ) {
+        let src = soup(&parts);
+        // Accept or reject, but never panic and never desynchronize.
+        if let Ok(tokens) = lex(&src) {
+            let mut offset = 0;
+            for t in &tokens {
+                prop_assert_eq!(t.start, offset, "gap at byte {} in {:?}", offset, src);
+                prop_assert!(t.end > t.start, "empty token in {:?}", src);
+                offset = t.end;
+            }
+            prop_assert_eq!(offset, src.len(), "tokens do not reach EOF of {:?}", src);
+            prop_assert_eq!(round_trip(&src, &tokens), src);
+        }
+    }
+
+    #[test]
+    fn item_parser_never_panics_on_fragment_soup(
+        parts in proptest::collection::vec(0usize..1000, 0..40),
+    ) {
+        // The item walker must tolerate arbitrary (even unbalanced) token
+        // streams: garbage in, error-or-best-effort out — never a panic.
+        let src = soup(&parts);
+        let _ = SourceFile::parse(&src);
+    }
+
+    #[test]
+    fn lexing_is_deterministic(parts in proptest::collection::vec(0usize..1000, 0..30)) {
+        let src = soup(&parts);
+        let a = lex(&src);
+        let b = lex(&src);
+        match (a, b) {
+            (Ok(ta), Ok(tb)) => prop_assert_eq!(ta, tb),
+            (Err(ea), Err(eb)) => prop_assert_eq!(ea.to_string(), eb.to_string()),
+            _ => prop_assert!(false, "nondeterministic accept/reject on {:?}", src),
+        }
+    }
+}

@@ -21,6 +21,15 @@
 //!   across calls within a training step instead of round-tripping
 //!   through the allocator.
 //!
+//! * **A dynamic race sanitizer** ([`RaceViolation`], [`record_write`],
+//!   [`set_perturbation`]) — under `--features sanitize`, every
+//!   multi-band launch records its empirical per-band write sets and the
+//!   submitter proves them pairwise disjoint and inside the geometry's
+//!   claims after the launch; a seeded schedule-perturbation mode
+//!   shuffles band submission order to flush out order-dependent
+//!   overlaps. Violations surface from [`LaunchPlan::try_launch`] or as
+//!   panics prefixed with [`RACE_PANIC_PREFIX`].
+//!
 //! Pool occupancy, queue depth, launch counts and workspace hit rates
 //! are reported through `megablocks-telemetry` (`exec.*` metrics).
 
@@ -28,8 +37,13 @@
 
 mod plan;
 mod pool;
+mod sanitizer;
 pub mod workspace;
 
 pub use plan::LaunchPlan;
 pub use pool::{configure_threads, parallelism, parallelism_for, pool, scoped_parallelism, Pool};
+pub use sanitizer::{
+    band_order, perturbation_seed, record_write, record_write_span, set_perturbation, stall_slots,
+    RaceViolation, RACE_PANIC_PREFIX,
+};
 pub use workspace::{Workspace, WorkspaceStats};

@@ -28,6 +28,7 @@ use megablocks_resilience as resilience;
 use megablocks_telemetry as telemetry;
 
 use crate::pool;
+use crate::sanitizer::{self, RaceViolation};
 
 /// How a plan slices its output.
 enum Partition {
@@ -133,18 +134,42 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
     /// Single-band plans (and launches from inside a pool task) run
     /// inline on the caller. A panicking band is re-raised on the caller
     /// after every sibling band finished; the pool stays usable.
+    ///
+    /// # Panics
+    ///
+    /// Under `--features sanitize`, panics with a message starting with
+    /// [`crate::RACE_PANIC_PREFIX`] when the dynamic race sanitizer
+    /// detects overlapping band write sets or a claim escape. Use
+    /// [`LaunchPlan::try_launch`] to receive the violation as a value.
     pub fn launch(self) {
-        self.run(false);
+        if let Err(violation) = self.run(false) {
+            panic!("{violation}");
+        }
+    }
+
+    /// Executes the plan like [`LaunchPlan::launch`], but returns the
+    /// race sanitizer's verdict instead of panicking on a detected
+    /// violation. Without `--features sanitize` the dynamic checks
+    /// compile out and this always returns `Ok(())` (band panics are
+    /// still re-raised either way).
+    pub fn try_launch(self) -> Result<(), RaceViolation> {
+        self.run(false)
     }
 
     /// Executes the plan by spawning one fresh OS thread per band — the
     /// pre-runtime behavior, kept as the ablation baseline the exec
     /// microbenchmark compares pooled launches against.
+    ///
+    /// # Panics
+    ///
+    /// As [`LaunchPlan::launch`], including detected race violations.
     pub fn launch_spawn_per_op(self) {
-        self.run(true);
+        if let Err(violation) = self.run(true) {
+            panic!("{violation}");
+        }
     }
 
-    fn run(self, spawn_per_op: bool) {
+    fn run(self, spawn_per_op: bool) -> Result<(), RaceViolation> {
         verify_plan(&self);
         let bands = self.bands();
         telemetry::histogram("exec.launch.bands").record(bands as u64);
@@ -174,8 +199,11 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
         if bands <= 1 {
             telemetry::counter_with("exec.launches", "inline").inc();
             guarded(data, 0);
-            return;
+            return Ok(());
         }
+        let race_monitor =
+            sanitizer::Monitor::begin(op, data, partition_claims(&partition, data.len()));
+        let monitor = &race_monitor;
         let guarded = &guarded;
         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bands);
         match partition {
@@ -183,19 +211,28 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
                 unit,
                 items_per_band,
             } => {
-                for (i, band) in data.chunks_mut(items_per_band * unit).enumerate() {
-                    tasks.push(Box::new(move || guarded(band, i * items_per_band)));
+                for (b, band) in data.chunks_mut(items_per_band * unit).enumerate() {
+                    tasks.push(Box::new(move || {
+                        sanitizer::stall(b);
+                        let _scope = monitor.enter(b, band);
+                        guarded(band, b * items_per_band)
+                    }));
                 }
             }
             Partition::Explicit { band_lens } => {
                 let mut rest = data;
-                for (i, &len) in band_lens.iter().enumerate() {
+                for (b, &len) in band_lens.iter().enumerate() {
                     let (band, tail) = rest.split_at_mut(len);
                     rest = tail;
-                    tasks.push(Box::new(move || guarded(band, i)));
+                    tasks.push(Box::new(move || {
+                        sanitizer::stall(b);
+                        let _scope = monitor.enter(b, band);
+                        guarded(band, b)
+                    }));
                 }
             }
         }
+        let tasks = perturb_submission_order(tasks);
 
         if spawn_per_op {
             telemetry::counter_with("exec.launches", "spawn_per_op").inc();
@@ -204,7 +241,75 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
             telemetry::counter_with("exec.launches", "pooled").inc();
             pool::pool().run(tasks);
         }
+        race_monitor.finish()
     }
+}
+
+/// Reorders band tasks by the active schedule-perturbation seed (a no-op
+/// at the default seed 0). Bands are disjoint, so any submission order is
+/// semantically legal; perturbing it flushes out latent order-dependent
+/// overlaps for the race sanitizer to catch.
+fn perturb_submission_order(
+    tasks: Vec<Box<dyn FnOnce() + Send + '_>>,
+) -> Vec<Box<dyn FnOnce() + Send + '_>> {
+    let seed = sanitizer::perturbation_seed();
+    if seed == 0 || tasks.len() < 2 {
+        return tasks;
+    }
+    let order = sanitizer::band_order(seed, tasks.len());
+    let mut slots: Vec<Option<Box<dyn FnOnce() + Send + '_>>> =
+        tasks.into_iter().map(Some).collect();
+    let mut shuffled = Vec::with_capacity(slots.len());
+    for &b in &order {
+        if let Some(task) = slots[b].take() {
+            shuffled.push(task);
+        }
+    }
+    shuffled
+}
+
+/// The byte interval each band's geometry claims, in launch order — the
+/// reference the race sanitizer cross-checks recorded writes against.
+/// Compiles to an empty vec without the `sanitize` feature.
+#[cfg(feature = "sanitize")]
+fn partition_claims(partition: &Partition, len: usize) -> Vec<(usize, usize)> {
+    const F: usize = std::mem::size_of::<f32>();
+    match partition {
+        Partition::Uniform {
+            unit,
+            items_per_band,
+        } => {
+            let items = len / unit;
+            let bands = items.div_ceil(*items_per_band).max(1);
+            (0..bands)
+                .map(|b| {
+                    let lo = b * items_per_band;
+                    let hi = ((b + 1) * items_per_band).min(items);
+                    (lo * unit * F, hi * unit * F)
+                })
+                .collect()
+        }
+        Partition::Explicit { band_lens } => {
+            let mut start = 0usize;
+            band_lens
+                .iter()
+                .map(|&band_len| {
+                    let claim = (start * F, (start + band_len) * F);
+                    start += band_len;
+                    claim
+                })
+                .collect()
+        }
+    }
+}
+
+/// The byte interval each band's geometry claims, in launch order — the
+/// reference the race sanitizer cross-checks recorded writes against.
+/// Compiles to an empty vec without the `sanitize` feature.
+#[cfg(not(feature = "sanitize"))]
+fn partition_claims(partition: &Partition, len: usize) -> Vec<(usize, usize)> {
+    let _ = (partition, len);
+    Vec::new()
 }
 
 /// The spawn-per-op ablation launcher: a fresh scoped thread per band,

@@ -251,6 +251,21 @@ pub enum AuditError {
         /// Rows actually covered by the planned bands.
         covered: usize,
     },
+    /// The dynamic race sanitizer caught two bands writing the same
+    /// output bytes during a launch (or one band escaping its claimed
+    /// interval, reported with `first_band == second_band`).
+    RaceDetected {
+        /// The kernel whose launch raced.
+        op: &'static str,
+        /// Lower-numbered band of the racing pair.
+        first_band: usize,
+        /// Higher-numbered band of the racing pair.
+        second_band: usize,
+        /// First overlapping output byte.
+        start: usize,
+        /// One past the last overlapping output byte.
+        end: usize,
+    },
 }
 
 impl fmt::Display for AuditError {
@@ -351,6 +366,16 @@ impl fmt::Display for AuditError {
             AuditError::BandPartitionBroken { op, rows, covered } => write!(
                 f,
                 "audit: {op} band partition covers {covered} of {rows} output rows"
+            ),
+            AuditError::RaceDetected {
+                op,
+                first_band,
+                second_band,
+                start,
+                end,
+            } => write!(
+                f,
+                "audit: {op} race detected — bands {first_band} and {second_band} both wrote output bytes {start}..{end}"
             ),
         }
     }

@@ -61,6 +61,40 @@ mod sanitize {
     pub(super) fn output(op: &'static str, data: &[f32]) -> Result<(), SparseError> {
         audit::check_finite(op, data).map_err(SparseError::Audit)
     }
+
+    pub(super) fn race(
+        result: Result<(), megablocks_exec::RaceViolation>,
+    ) -> Result<(), SparseError> {
+        use megablocks_exec::RaceViolation;
+        result.map_err(|violation| {
+            SparseError::Audit(match violation {
+                RaceViolation::Overlap {
+                    op,
+                    first_band,
+                    second_band,
+                    start,
+                    end,
+                } => audit::AuditError::RaceDetected {
+                    op,
+                    first_band,
+                    second_band,
+                    start,
+                    end,
+                },
+                // A claim escape has one offending band; report it as a
+                // degenerate pair so the error shape stays uniform.
+                RaceViolation::ClaimMismatch {
+                    op, band, recorded, ..
+                } => audit::AuditError::RaceDetected {
+                    op,
+                    first_band: band,
+                    second_band: band,
+                    start: recorded.0,
+                    end: recorded.1,
+                },
+            })
+        })
+    }
 }
 
 #[cfg(not(feature = "sanitize"))]
@@ -93,6 +127,14 @@ mod sanitize {
 
     #[inline(always)]
     pub(super) fn output(_op: &'static str, _data: &[f32]) -> Result<(), SparseError> {
+        Ok(())
+    }
+
+    #[inline(always)]
+    pub(super) fn race(
+        result: Result<(), megablocks_exec::RaceViolation>,
+    ) -> Result<(), SparseError> {
+        let _ = result;
         Ok(())
     }
 }
@@ -346,14 +388,16 @@ pub fn try_sdd_op(
     if threads > 1 {
         sanitize::sdd_partition(topo, threads, blocks_per_thread)?;
     }
-    exec::LaunchPlan::over_items(
-        variant,
-        out.as_mut_slice(),
-        area,
-        blocks_per_thread,
-        &compute,
-    )
-    .launch();
+    sanitize::race(
+        exec::LaunchPlan::over_items(
+            variant,
+            out.as_mut_slice(),
+            area,
+            blocks_per_thread,
+            &compute,
+        )
+        .try_launch(),
+    )?;
     sanitize::output(variant, out.as_slice())?;
     Ok(out)
 }
@@ -618,14 +662,16 @@ pub fn try_dsd_op(
             compute_group(band, g0 + off);
         }
     };
-    exec::LaunchPlan::over_items(
-        variant,
-        out.as_mut_slice(),
-        bs * n,
-        groups_per_thread,
-        &body,
-    )
-    .launch();
+    sanitize::race(
+        exec::LaunchPlan::over_items(
+            variant,
+            out.as_mut_slice(),
+            bs * n,
+            groups_per_thread,
+            &body,
+        )
+        .try_launch(),
+    )?;
     sanitize::output(variant, out.as_slice())?;
     Ok(out)
 }
@@ -795,7 +841,10 @@ pub fn try_dds_op(
 
     let rows_per_thread = m.div_ceil(threads);
     let body = |band: &mut [f32], i0: usize| compute_band(band, i0, band.len() / n);
-    exec::LaunchPlan::over_items(variant, out.as_mut_slice(), n, rows_per_thread, &body).launch();
+    sanitize::race(
+        exec::LaunchPlan::over_items(variant, out.as_mut_slice(), n, rows_per_thread, &body)
+            .try_launch(),
+    )?;
     sanitize::output(variant, out.as_slice())?;
     Ok(out)
 }

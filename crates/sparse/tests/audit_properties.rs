@@ -268,3 +268,21 @@ fn sanitized_ops_reject_corrupted_topology_at_entry() {
         other => panic!("expected TransposeNotBijective at op entry, got {other:?}"),
     }
 }
+
+#[test]
+fn race_detected_error_carries_bands_and_byte_range() {
+    // The structured error the sanitize feature maps exec race
+    // violations into; the fields and message shape are load-bearing for
+    // operators grepping CI logs.
+    let err = AuditError::RaceDetected {
+        op: "sparse.sdd",
+        first_band: 1,
+        second_band: 3,
+        start: 64,
+        end: 96,
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("sparse.sdd"), "message: {msg}");
+    assert!(msg.contains("bands 1 and 3"), "message: {msg}");
+    assert!(msg.contains("64..96"), "message: {msg}");
+}

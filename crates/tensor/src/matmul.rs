@@ -191,7 +191,13 @@ pub fn gemm(
     };
 
     let rows_per_band = m.div_ceil(threads);
-    let body = |band: &mut [f32], row0: usize| compute_band(band, row0, band.len() / n);
+    let body = |band: &mut [f32], row0: usize| {
+        // Report the band's write set to the exec race sanitizer from the
+        // kernel side (a no-op without `--features sanitize`); gemm writes
+        // every element of its band, so the whole slice is the interval.
+        exec::record_write(band);
+        compute_band(band, row0, band.len() / n)
+    };
     exec::LaunchPlan::over_items("gemm", c_data, n, rows_per_band, &body).launch();
     sanitize_output("gemm", c_data);
 }

@@ -274,6 +274,16 @@ impl ResilientTrainer {
                     telemetry::counter("resilience.trainer.panics").inc();
                     saw_panic = true;
                     last_reason = panic_reason(payload.as_ref());
+                    // A race reported by the exec sanitizer is a kernel
+                    // bug, not a transient fault: the same bands collide
+                    // on every replay, so retrying only burns the budget.
+                    // Roll back and fall through to the skip path.
+                    if last_reason.starts_with(megablocks_exec::RACE_PANIC_PREFIX) {
+                        telemetry::counter("resilience.trainer.races").inc();
+                        self.trainer.zero_grads();
+                        self.trainer.set_rng_state(rng_snapshot);
+                        break;
+                    }
                 }
             }
             // Roll the attempt back exactly: discard partial gradient
