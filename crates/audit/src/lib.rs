@@ -46,6 +46,9 @@ pub use rules::{render_rule_list, rule_by_slug, Rule, RULES};
 pub const HOT_PATHS: &[&str] = &[
     "crates/sparse/src/ops.rs",
     "crates/tensor/src/matmul.rs",
+    "crates/tensor/src/kernel/mod.rs",
+    "crates/tensor/src/kernel/scalar.rs",
+    "crates/tensor/src/kernel/tiled.rs",
     "crates/core/src/permute.rs",
 ];
 
@@ -68,6 +71,12 @@ pub const TELEMETRY_PAIRS: &[(&str, &str)] = &[
 /// The one directory allowed to use raw thread primitives: the execution
 /// runtime owns every spawn in the workspace (workspace-relative prefix).
 pub const EXEC_CRATE: &str = "crates/exec/";
+
+/// The one directory allowed to hand-roll GEMM inner loops: the
+/// microkernel module behind `block_gemm` (workspace-relative prefix).
+/// The `kernel-dispatch` rule bans raw inner loops elsewhere in the
+/// tensor and sparse crates.
+pub const KERNEL_DIR: &str = "crates/tensor/src/kernel/";
 
 /// The fault-injection site catalogue the `fault-site-telemetry` rule
 /// parses and cross-references.
@@ -278,6 +287,19 @@ pub fn run_all_lints(root: &Path) -> io::Result<Vec<Finding>> {
             && !wf.rel.contains("/benches/")
         {
             findings.extend(check_raw_parallelism(wf));
+        }
+
+        // `kernel-dispatch`: raw GEMM inner loops only inside the
+        // microkernel module — tensor/sparse compute funnels through
+        // `block_gemm` so the backend registry governs every path.
+        // Tests and benches are exempt (reference implementations are
+        // exactly what parity suites hand-roll).
+        if (wf.rel.starts_with("crates/tensor/") || wf.rel.starts_with("crates/sparse/"))
+            && !wf.rel.starts_with(KERNEL_DIR)
+            && !wf.rel.contains("/tests/")
+            && !wf.rel.contains("/benches/")
+        {
+            findings.extend(check_kernel_dispatch(wf));
         }
 
         // `feature-gate-parity`, across every crate except the audit
@@ -639,6 +661,86 @@ pub fn check_raw_parallelism(wf: &WorkspaceFile) -> Vec<Finding> {
                  megablocks_exec::LaunchPlan instead"
             ),
         });
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// kernel-dispatch
+// ---------------------------------------------------------------------------
+
+/// `kernel-dispatch`: a `+=` whose right-hand side multiplies, inside
+/// triple-nested `for` loops, is the shape of a hand-rolled GEMM inner
+/// loop. Outside [`KERNEL_DIR`] those are banned in the tensor and
+/// sparse crates — compute routes through `megablocks_tensor::block_gemm`
+/// so the kernel backend registry governs every path. Test-gated items
+/// are exempt, like the raw-parallelism rule.
+///
+/// The loop tracker skips `for<` (higher-ranked trait bounds) and only
+/// counts a `for` with an `in` before its body brace; depth-1 and
+/// depth-2 accumulations (axpy, reductions, norms) never trip the rule.
+pub fn check_kernel_dispatch(wf: &WorkspaceFile) -> Vec<Finding> {
+    let cv = CodeView::new(wf);
+    let mut findings = Vec::new();
+    // Brace depths at which a `for` body opened; the stack height is the
+    // current loop-nesting depth.
+    let mut loop_depths: Vec<usize> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending_for = false;
+    let mut i = 0;
+    while i < cv.len() {
+        if cv.is_ident(i, "for") && !cv.is_punct(i + 1, "<") {
+            let mut j = i + 1;
+            while j < cv.len() && !cv.is_punct(j, "{") {
+                if cv.is_ident(j, "in") {
+                    pending_for = true;
+                    break;
+                }
+                j += 1;
+            }
+        } else if cv.is_punct(i, "{") {
+            depth += 1;
+            if pending_for {
+                loop_depths.push(depth);
+                pending_for = false;
+            }
+        } else if cv.is_punct(i, "}") {
+            if loop_depths.last() == Some(&depth) {
+                loop_depths.pop();
+            }
+            depth = depth.saturating_sub(1);
+        } else if loop_depths.len() >= 3
+            && cv.is_punct(i, "+")
+            && cv.is_punct(i + 1, "=")
+            && cv.tok(i).end == cv.tok(i + 1).start
+            && !wf.sf.in_test_item(cv.tok(i).start)
+        {
+            // Scan the right-hand side (through `;`) for a binary `*`:
+            // one whose left neighbour ends a value (ident, number or a
+            // closing bracket). A deref `*` follows an operator instead.
+            let mut j = i + 2;
+            while j < cv.len() && !cv.is_punct(j, ";") {
+                let value_on_left = j > 0
+                    && (matches!(cv.tok(j - 1).kind, TokenKind::Ident | TokenKind::Number)
+                        || cv.is_punct(j - 1, ")")
+                        || cv.is_punct(j - 1, "]"));
+                if cv.is_punct(j, "*") && value_on_left {
+                    findings.push(Finding {
+                        file: wf.rel.clone(),
+                        line: cv.tok(i).line,
+                        rule: "kernel-dispatch",
+                        message: "raw GEMM inner loop (`+=` of a product at for-loop \
+                                  depth >= 3) outside crates/tensor/src/kernel; route \
+                                  through megablocks_tensor::block_gemm"
+                            .to_string(),
+                    });
+                    break;
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
     }
     findings
 }
@@ -1381,6 +1483,47 @@ mod tests {
     fn raw_parallelism_lint_ignores_strings() {
         let src = "fn k() -> &'static str {\n    \"thread::spawn\"\n}\n";
         assert!(check_raw_parallelism(&wf(src)).is_empty());
+    }
+
+    #[test]
+    fn kernel_dispatch_flags_triple_loop_gemm() {
+        let src = "fn gemm(a: &[f32], b: &[f32], c: &mut [f32], n: usize) {\n    for i in 0..n {\n        for j in 0..n {\n            for p in 0..n {\n                c[i * n + j] += a[i * n + p] * b[p * n + j];\n            }\n        }\n    }\n}\n";
+        let f = check_kernel_dispatch(&wf(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "kernel-dispatch");
+        assert_eq!(f[0].line, 5);
+        assert!(f[0].message.contains("block_gemm"));
+    }
+
+    #[test]
+    fn kernel_dispatch_allows_depth_two_accumulation() {
+        // axpy / layer-norm style loops accumulate products at depth <= 2
+        // — those are not GEMMs and must not trip the rule.
+        let src = "fn axpy(y: &mut [f32], a: f32, x: &[f32]) {\n    for i in 0..y.len() {\n        y[i] += a * x[i];\n    }\n}\nfn norms(m: &[f32], n: usize, out: &mut [f32]) {\n    for i in 0..n {\n        for j in 0..n {\n            out[i] += m[i * n + j] * m[i * n + j];\n        }\n    }\n}\n";
+        assert!(check_kernel_dispatch(&wf(src)).is_empty());
+    }
+
+    #[test]
+    fn kernel_dispatch_allows_productless_triple_loops() {
+        // Triple-nested loops that only add (no `*` on the RHS) are
+        // reductions or copies, not GEMM inner loops. The `i * n` on the
+        // *left* of the `+=` must not count.
+        let src = "fn sum3(t: &[f32], o: &mut [f32], n: usize) {\n    for i in 0..n {\n        for j in 0..n {\n            for p in 0..n {\n                o[i * n + j] += t[p];\n            }\n        }\n    }\n}\n";
+        assert!(check_kernel_dispatch(&wf(src)).is_empty());
+    }
+
+    #[test]
+    fn kernel_dispatch_exempts_tests_and_skips_hrtb() {
+        let src = "fn takes<F: for<'a> Fn(&'a f32)>(f: F) {}\n#[cfg(test)]\nmod tests {\n    fn reference(a: &[f32], b: &[f32], c: &mut [f32], n: usize) {\n        for i in 0..n {\n            for j in 0..n {\n                for p in 0..n {\n                    c[i * n + j] += a[i * n + p] * b[p * n + j];\n                }\n            }\n        }\n    }\n}\n";
+        assert!(check_kernel_dispatch(&wf(src)).is_empty());
+    }
+
+    #[test]
+    fn kernel_dispatch_ignores_deref_multiplication() {
+        // `a_val * *p` — the second `*` is a deref; the first, following
+        // an ident, is the binary product and still trips the rule.
+        let src = "fn f(c: &mut [f32], a: &[f32], p: &f32, n: usize) {\n    for i in 0..n {\n        for j in 0..n {\n            for k in 0..n {\n                c[i] += a[k] * *p;\n            }\n        }\n    }\n}\n";
+        assert_eq!(check_kernel_dispatch(&wf(src)).len(), 1);
     }
 
     #[test]

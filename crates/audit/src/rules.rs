@@ -93,6 +93,15 @@ pub const RULES: &[Rule] = &[
               and carry a `-- <justification>` tail",
         since: "PR 7",
     },
+    Rule {
+        id: 11,
+        slug: "kernel-dispatch",
+        doc: "raw GEMM inner loops (`+=` of a product inside triple-nested \
+              `for` loops) are banned in the tensor and sparse crates \
+              outside crates/tensor/src/kernel — compute goes through \
+              `block_gemm` so every path honors the backend registry",
+        since: "PR 8",
+    },
 ];
 
 /// Looks a rule up by slug.

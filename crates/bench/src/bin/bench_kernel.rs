@@ -1,0 +1,27 @@
+//! Microkernel backend benchmark: tiled vs scalar on large products.
+//!
+//! Runs dense GEMM, SDD and DSD at compute-bound shapes under both
+//! kernel backends and reports the tiled speedup (scalar p50 over tiled
+//! p50). Because the backends are bit-identical by contract, the speedup
+//! is pure implementation headroom — packing and cache blocking with no
+//! accuracy trade. The measurement core lives in
+//! `megablocks_bench::kernel_bench`, shared with the `megablocks-bench
+//! gate` regression check.
+//!
+//! ```text
+//! cargo run --release -p megablocks-bench --bin bench_kernel [> BENCH_kernel.json]
+//! ```
+//!
+//! Emits one JSON document with per-scenario p50 latencies, the tiled
+//! speedup, and a `meta` provenance block (threads, git rev, recording
+//! time) the gate uses to refuse apples-to-oranges comparisons.
+
+use megablocks_bench::exec_bench::BenchMeta;
+use megablocks_bench::kernel_bench::{measure_kernels, render_kernel_json};
+
+fn main() {
+    let rows = measure_kernels(1.0);
+    let threads = rows.first().map_or(0, |m| m.threads);
+    let meta = BenchMeta::collect(threads);
+    print!("{}", render_kernel_json(&meta, &rows));
+}

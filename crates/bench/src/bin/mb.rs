@@ -8,11 +8,17 @@
 //! ```
 //!
 //! Subcommands:
-//!   gate    Re-run the exec launch benchmark and compare against the
-//!           committed BENCH_exec.json baseline; nonzero exit on
+//!   gate    Re-run the exec launch benchmark (and, when a committed
+//!           BENCH_kernel.json exists, the microkernel backend benchmark)
+//!           and compare against the committed baselines; nonzero exit on
 //!           regression. Flags: --baseline <path>, --tolerance <frac>,
 //!           --quick (shrink iterations), --inflate <factor> (synthetic
-//!           slowdown, for proving the gate trips).
+//!           slowdown, for proving the gate trips), --kernel-baseline
+//!           <path>, --min-kernel-speedup <factor> (absolute tiled-vs-
+//!           scalar floor, default 1.3), --kernel-tolerance <frac>
+//!           (relative tolerance for the kernel speedups, default 0.5 —
+//!           wider than the exec tolerance because 5-12x ratios swing
+//!           more with machine load; the floor backstops the contract).
 //!   health  Summarize a results/health_<cmd>.json MoE health report.
 //!   trace   Summarize a Chrome-trace JSON export (lanes, span counts).
 
@@ -28,6 +34,8 @@ fn usage() -> ! {
         "usage: megablocks-bench <gate|health|trace> [args]\n\
          \n\
          gate [--baseline <path>] [--tolerance <frac>] [--quick] [--inflate <factor>]\n\
+         \x20    [--kernel-baseline <path>] [--min-kernel-speedup <factor>]\n\
+         \x20    [--kernel-tolerance <frac>]\n\
          health <health_json_path>\n\
          trace <trace_json_path>"
     );
@@ -57,6 +65,20 @@ fn gate_cmd(args: &[String]) -> i32 {
         match arg.as_str() {
             "--baseline" => cfg.baseline = value("--baseline").into(),
             "--trace-baseline" => cfg.trace_baseline = value("--trace-baseline").into(),
+            "--kernel-baseline" => cfg.kernel_baseline = value("--kernel-baseline").into(),
+            "--kernel-tolerance" => {
+                cfg.kernel_tolerance = value("--kernel-tolerance").parse().unwrap_or_else(|_| {
+                    eprintln!("gate: --kernel-tolerance expects a fraction like 0.5");
+                    exit(2);
+                })
+            }
+            "--min-kernel-speedup" => {
+                cfg.min_kernel_speedup =
+                    value("--min-kernel-speedup").parse().unwrap_or_else(|_| {
+                        eprintln!("gate: --min-kernel-speedup expects a factor like 1.3");
+                        exit(2);
+                    })
+            }
             "--tolerance" => {
                 cfg.tolerance = value("--tolerance").parse().unwrap_or_else(|_| {
                     eprintln!("gate: --tolerance expects a fraction like 0.25");

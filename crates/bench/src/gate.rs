@@ -11,7 +11,13 @@
 //! quantity being measured, not just its noise.
 //!
 //! When a committed `BENCH_trace.json` exists, the gate also checks the
-//! recorded tracing-on overhead stays under its budget.
+//! recorded tracing-on overhead stays under its budget. When a committed
+//! `BENCH_kernel.json` exists, the gate re-runs the microkernel backend
+//! benchmark and enforces the tiled speedup: each scenario must clear
+//! both `baseline * (1 - tolerance)` and the absolute acceptance floor
+//! (`--min-kernel-speedup`, default 1.3x) — a tiled backend that no
+//! longer beats scalar by the contracted margin is a regression even if
+//! the committed baseline was already slow.
 //!
 //! Exit codes: 0 pass · 1 regression · 2 usage/configuration error ·
 //! 3 metadata mismatch (comparison refused).
@@ -21,6 +27,7 @@ use std::path::{Path, PathBuf};
 use megablocks_telemetry::json::Json;
 
 use crate::exec_bench::{measure_all, ExecMeasurement};
+use crate::kernel_bench::{measure_kernels, KernelMeasurement};
 
 /// Gate configuration (CLI flags of the `gate` subcommand).
 #[derive(Debug, Clone)]
@@ -41,6 +48,17 @@ pub struct GateConfig {
     /// Maximum tracing-on overhead (percent) accepted from
     /// `BENCH_trace.json`.
     pub max_trace_overhead_pct: f64,
+    /// Committed microkernel benchmark to re-run and validate (skipped
+    /// when the file does not exist).
+    pub kernel_baseline: PathBuf,
+    /// Absolute acceptance floor for the tiled backend's speedup over
+    /// scalar on the kernel benchmark's compute-bound scenarios.
+    pub min_kernel_speedup: f64,
+    /// Relative tolerance for the kernel speedups — wider than
+    /// [`GateConfig::tolerance`] because tiled-vs-scalar ratios run
+    /// 5-12x and swing far more with machine load than the ~1x exec
+    /// ratios; the `min_kernel_speedup` floor backstops the contract.
+    pub kernel_tolerance: f64,
 }
 
 impl Default for GateConfig {
@@ -52,6 +70,9 @@ impl Default for GateConfig {
             iter_scale: 1.0,
             inflate: 1.0,
             max_trace_overhead_pct: 5.0,
+            kernel_baseline: PathBuf::from("BENCH_kernel.json"),
+            min_kernel_speedup: 1.3,
+            kernel_tolerance: 0.5,
         }
     }
 }
@@ -160,6 +181,108 @@ pub fn compare(baseline: &Baseline, fresh: &[ExecMeasurement], tolerance: f64) -
     outcome
 }
 
+/// One scenario row parsed from a committed `BENCH_kernel.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBaselineRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Recorded tiled speedup (scalar p50 over tiled p50).
+    pub tiled_speedup: f64,
+}
+
+/// A parsed `BENCH_kernel.json` baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelBaseline {
+    /// Pool parallelism the baseline was recorded with.
+    pub threads: usize,
+    /// Recording commit.
+    pub git_rev: String,
+    /// Per-scenario rows.
+    pub rows: Vec<KernelBaselineRow>,
+}
+
+/// Parses a `BENCH_kernel.json` document.
+pub fn parse_kernel_baseline(src: &str) -> Result<KernelBaseline, String> {
+    let doc = Json::parse(src)?;
+    let threads = doc
+        .get("meta")
+        .and_then(|m| m.get("threads"))
+        .or_else(|| doc.get("threads"))
+        .and_then(Json::as_u64)
+        .ok_or("kernel baseline missing threads")? as usize;
+    let git_rev = doc
+        .get("meta")
+        .and_then(|m| m.get("git_rev"))
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("kernel baseline missing results array")?;
+    let mut rows = Vec::with_capacity(results.len());
+    for (i, row) in results.iter().enumerate() {
+        rows.push(KernelBaselineRow {
+            scenario: row
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("result {i}: missing scenario"))?
+                .to_string(),
+            tiled_speedup: row
+                .get("tiled_speedup")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("result {i}: missing tiled_speedup"))?,
+        });
+    }
+    if rows.is_empty() {
+        return Err("kernel baseline has no results".to_string());
+    }
+    Ok(KernelBaseline {
+        threads,
+        git_rev,
+        rows,
+    })
+}
+
+/// Compares fresh kernel measurements against the baseline rows: each
+/// scenario's tiled speedup must clear both the baseline within
+/// `tolerance` *and* the absolute `floor` — the acceptance contract, not
+/// just drift from whatever was last committed. Pure logic, separated
+/// from I/O so tests can drive it with synthetic numbers.
+pub fn compare_kernel(
+    baseline: &KernelBaseline,
+    fresh: &[KernelMeasurement],
+    tolerance: f64,
+    floor: f64,
+) -> GateOutcome {
+    let mut outcome = GateOutcome::default();
+    for base in &baseline.rows {
+        let Some(m) = fresh.iter().find(|m| m.scenario == base.scenario) else {
+            outcome
+                .failures
+                .push(format!("{}: missing from fresh kernel run", base.scenario));
+            continue;
+        };
+        let required = (base.tiled_speedup * (1.0 - tolerance)).max(floor);
+        let speedup = m.tiled_speedup();
+        if speedup < required {
+            outcome.failures.push(format!(
+                "{}: tiled speedup {speedup:.3}x below required {required:.3}x \
+                 (baseline {:.3}x, tolerance {:.0}%, floor {floor:.2}x)",
+                base.scenario,
+                base.tiled_speedup,
+                tolerance * 100.0
+            ));
+        } else {
+            outcome.passes.push(format!(
+                "{}: tiled speedup {speedup:.3}x >= required {required:.3}x (baseline {:.3}x)",
+                base.scenario, base.tiled_speedup
+            ));
+        }
+    }
+    outcome
+}
+
 /// Validates the committed `BENCH_trace.json` overhead figure, if the
 /// file exists. `Ok(None)` when absent.
 pub fn check_trace_overhead(path: &Path, max_pct: f64) -> Result<Option<String>, String> {
@@ -228,7 +351,46 @@ pub fn run_gate(cfg: &GateConfig) -> i32 {
         }
     }
 
-    let outcome = compare(&baseline, &fresh, cfg.tolerance);
+    let mut outcome = compare(&baseline, &fresh, cfg.tolerance);
+
+    // Microkernel backend check, when a baseline is committed.
+    match std::fs::read_to_string(&cfg.kernel_baseline) {
+        Err(_) => {}
+        Ok(src) => {
+            let kernel_baseline = match parse_kernel_baseline(&src) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("gate: cannot parse {}: {e}", cfg.kernel_baseline.display());
+                    return 2;
+                }
+            };
+            println!(
+                "gate: kernel baseline {} (threads {}, rev {})",
+                cfg.kernel_baseline.display(),
+                kernel_baseline.threads,
+                kernel_baseline.git_rev
+            );
+            let kernel_fresh = measure_kernels(cfg.iter_scale);
+            let kernel_threads = kernel_fresh.first().map_or(0, |m| m.threads);
+            if kernel_threads != kernel_baseline.threads {
+                eprintln!(
+                    "gate: REFUSED — kernel baseline recorded at {} threads, this run uses \
+                     {kernel_threads}; re-record the baseline or set MEGABLOCKS_THREADS={}",
+                    kernel_baseline.threads, kernel_baseline.threads
+                );
+                return 3;
+            }
+            let kernel_outcome = compare_kernel(
+                &kernel_baseline,
+                &kernel_fresh,
+                cfg.kernel_tolerance,
+                cfg.min_kernel_speedup,
+            );
+            outcome.passes.extend(kernel_outcome.passes);
+            outcome.failures.extend(kernel_outcome.failures);
+        }
+    }
+
     for line in &outcome.passes {
         println!("gate: PASS {line}");
     }
@@ -331,6 +493,103 @@ mod tests {
         assert_eq!(parsed.git_rev, "deadbee");
         assert_eq!(parsed.rows.len(), 1);
         assert!((parsed.rows[0].pooled_speedup - 1.57).abs() < 1e-9);
+    }
+
+    fn kernel_meas(name: &str, scalar: u128, tiled: u128) -> KernelMeasurement {
+        KernelMeasurement {
+            scenario: name.to_string(),
+            threads: 4,
+            iters: 20,
+            scalar_ns_p50: scalar,
+            tiled_ns_p50: tiled,
+        }
+    }
+
+    fn kernel_baseline() -> KernelBaseline {
+        KernelBaseline {
+            threads: 4,
+            git_rev: "abc1234".to_string(),
+            rows: vec![
+                KernelBaselineRow {
+                    scenario: "large_gemm".to_string(),
+                    tiled_speedup: 2.0,
+                },
+                KernelBaselineRow {
+                    scenario: "large_sdd".to_string(),
+                    tiled_speedup: 1.6,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn kernel_matching_run_passes() {
+        let fresh = vec![
+            kernel_meas("large_gemm", 200, 100),
+            kernel_meas("large_sdd", 160, 100),
+        ];
+        let out = compare_kernel(&kernel_baseline(), &fresh, 0.25, 1.3);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert_eq!(out.passes.len(), 2);
+    }
+
+    #[test]
+    fn kernel_floor_binds_even_when_baseline_is_slow() {
+        // A 1.35x baseline with 25% tolerance allows 1.0125x — but the
+        // absolute 1.3x floor still rejects a 1.1x fresh run.
+        let baseline = KernelBaseline {
+            threads: 4,
+            git_rev: "abc1234".to_string(),
+            rows: vec![KernelBaselineRow {
+                scenario: "large_gemm".to_string(),
+                tiled_speedup: 1.35,
+            }],
+        };
+        let fresh = vec![kernel_meas("large_gemm", 110, 100)];
+        let out = compare_kernel(&baseline, &fresh, 0.25, 1.3);
+        assert_eq!(out.failures.len(), 1);
+        assert!(
+            out.failures[0].contains("floor 1.30x"),
+            "{}",
+            out.failures[0]
+        );
+    }
+
+    #[test]
+    fn kernel_regression_against_baseline_fails() {
+        // 2.0x baseline, 25% tolerance => 1.5x required; 1.4x fails even
+        // though it clears the absolute floor.
+        let fresh = vec![
+            kernel_meas("large_gemm", 140, 100),
+            kernel_meas("large_sdd", 160, 100),
+        ];
+        let out = compare_kernel(&kernel_baseline(), &fresh, 0.25, 1.3);
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.failures[0].contains("large_gemm"));
+    }
+
+    #[test]
+    fn kernel_missing_scenario_fails() {
+        let fresh = vec![kernel_meas("large_gemm", 200, 100)];
+        let out = compare_kernel(&kernel_baseline(), &fresh, 0.25, 1.3);
+        assert!(out.failures.iter().any(|f| f.contains("large_sdd")));
+    }
+
+    #[test]
+    fn kernel_baseline_round_trips_through_render() {
+        use crate::exec_bench::BenchMeta;
+        use crate::kernel_bench::render_kernel_json;
+        let meta = BenchMeta {
+            threads: 4,
+            git_rev: "deadbee".to_string(),
+            recorded_unix: 1_754_000_000,
+        };
+        let rows = vec![kernel_meas("large_gemm", 200, 100)];
+        let parsed = parse_kernel_baseline(&render_kernel_json(&meta, &rows)).unwrap();
+        assert_eq!(parsed.threads, 4);
+        assert_eq!(parsed.git_rev, "deadbee");
+        assert_eq!(parsed.rows.len(), 1);
+        assert!((parsed.rows[0].tiled_speedup - 2.0).abs() < 1e-9);
     }
 
     #[test]

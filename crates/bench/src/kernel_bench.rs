@@ -1,0 +1,241 @@
+//! The microkernel backend benchmark core, shared between the
+//! `bench_kernel` binary (which prints `BENCH_kernel.json`) and the
+//! `megablocks-bench gate` subcommand (which re-runs the same measurement
+//! and compares it against the committed baseline).
+//!
+//! Scenarios run the three product families every MoE layer is built from
+//! — dense GEMM, SDD and DSD — at compute-bound sizes, once per kernel
+//! backend ([`KernelBackend::Scalar`] vs [`KernelBackend::Tiled`]). The
+//! figure of merit is the *tiled speedup* — scalar p50 over tiled p50 —
+//! which is dimensionless and therefore comparable across machines of
+//! similar shape, unlike raw nanoseconds. Because the backends are
+//! bit-identical by contract, the speedup is pure implementation headroom:
+//! packing and cache blocking, with no accuracy trade.
+
+use std::time::Instant;
+
+use megablocks_sparse::{ops, BlockSize, BlockSparseMatrix, Topology};
+use megablocks_tensor::{configure_kernel_backend, matmul, KernelBackend, Matrix};
+
+use crate::exec_bench::{ensure_pool, p50, BenchMeta};
+
+/// Which product family a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelProduct {
+    /// Dense `matmul` (the NN GEMM combo).
+    Gemm,
+    /// Sparse-output SDD over an MoE topology.
+    Sdd,
+    /// Dense-output DSD over an MoE topology.
+    Dsd,
+}
+
+/// One benchmark scenario: a single product at a fixed shape.
+pub struct KernelScenario {
+    /// Stable scenario name (the gate joins baseline and fresh runs on it).
+    pub name: &'static str,
+    /// Product family under test.
+    pub product: KernelProduct,
+    /// Padded tokens per expert (sparse scenarios) — `m` comes from here.
+    pub tokens: Vec<usize>,
+    /// FFN width per expert (sparse) or output columns (gemm).
+    pub ffn: usize,
+    /// Sparse block size (ignored for gemm).
+    pub block_size: usize,
+    /// Reduction depth.
+    pub hidden: usize,
+    /// Timed iterations at scale 1.0.
+    pub iters: usize,
+}
+
+/// The fixed scenario set. All three are compute-bound "large" shapes —
+/// the acceptance floor (tiled >= 1.3x) is only meaningful where packing
+/// cost is amortized; small shapes delegate to scalar anyway.
+pub fn kernel_scenarios() -> Vec<KernelScenario> {
+    vec![
+        KernelScenario {
+            name: "large_gemm",
+            product: KernelProduct::Gemm,
+            tokens: vec![],
+            ffn: 512,
+            block_size: 0,
+            hidden: 384,
+            iters: 30,
+        },
+        KernelScenario {
+            name: "large_sdd",
+            product: KernelProduct::Sdd,
+            tokens: vec![512, 256, 768, 512],
+            ffn: 256,
+            block_size: 64,
+            hidden: 256,
+            iters: 20,
+        },
+        KernelScenario {
+            name: "large_dsd",
+            product: KernelProduct::Dsd,
+            tokens: vec![512, 256, 768, 512],
+            ffn: 256,
+            block_size: 64,
+            hidden: 256,
+            iters: 20,
+        },
+    ]
+}
+
+/// Runs one scenario under the *currently selected* backend and returns
+/// per-iteration latencies. `iter_scale` shrinks the iteration count for
+/// smoke runs, but never below 7 — a p50 over fewer samples is too noisy
+/// to compare against the committed baseline on a loaded CI box.
+fn run_scenario(s: &KernelScenario, iter_scale: f64) -> Vec<u128> {
+    let iters = ((s.iters as f64 * iter_scale) as usize).max(7);
+    let mut samples = Vec::with_capacity(iters);
+    match s.product {
+        KernelProduct::Gemm => {
+            let m = 1024;
+            let a = Matrix::from_fn(m, s.hidden, |i, j| ((i * 31 + j * 7) as f32).sin());
+            let b = Matrix::from_fn(s.hidden, s.ffn, |i, j| ((i * 13 + j * 5) as f32).cos());
+            for _ in 0..iters {
+                let start = Instant::now();
+                let c = matmul(&a, &b);
+                samples.push(start.elapsed().as_nanos());
+                assert!(c.as_slice().iter().any(|&v| v != 0.0));
+            }
+        }
+        KernelProduct::Sdd => {
+            let topo = sparse_topology(s);
+            let (rows, cols) = topo.shape();
+            let a = Matrix::from_fn(rows, s.hidden, |i, j| ((i * 31 + j * 7) as f32).sin());
+            let b = Matrix::from_fn(s.hidden, cols, |i, j| ((i * 13 + j * 5) as f32).cos());
+            for _ in 0..iters {
+                let start = Instant::now();
+                let out = ops::sdd(&a, &b, &topo);
+                samples.push(start.elapsed().as_nanos());
+                assert!(out.as_slice().iter().any(|&v| v != 0.0));
+            }
+        }
+        KernelProduct::Dsd => {
+            let topo = sparse_topology(s);
+            let (rows, cols) = topo.shape();
+            let sp = BlockSparseMatrix::from_dense(
+                &mask_to_topology(
+                    &Matrix::from_fn(rows, cols, |i, j| ((i * 7 + j * 3) as f32).sin()),
+                    &topo,
+                ),
+                &topo,
+            )
+            .expect("masked to topology");
+            let d = Matrix::from_fn(cols, s.hidden, |i, j| ((i * 13 + j * 5) as f32).cos());
+            for _ in 0..iters {
+                let start = Instant::now();
+                let out = ops::dsd(&sp, &d);
+                samples.push(start.elapsed().as_nanos());
+                assert!(out.as_slice().iter().any(|&v| v != 0.0));
+            }
+        }
+    }
+    samples
+}
+
+fn sparse_topology(s: &KernelScenario) -> Topology {
+    let bs = BlockSize::new(s.block_size).expect("nonzero block size");
+    Topology::for_moe(&s.tokens, s.ffn, bs).expect("block-aligned counts")
+}
+
+fn mask_to_topology(dense: &Matrix, topo: &Topology) -> Matrix {
+    let b = topo.block_size().get();
+    Matrix::from_fn(dense.rows(), dense.cols(), |i, j| {
+        if topo.find(i / b, j / b).is_some() {
+            dense[(i, j)]
+        } else {
+            0.0
+        }
+    })
+}
+
+/// One scenario's measured result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMeasurement {
+    /// Scenario name.
+    pub scenario: String,
+    /// Pool parallelism during the run.
+    pub threads: usize,
+    /// Timed iterations actually run (per backend).
+    pub iters: usize,
+    /// Scalar-backend p50 latency (ns).
+    pub scalar_ns_p50: u128,
+    /// Tiled-backend p50 latency (ns).
+    pub tiled_ns_p50: u128,
+}
+
+impl KernelMeasurement {
+    /// Scalar p50 over tiled p50 (>1 means the tiled backend wins).
+    pub fn tiled_speedup(&self) -> f64 {
+        self.scalar_ns_p50 as f64 / self.tiled_ns_p50.max(1) as f64
+    }
+}
+
+/// Runs every scenario under both backends at `iter_scale`, printing
+/// progress to stderr. The previously selected backend is restored.
+pub fn measure_kernels(iter_scale: f64) -> Vec<KernelMeasurement> {
+    let threads = ensure_pool();
+    let previous = configure_kernel_backend(KernelBackend::Scalar);
+    let rows = kernel_scenarios()
+        .iter()
+        .map(|s| {
+            configure_kernel_backend(KernelBackend::Scalar);
+            let mut scalar = run_scenario(s, iter_scale);
+            configure_kernel_backend(KernelBackend::Tiled);
+            let mut tiled = run_scenario(s, iter_scale);
+            let m = KernelMeasurement {
+                scenario: s.name.to_string(),
+                threads,
+                iters: scalar.len(),
+                scalar_ns_p50: p50(&mut scalar),
+                tiled_ns_p50: p50(&mut tiled),
+            };
+            eprintln!(
+                "{:<12} threads={threads} scalar p50 {:>11} ns   tiled p50 {:>11} ns   speedup {:.2}x",
+                m.scenario,
+                m.scalar_ns_p50,
+                m.tiled_ns_p50,
+                m.tiled_speedup()
+            );
+            m
+        })
+        .collect();
+    configure_kernel_backend(previous);
+    rows
+}
+
+/// Renders the `BENCH_kernel.json` document: a `meta` provenance block
+/// and one result object per scenario (same layout family as
+/// `BENCH_exec.json` so the gate shares its parsing helpers).
+pub fn render_kernel_json(meta: &BenchMeta, rows: &[KernelMeasurement]) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"scenario\": \"{}\", \"threads\": {}, \"iters\": {}, \
+                 \"scalar_ns_p50\": {}, \"tiled_ns_p50\": {}, \
+                 \"tiled_speedup\": {:.4}}}",
+                m.scenario,
+                m.threads,
+                m.iters,
+                m.scalar_ns_p50,
+                m.tiled_ns_p50,
+                m.tiled_speedup()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"kernel_backends\",\n  \"threads\": {},\n  \
+         \"meta\": {{\"threads\": {}, \"git_rev\": \"{}\", \"recorded_unix\": {}}},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        meta.threads,
+        meta.threads,
+        meta.git_rev,
+        meta.recorded_unix,
+        entries.join(",\n")
+    )
+}

@@ -10,6 +10,7 @@
 pub mod exec_bench;
 pub mod frontier;
 pub mod gate;
+pub mod kernel_bench;
 pub mod report;
 pub mod scaled;
 

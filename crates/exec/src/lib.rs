@@ -46,4 +46,4 @@ pub use sanitizer::{
     band_order, perturbation_seed, record_write, record_write_span, set_perturbation, stall_slots,
     RaceViolation, RACE_PANIC_PREFIX,
 };
-pub use workspace::{Workspace, WorkspaceStats};
+pub use workspace::{configure_workspace_cap, workspace_cap, Workspace, WorkspaceStats};

@@ -17,13 +17,57 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use megablocks_telemetry as telemetry;
 
-/// Upper bound on floats a thread's arena will hold before it starts
-/// dropping recycled buffers (64 MiB of `f32`s) — a backstop against
-/// pathological workloads hoarding memory, not a tuning knob.
-const MAX_HELD_FLOATS: usize = 16 << 20;
+/// Default upper bound on floats a thread's arena will hold before it
+/// starts dropping recycled buffers (64 MiB of `f32`s) — a backstop
+/// against pathological workloads hoarding memory.
+const DEFAULT_CAP_FLOATS: usize = 16 << 20;
+
+/// Process-wide cap override set by [`configure_workspace_cap`], stored
+/// as `cap + 1` so `0` can mean "unset" (an explicit cap of zero —
+/// "shelve nothing" — is legitimate).
+static CONFIGURED_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// Cap resolved from `MEGABLOCKS_WORKSPACE_CAP`, read once per process.
+static ENV_CAP: OnceLock<usize> = OnceLock::new();
+
+fn env_cap() -> usize {
+    *ENV_CAP.get_or_init(|| {
+        std::env::var("MEGABLOCKS_WORKSPACE_CAP")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_CAP_FLOATS)
+    })
+}
+
+/// Overrides the per-thread holding cap (in floats) for every arena in the
+/// process, taking precedence over `MEGABLOCKS_WORKSPACE_CAP`. Returns the
+/// previously effective cap. A cap of `0` disables shelving entirely.
+///
+/// Buffers already shelved above a lowered cap are not evicted eagerly;
+/// they drain as [`Workspace::recycle`] rejects further deposits.
+pub fn configure_workspace_cap(cap_floats: usize) -> usize {
+    let prev = CONFIGURED_CAP.swap(cap_floats.saturating_add(1), Ordering::Relaxed);
+    if prev == 0 {
+        env_cap()
+    } else {
+        prev - 1
+    }
+}
+
+/// The currently effective per-thread holding cap in floats:
+/// [`configure_workspace_cap`] if called, else `MEGABLOCKS_WORKSPACE_CAP`
+/// (invalid or unset values fall back to the 16M-float default).
+pub fn workspace_cap() -> usize {
+    match CONFIGURED_CAP.load(Ordering::Relaxed) {
+        0 => env_cap(),
+        v => v - 1,
+    }
+}
 
 /// A size-bucketed arena of reusable `f32` buffers.
 ///
@@ -88,10 +132,10 @@ impl Workspace {
     }
 
     /// Shelves `buf` for reuse (dropped instead if it has no capacity or
-    /// the arena is at its holding limit).
+    /// the arena is at its holding limit, see [`workspace_cap`]).
     pub fn recycle(&mut self, buf: Vec<f32>) {
         let cap = buf.capacity();
-        if cap == 0 || self.held_floats + cap > MAX_HELD_FLOATS {
+        if cap == 0 || self.held_floats + cap > workspace_cap() {
             return;
         }
         self.held_floats += cap;
@@ -142,9 +186,18 @@ pub fn clear() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// `configure_workspace_cap` is process-global, so every test whose
+    /// shelving expectations depend on the cap serializes on this lock.
+    fn cap_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
 
     #[test]
     fn reuse_is_a_hit_and_buffers_are_zeroed() {
+        let _guard = cap_lock();
         let mut ws = Workspace::new();
         let mut a = ws.take_zeroed(16);
         a.iter_mut().for_each(|v| *v = 7.0);
@@ -161,6 +214,7 @@ mod tests {
 
     #[test]
     fn undersized_shelves_are_skipped() {
+        let _guard = cap_lock();
         let mut ws = Workspace::new();
         ws.recycle(Vec::with_capacity(4));
         let b = ws.take_zeroed(64);
@@ -176,5 +230,25 @@ mod tests {
         ws.clear();
         let s = ws.stats();
         assert_eq!((s.held_buffers, s.held_floats), (0, 0));
+    }
+
+    #[test]
+    fn configured_cap_bounds_shelving() {
+        let _guard = cap_lock();
+        let prev = configure_workspace_cap(10);
+        let mut ws = Workspace::new();
+        ws.recycle(vec![0.0; 8]);
+        assert_eq!(ws.stats().held_buffers, 1, "under the cap: shelved");
+        ws.recycle(vec![0.0; 8]);
+        assert_eq!(ws.stats().held_buffers, 1, "over the cap: dropped");
+
+        configure_workspace_cap(0);
+        let mut empty = Workspace::new();
+        empty.recycle(vec![0.0; 1]);
+        assert_eq!(empty.stats().held_buffers, 0, "zero cap disables shelving");
+
+        let restored = configure_workspace_cap(prev);
+        assert_eq!(restored, 0, "previous effective cap is returned");
+        assert_eq!(workspace_cap(), prev);
     }
 }

@@ -20,10 +20,15 @@
 //!   ([`megablocks_exec::LaunchPlan`]): disjoint output bands dispatched to
 //!   a persistent worker pool, standing in for threadblocks over output
 //!   tiles.
+//! * Within a band, each op reduces to topology iteration plus
+//!   [`block_gemm`] calls on strided [`PanelView`]s — the arithmetic lives
+//!   in `megablocks_tensor::kernel`'s microkernel backends, shared with
+//!   dense GEMM, so sparse and dense products are bit-identical per element
+//!   regardless of the selected backend (`MEGABLOCKS_KERNEL`).
 
 use megablocks_exec as exec;
 use megablocks_telemetry as telemetry;
-use megablocks_tensor::{Matrix, Trans};
+use megablocks_tensor::{block_gemm, Matrix, PanelView, Trans};
 
 use crate::{BlockSparseMatrix, SparseError, Topology};
 
@@ -175,57 +180,56 @@ fn dds_variant(op_d: Trans, op_s: Trans) -> &'static str {
     }
 }
 
+/// Generates a named product wrapper and its `try_` twin: each pair fixes
+/// the transpositions of one of the generic fallible kernels
+/// ([`try_sdd_op`] / [`try_dsd_op`] / [`try_dds_op`]) and differs only in
+/// whether a shape mismatch panics or surfaces as a [`SparseError`].
+macro_rules! product_wrappers {
+    ($(
+        $(#[$meta:meta])*
+        $name:ident / $try_name:ident: ($($arg:ident: $ty:ty),*) -> $ret:ty
+            = $target:ident($($call:expr),*);
+    )*) => {$(
+        $(#[$meta])*
+        ///
+        /// # Panics
+        ///
+        /// Panics if the logical shapes are incompatible.
+        pub fn $name($($arg: $ty),*) -> $ret {
+            $target($($call),*).unwrap_or_else(|e| panic!("{e}"))
+        }
+
+        #[doc = concat!("Fallible form of [`", stringify!($name), "`].")]
+        ///
+        /// # Errors
+        ///
+        /// Returns [`SparseError::Mismatch`] on incompatible shapes (and
+        /// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
+        pub fn $try_name($($arg: $ty),*) -> Result<$ret, SparseError> {
+            $target($($call),*)
+        }
+    )*};
+}
+
 // ---------------------------------------------------------------------------
 // SDD: sparse output = dense x dense
 // ---------------------------------------------------------------------------
 
-/// SDD: computes `out = a * b` restricted to the nonzero blocks of `topo`.
-///
-/// This is the first product in the dMoE forward pass (Figure 6, line 22):
-/// `a` holds the permuted tokens, `b` the concatenated expert weights, and
-/// the output's block-diagonal topology assigns each token block to its
-/// expert's weight columns.
-///
-/// # Panics
-///
-/// Panics if `a.rows() != topo` rows, `b.cols() != topo` cols, or
-/// `a.cols() != b.rows()`.
-pub fn sdd(a: &Matrix, b: &Matrix, topo: &Topology) -> BlockSparseMatrix {
-    sdd_op(a, Trans::N, b, Trans::N, topo)
-}
+product_wrappers! {
+    /// SDD: computes `out = a * b` restricted to the nonzero blocks of
+    /// `topo`.
+    ///
+    /// This is the first product in the dMoE forward pass (Figure 6, line
+    /// 22): `a` holds the permuted tokens, `b` the concatenated expert
+    /// weights, and the output's block-diagonal topology assigns each token
+    /// block to its expert's weight columns.
+    sdd / try_sdd: (a: &Matrix, b: &Matrix, topo: &Topology) -> BlockSparseMatrix
+        = try_sdd_op(a, Trans::N, b, Trans::N, topo);
 
-/// Fallible form of [`sdd`].
-///
-/// # Errors
-///
-/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
-/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
-pub fn try_sdd(a: &Matrix, b: &Matrix, topo: &Topology) -> Result<BlockSparseMatrix, SparseError> {
-    try_sdd_op(a, Trans::N, b, Trans::N, topo)
-}
-
-/// SDD^T: computes `out = a * b^T` restricted to `topo` — the second-layer
-/// data gradient of a dMoE FFN (paper §5.1).
-///
-/// # Panics
-///
-/// Panics if logical shapes are incompatible with the topology.
-pub fn sdd_t(a: &Matrix, b: &Matrix, topo: &Topology) -> BlockSparseMatrix {
-    sdd_op(a, Trans::N, b, Trans::T, topo)
-}
-
-/// Fallible form of [`sdd_t`].
-///
-/// # Errors
-///
-/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
-/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
-pub fn try_sdd_t(
-    a: &Matrix,
-    b: &Matrix,
-    topo: &Topology,
-) -> Result<BlockSparseMatrix, SparseError> {
-    try_sdd_op(a, Trans::N, b, Trans::T, topo)
+    /// SDD^T: computes `out = a * b^T` restricted to `topo` — the
+    /// second-layer data gradient of a dMoE FFN (paper §5.1).
+    sdd_t / try_sdd_t: (a: &Matrix, b: &Matrix, topo: &Topology) -> BlockSparseMatrix
+        = try_sdd_op(a, Trans::N, b, Trans::T, topo);
 }
 
 /// General SDD with transpose control over both dense inputs:
@@ -303,7 +307,10 @@ pub fn try_sdd_op(
     let col_indices = topo.col_indices();
 
     // Each worker owns a contiguous range of nonzero blocks; coordinates
-    // come straight from the COO metadata (no row-offset search).
+    // come straight from the COO metadata (no row-offset search). A block
+    // at (r, c) is the `bs x bs` product of A's row panel `r` and B's
+    // column panel `c` — transposition is a stride swap on the views, and
+    // the selected microkernel backend does the arithmetic.
     let compute = |blocks: &mut [f32], k0: usize| {
         for (slot, block) in blocks.chunks_mut(area).enumerate() {
             let kk = k0 + slot;
@@ -311,76 +318,15 @@ pub fn try_sdd_op(
             debug_assert_eq!(block.len(), area, "sdd: worker got a partial block");
             let r = row_indices[kk];
             let c = col_indices[kk];
-            match (op_a, op_b) {
-                (Trans::N, Trans::N) => {
-                    for bi in 0..bs {
-                        let arow = &a_data[(r * bs + bi) * a_cols..(r * bs + bi + 1) * a_cols];
-                        let brow_dst = &mut block[bi * bs..(bi + 1) * bs];
-                        for (p, &av) in arow.iter().enumerate() {
-                            if av == 0.0 {
-                                continue;
-                            }
-                            let bsrc = &b_data[p * b_cols + c * bs..p * b_cols + (c + 1) * bs];
-                            for (o, &bv) in brow_dst.iter_mut().zip(bsrc) {
-                                *o += av * bv;
-                            }
-                        }
-                    }
-                }
-                (Trans::N, Trans::T) => {
-                    for bi in 0..bs {
-                        let arow = &a_data[(r * bs + bi) * a_cols..(r * bs + bi + 1) * a_cols];
-                        for bj in 0..bs {
-                            let brow = &b_data[(c * bs + bj) * b_cols..(c * bs + bj) * b_cols + k];
-                            let mut acc = 0.0f32;
-                            for (av, bv) in arow.iter().zip(brow) {
-                                acc += av * bv;
-                            }
-                            block[bi * bs + bj] = acc;
-                        }
-                    }
-                }
-                (Trans::T, Trans::N) => {
-                    for p in 0..k {
-                        let arow = &a_data[p * a_cols..(p + 1) * a_cols];
-                        let bsrc = &b_data[p * b_cols + c * bs..p * b_cols + (c + 1) * bs];
-                        for bi in 0..bs {
-                            let av = arow[r * bs + bi];
-                            if av == 0.0 {
-                                continue;
-                            }
-                            let dst = &mut block[bi * bs..(bi + 1) * bs];
-                            for (o, &bv) in dst.iter_mut().zip(bsrc) {
-                                *o += av * bv;
-                            }
-                        }
-                    }
-                }
-                (Trans::T, Trans::T) => {
-                    for bi in 0..bs {
-                        for bj in 0..bs {
-                            let brow = &b_data[(c * bs + bj) * b_cols..(c * bs + bj) * b_cols + k];
-                            let mut acc = 0.0f32;
-                            for p in 0..k {
-                                // SAFETY: with op_a == T the operand is
-                                // stored k x m, so a_data has k * a_cols
-                                // elements with a_cols == m; p < k and
-                                // r * bs + bi < m (r is an in-range block
-                                // row of the validated topology). brow was
-                                // sliced to exactly k elements and p < k.
-                                let (av, bv) = unsafe {
-                                    (
-                                        *a_data.get_unchecked(p * a_cols + r * bs + bi),
-                                        *brow.get_unchecked(p),
-                                    )
-                                };
-                                acc += av * bv;
-                            }
-                            block[bi * bs + bj] = acc;
-                        }
-                    }
-                }
-            }
+            let a_view = match op_a {
+                Trans::N => PanelView::new(&a_data[r * bs * a_cols..], a_cols, 1),
+                Trans::T => PanelView::new(&a_data[r * bs..], 1, a_cols),
+            };
+            let b_view = match op_b {
+                Trans::N => PanelView::new(&b_data[c * bs..], b_cols, 1),
+                Trans::T => PanelView::new(&b_data[c * bs * b_cols..], 1, b_cols),
+            };
+            block_gemm(bs, bs, k, 1.0, a_view, b_view, block, bs);
         }
     };
 
@@ -406,65 +352,22 @@ pub fn try_sdd_op(
 // DSD: dense output = sparse x dense
 // ---------------------------------------------------------------------------
 
-/// DSD: computes `out = s * d` — the second product of the dMoE forward pass
-/// (Figure 6, line 23).
-///
-/// # Panics
-///
-/// Panics if `s.shape().1 != d.rows()`.
-pub fn dsd(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
-    dsd_op(s, Trans::N, d, Trans::N)
-}
+product_wrappers! {
+    /// DSD: computes `out = s * d` — the second product of the dMoE forward
+    /// pass (Figure 6, line 23).
+    dsd / try_dsd: (s: &BlockSparseMatrix, d: &Matrix) -> Matrix
+        = try_dsd_op(s, Trans::N, d, Trans::N);
 
-/// Fallible form of [`dsd`].
-///
-/// # Errors
-///
-/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
-/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
-pub fn try_dsd(s: &BlockSparseMatrix, d: &Matrix) -> Result<Matrix, SparseError> {
-    try_dsd_op(s, Trans::N, d, Trans::N)
-}
+    /// DSD^T: computes `out = s * d^T` — the first-layer data gradient.
+    dsd_t / try_dsd_t: (s: &BlockSparseMatrix, d: &Matrix) -> Matrix
+        = try_dsd_op(s, Trans::N, d, Trans::T);
 
-/// DSD^T: computes `out = s * d^T` — the first-layer data gradient.
-///
-/// # Panics
-///
-/// Panics if `s.shape().1 != d.cols()`.
-pub fn dsd_t(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
-    dsd_op(s, Trans::N, d, Trans::T)
-}
-
-/// Fallible form of [`dsd_t`].
-///
-/// # Errors
-///
-/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
-/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
-pub fn try_dsd_t(s: &BlockSparseMatrix, d: &Matrix) -> Result<Matrix, SparseError> {
-    try_dsd_op(s, Trans::N, d, Trans::T)
-}
-
-/// DS^TD: computes `out = s^T * d` — the second-layer weight gradient.
-///
-/// The sparse operand is traversed in column-major order through the
-/// transpose-index secondary index; no values are copied or transposed.
-///
-/// # Panics
-///
-/// Panics if `s.shape().0 != d.rows()`.
-pub fn dst_d(s: &BlockSparseMatrix, d: &Matrix) -> Matrix {
-    dsd_op(s, Trans::T, d, Trans::N)
-}
-
-/// Fallible form of [`dst_d`].
-///
-/// # Errors
-///
-/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
-/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
-pub fn try_dst_d(s: &BlockSparseMatrix, d: &Matrix) -> Result<Matrix, SparseError> {
-    try_dsd_op(s, Trans::T, d, Trans::N)
+    /// DS^TD: computes `out = s^T * d` — the second-layer weight gradient.
+    ///
+    /// The sparse operand is traversed in column-major order through the
+    /// transpose-index secondary index; no values are copied or transposed.
+    dst_d / try_dst_d: (s: &BlockSparseMatrix, d: &Matrix) -> Matrix
+        = try_dsd_op(s, Trans::T, d, Trans::N);
 }
 
 /// DS^TD via explicit transposition — the ablation baseline for §5.1.4.
@@ -558,98 +461,33 @@ pub fn try_dsd_op(
     };
     let threads = exec::parallelism_for(topo.nnz() * n, PARALLEL_THRESHOLD).min(groups);
 
+    // A group's band is the product of the sparse operand's block row
+    // (op_s = N) or block column (op_s = T, traversed column-major through
+    // the transpose indices, §5.1.4) with the matching dense row panels:
+    // one microkernel call per nonzero block, accumulating into the band.
     let compute_group = |band: &mut [f32], g: usize| {
         debug_assert_eq!(band.len(), bs * n, "dsd: worker band has wrong length");
+        let mut run_block = |k_idx: usize| {
+            let block = s.block(k_idx);
+            // `other` is the sparse block's coordinate along the reduction
+            // dimension: its block column under N, its block row under T
+            // (where the logical block is the stored block transposed —
+            // again just a stride swap).
+            let (other, s_view) = match op_s {
+                Trans::N => (col_indices[k_idx], PanelView::new(block, bs, 1)),
+                Trans::T => (row_indices[k_idx], PanelView::new(block, 1, bs)),
+            };
+            let d_view = match op_d {
+                Trans::N => PanelView::new(&d_data[other * bs * d_cols..], d_cols, 1),
+                Trans::T => PanelView::new(&d_data[other * bs..], 1, d_cols),
+            };
+            block_gemm(bs, n, bs, 1.0, s_view, d_view, band, n);
+        };
+        // row_blocks returns a contiguous range, col_blocks walks the
+        // transpose index — different iterator types, same treatment.
         match op_s {
-            Trans::N => {
-                for k in topo.row_blocks(g) {
-                    let c = col_indices[k];
-                    let block = s.block(k);
-                    match op_d {
-                        Trans::N => {
-                            for bi in 0..bs {
-                                let orow = &mut band[bi * n..(bi + 1) * n];
-                                for p in 0..bs {
-                                    let sv = block[bi * bs + p];
-                                    if sv == 0.0 {
-                                        continue;
-                                    }
-                                    let drow =
-                                        &d_data[(c * bs + p) * d_cols..(c * bs + p) * d_cols + n];
-                                    for (o, &dv) in orow.iter_mut().zip(drow) {
-                                        *o += sv * dv;
-                                    }
-                                }
-                            }
-                        }
-                        Trans::T => {
-                            for bi in 0..bs {
-                                let orow = &mut band[bi * n..(bi + 1) * n];
-                                let srow = &block[bi * bs..(bi + 1) * bs];
-                                for (j, o) in orow.iter_mut().enumerate() {
-                                    let drow =
-                                        &d_data[j * d_cols + c * bs..j * d_cols + (c + 1) * bs];
-                                    let mut acc = 0.0f32;
-                                    for (sv, dv) in srow.iter().zip(drow) {
-                                        acc += sv * dv;
-                                    }
-                                    *o += acc;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            Trans::T => {
-                // Column-major traversal via transpose indices (§5.1.4).
-                for k in topo.col_blocks(g) {
-                    let r = row_indices[k];
-                    let block = s.block(k);
-                    match op_d {
-                        Trans::N => {
-                            for bi in 0..bs {
-                                let orow = &mut band[bi * n..(bi + 1) * n];
-                                for p in 0..bs {
-                                    // op_s(s)[g*bs+bi, r*bs+p] = block[p, bi]
-                                    let sv = block[p * bs + bi];
-                                    if sv == 0.0 {
-                                        continue;
-                                    }
-                                    let drow =
-                                        &d_data[(r * bs + p) * d_cols..(r * bs + p) * d_cols + n];
-                                    for (o, &dv) in orow.iter_mut().zip(drow) {
-                                        *o += sv * dv;
-                                    }
-                                }
-                            }
-                        }
-                        Trans::T => {
-                            for bi in 0..bs {
-                                let orow = &mut band[bi * n..(bi + 1) * n];
-                                for (j, o) in orow.iter_mut().enumerate() {
-                                    let drow =
-                                        &d_data[j * d_cols + r * bs..j * d_cols + (r + 1) * bs];
-                                    let mut acc = 0.0f32;
-                                    for p in 0..bs {
-                                        // SAFETY: p and bi are both < bs,
-                                        // so p * bs + bi < bs * bs ==
-                                        // block.len(); drow was sliced to
-                                        // exactly bs elements and p < bs.
-                                        let (sv, dv) = unsafe {
-                                            (
-                                                *block.get_unchecked(p * bs + bi),
-                                                *drow.get_unchecked(p),
-                                            )
-                                        };
-                                        acc += sv * dv;
-                                    }
-                                    *o += acc;
-                                }
-                            }
-                        }
-                    }
-                }
-            }
+            Trans::N => topo.row_blocks(g).for_each(&mut run_block),
+            Trans::T => topo.col_blocks(g).for_each(&mut run_block),
         }
     };
 
@@ -680,63 +518,20 @@ pub fn try_dsd_op(
 // DDS: dense output = dense x sparse
 // ---------------------------------------------------------------------------
 
-/// DDS: computes `out = d * s`.
-///
-/// # Panics
-///
-/// Panics if `d.cols() != s.shape().0`.
-pub fn dds(d: &Matrix, s: &BlockSparseMatrix) -> Matrix {
-    dds_op(d, Trans::N, s, Trans::N)
-}
+product_wrappers! {
+    /// DDS: computes `out = d * s`.
+    dds / try_dds: (d: &Matrix, s: &BlockSparseMatrix) -> Matrix
+        = try_dds_op(d, Trans::N, s, Trans::N);
 
-/// Fallible form of [`dds`].
-///
-/// # Errors
-///
-/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
-/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
-pub fn try_dds(d: &Matrix, s: &BlockSparseMatrix) -> Result<Matrix, SparseError> {
-    try_dds_op(d, Trans::N, s, Trans::N)
-}
+    /// DDS^T: computes `out = d * s^T` (row-major traversal of the sparse
+    /// operand).
+    dds_t / try_dds_t: (d: &Matrix, s: &BlockSparseMatrix) -> Matrix
+        = try_dds_op(d, Trans::N, s, Trans::T);
 
-/// DDS^T: computes `out = d * s^T` (row-major traversal of the sparse
-/// operand).
-///
-/// # Panics
-///
-/// Panics if `d.cols() != s.shape().1`.
-pub fn dds_t(d: &Matrix, s: &BlockSparseMatrix) -> Matrix {
-    dds_op(d, Trans::N, s, Trans::T)
-}
-
-/// Fallible form of [`dds_t`].
-///
-/// # Errors
-///
-/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
-/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
-pub fn try_dds_t(d: &Matrix, s: &BlockSparseMatrix) -> Result<Matrix, SparseError> {
-    try_dds_op(d, Trans::N, s, Trans::T)
-}
-
-/// DD^TS: computes `out = d^T * s` — the first-layer weight gradient of a
-/// dMoE FFN (paper §5.1).
-///
-/// # Panics
-///
-/// Panics if `d.rows() != s.shape().0`.
-pub fn ddt_s(d: &Matrix, s: &BlockSparseMatrix) -> Matrix {
-    dds_op(d, Trans::T, s, Trans::N)
-}
-
-/// Fallible form of [`ddt_s`].
-///
-/// # Errors
-///
-/// Returns [`SparseError::Mismatch`] on incompatible shapes (and
-/// [`SparseError::Audit`] on sanitizer violations under `sanitize`).
-pub fn try_ddt_s(d: &Matrix, s: &BlockSparseMatrix) -> Result<Matrix, SparseError> {
-    try_dds_op(d, Trans::T, s, Trans::N)
+    /// DD^TS: computes `out = d^T * s` — the first-layer weight gradient of
+    /// a dMoE FFN (paper §5.1).
+    ddt_s / try_ddt_s: (d: &Matrix, s: &BlockSparseMatrix) -> Matrix
+        = try_dds_op(d, Trans::T, s, Trans::N);
 }
 
 /// General DDS: `out = op_d(d) * op_s(s)`.
@@ -797,45 +592,34 @@ pub fn try_dds_op(
     let threads = exec::parallelism_for(topo.nnz() * m, PARALLEL_THRESHOLD).min(m);
 
     // Workers own bands of output rows; every worker walks all nonzero
-    // blocks (each block touches a disjoint output column stripe).
+    // blocks (each block touches a disjoint output column stripe). Per
+    // block: out[band rows, oc*bs..] += op_d(d)[band rows, ic*bs..] * blk,
+    // one microkernel call with the band's stride carrying the column
+    // offset.
     let compute_band = |band: &mut [f32], i0: usize, rows: usize| {
         debug_assert_eq!(band.len(), rows * n, "dds: worker band has wrong length");
-        for k in 0..topo.nnz_blocks() {
-            let r = row_indices[k];
-            let c = col_indices[k];
-            let block = s.block(k);
-            // out[i, oc*bs + bj] += sum_p op_d(d)[i, ic*bs + p] * blk(p, bj)
-            // where (ic, oc, blk) depend on op_s.
-            let (ic, oc) = match op_s {
-                Trans::N => (r, c),
-                Trans::T => (c, r),
+        for k_idx in 0..topo.nnz_blocks() {
+            let block = s.block(k_idx);
+            // `ic` indexes the reduction dimension, `oc` the output column
+            // stripe; a transposed sparse operand swaps both the block
+            // coordinates and the block-local strides.
+            let (ic, oc, s_view) = match op_s {
+                Trans::N => (
+                    row_indices[k_idx],
+                    col_indices[k_idx],
+                    PanelView::new(block, bs, 1),
+                ),
+                Trans::T => (
+                    col_indices[k_idx],
+                    row_indices[k_idx],
+                    PanelView::new(block, 1, bs),
+                ),
             };
-            for i in 0..rows {
-                let orow = &mut band[i * n + oc * bs..i * n + (oc + 1) * bs];
-                for p in 0..bs {
-                    let dv = match op_d {
-                        Trans::N => d_data[(i0 + i) * d_cols + ic * bs + p],
-                        Trans::T => d_data[(ic * bs + p) * d_cols + i0 + i],
-                    };
-                    if dv == 0.0 {
-                        continue;
-                    }
-                    match op_s {
-                        Trans::N => {
-                            let srow = &block[p * bs..(p + 1) * bs];
-                            for (o, &sv) in orow.iter_mut().zip(srow) {
-                                *o += dv * sv;
-                            }
-                        }
-                        Trans::T => {
-                            // blk(p, bj) = block[bj, p]
-                            for (bj, o) in orow.iter_mut().enumerate() {
-                                *o += dv * block[bj * bs + p];
-                            }
-                        }
-                    }
-                }
-            }
+            let d_view = match op_d {
+                Trans::N => PanelView::new(&d_data[i0 * d_cols + ic * bs..], d_cols, 1),
+                Trans::T => PanelView::new(&d_data[ic * bs * d_cols + i0..], 1, d_cols),
+            };
+            block_gemm(rows, bs, bs, 1.0, d_view, s_view, &mut band[oc * bs..], n);
         }
     };
 

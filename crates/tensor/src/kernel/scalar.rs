@@ -1,0 +1,103 @@
+//! The reference backend: one dot product per output element.
+//!
+//! This is the workspace's original naive inner loop, hoisted out of the
+//! ten per-op copies that used to live in `matmul.rs` and
+//! `sparse/src/ops.rs`, restated over [`PanelView`] strides. It performs
+//! no blocking and no packing — its value is being obviously conformant
+//! to the [`GemmMicrokernel`] contract (single accumulator, ascending
+//! `k`, `alpha` applied once), which makes it the bit-exactness oracle
+//! the tiled backend and every future backend are proven against.
+
+use super::{GemmMicrokernel, PanelView};
+
+/// The reference triple-loop backend.
+#[derive(Debug, Default)]
+pub struct ScalarKernel;
+
+impl GemmMicrokernel for ScalarKernel {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn run(
+        &self,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: PanelView<'_>,
+        b: PanelView<'_>,
+        out: &mut [f32],
+        out_stride: usize,
+    ) {
+        let a_data = a.data();
+        let b_data = b.data();
+        let (a_rs, a_cs) = (a.row_stride(), a.col_stride());
+        let (b_rs, b_cs) = (b.row_stride(), b.col_stride());
+        for i in 0..m {
+            let a_row = i * a_rs;
+            let out_row = i * out_stride;
+            for j in 0..n {
+                let b_col = j * b_cs;
+                let mut acc = 0.0f32;
+                let mut ai = a_row;
+                let mut bi = b_col;
+                for _ in 0..k {
+                    // SAFETY: block_gemm asserted both views cover their
+                    // logical shapes, so the largest reached offsets —
+                    // (m-1)*a_rs + (k-1)*a_cs and (k-1)*b_rs + (n-1)*b_cs
+                    // — are in bounds, and ai/bi only step toward them.
+                    let (av, bv) =
+                        unsafe { (*a_data.get_unchecked(ai), *b_data.get_unchecked(bi)) };
+                    acc += av * bv;
+                    ai += a_cs;
+                    bi += b_rs;
+                }
+                out[out_row + j] += alpha * acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_hand_computed_product() {
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] => AB = [[19,22],[43,50]].
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [1.0f32; 4];
+        ScalarKernel.run(
+            2,
+            2,
+            2,
+            2.0,
+            PanelView::new(&a, 2, 1),
+            PanelView::new(&b, 2, 1),
+            &mut out,
+            2,
+        );
+        assert_eq!(out, [39.0, 45.0, 87.0, 101.0]);
+    }
+
+    #[test]
+    fn transposed_views_are_stride_swaps() {
+        // A^T via swapped strides: stored 2x3, viewed 3x2.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [1.0, 0.0, 0.0, 1.0];
+        let mut out = [0.0f32; 6];
+        ScalarKernel.run(
+            3,
+            2,
+            2,
+            1.0,
+            PanelView::new(&a, 1, 3),
+            PanelView::new(&b, 2, 1),
+            &mut out,
+            2,
+        );
+        assert_eq!(out, [1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+    }
+}

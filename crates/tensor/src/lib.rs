@@ -7,6 +7,11 @@
 //! * [`gemm`] / [`matmul`] — general matrix multiplication with all
 //!   transpose combinations, parallelized across output-row tiles. This is
 //!   the stand-in for a device GEMM (cuBLAS in the paper).
+//! * [`kernel`] — the tiled-microkernel dispatch layer every product
+//!   (dense *and* block-sparse, via `megablocks-sparse`) funnels through:
+//!   a [`GemmMicrokernel`] backend trait with bit-identical `scalar` and
+//!   `tiled` implementations, selected by [`configure_kernel_backend`] or
+//!   the `MEGABLOCKS_KERNEL` environment variable.
 //! * [`BatchedMatrix`] and [`batched_matmul`] — the batched matrix
 //!   multiplication primitive that state-of-the-art MoE frameworks
 //!   (Tutel, Megatron-LM) map expert computation onto (paper §2.2,
@@ -35,11 +40,15 @@ pub mod dropout;
 mod error;
 pub mod half;
 pub mod init;
+pub mod kernel;
 mod matmul;
 mod matrix;
 pub mod ops;
 
 pub use batched::{batched_matmul, BatchedMatrix};
 pub use error::ShapeError;
+pub use kernel::{
+    block_gemm, configure_kernel_backend, kernel_backend, GemmMicrokernel, KernelBackend, PanelView,
+};
 pub use matmul::{gemm, matmul, matmul_nt, matmul_tn, Trans};
 pub use matrix::Matrix;

@@ -3,11 +3,13 @@
 //! This is the CPU stand-in for a device GEMM (cuBLAS in the paper). The
 //! kernel is parallelized over horizontal bands of the output matrix,
 //! launched through the shared execution runtime's worker pool
-//! ([`megablocks_exec::LaunchPlan`]); within a band the loop order is
-//! chosen per transpose combination for row-major-friendly access.
+//! ([`megablocks_exec::LaunchPlan`]); within a band the product is one
+//! [`kernel::block_gemm`] call — transposition is a stride swap on the
+//! operand views, and the selected microkernel backend does the rest.
 
 use megablocks_exec as exec;
 
+use crate::kernel::{self, PanelView};
 use crate::Matrix;
 
 /// Whether an input operand of [`gemm`] is used as-is or transposed.
@@ -102,142 +104,77 @@ pub fn gemm(
 
     let a_data = a.as_slice();
     let b_data = b.as_slice();
-    let (a_rows, a_cols) = a.shape();
+    let (_a_rows, a_cols) = a.shape();
     let (_b_rows, b_cols) = b.shape();
     let c_data = c.as_mut_slice();
 
-    // Each closure computes rows [row0, row0+rows) of C into `band`,
-    // a &mut slice of C's storage.
-    let compute_band = |band: &mut [f32], row0: usize, rows: usize| {
-        match (op_a, op_b) {
-            (Trans::N, Trans::N) => {
-                // C[i,:] += alpha * A[i,p] * B[p,:]
-                for i in 0..rows {
-                    let arow = &a_data[(row0 + i) * a_cols..(row0 + i + 1) * a_cols];
-                    let crow = &mut band[i * n..(i + 1) * n];
-                    for (p, &av) in arow.iter().enumerate() {
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let s = alpha * av;
-                        let brow = &b_data[p * b_cols..p * b_cols + n];
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += s * bv;
-                        }
-                    }
-                }
-            }
-            (Trans::N, Trans::T) => {
-                // C[i,j] += alpha * dot(A[i,:], B[j,:])
-                for i in 0..rows {
-                    let arow = &a_data[(row0 + i) * a_cols..(row0 + i + 1) * a_cols];
-                    let crow = &mut band[i * n..(i + 1) * n];
-                    for (j, cv) in crow.iter_mut().enumerate() {
-                        let brow = &b_data[j * b_cols..j * b_cols + k];
-                        let mut acc = 0.0f32;
-                        for (av, bv) in arow.iter().zip(brow) {
-                            acc += av * bv;
-                        }
-                        *cv += alpha * acc;
-                    }
-                }
-            }
-            (Trans::T, Trans::N) => {
-                // A is k x m stored; C[i,:] += alpha * A[p,i] * B[p,:]
-                for p in 0..k {
-                    let arow = &a_data[p * a_cols..(p + 1) * a_cols];
-                    let brow = &b_data[p * b_cols..p * b_cols + n];
-                    for i in 0..rows {
-                        let av = arow[row0 + i];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let s = alpha * av;
-                        let crow = &mut band[i * n..(i + 1) * n];
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += s * bv;
-                        }
-                    }
-                }
-            }
-            (Trans::T, Trans::T) => {
-                // C[i,j] += alpha * A[p,i] * B[j,p]
-                for i in 0..rows {
-                    let crow = &mut band[i * n..(i + 1) * n];
-                    for (j, cv) in crow.iter_mut().enumerate() {
-                        let brow = &b_data[j * b_cols..j * b_cols + k];
-                        let mut acc = 0.0f32;
-                        for p in 0..k {
-                            // SAFETY: with op_a == T the operand is stored
-                            // k x m, so a_data has k * a_cols elements with
-                            // a_cols == m; p < k and row0 + i < m (band
-                            // rows never exceed the checked output height).
-                            // brow was sliced to exactly k elements, p < k.
-                            let (av, bv) = unsafe {
-                                (
-                                    *a_data.get_unchecked(p * a_cols + row0 + i),
-                                    *brow.get_unchecked(p),
-                                )
-                            };
-                            acc += av * bv;
-                        }
-                        *cv += alpha * acc;
-                    }
-                }
-            }
-        }
-        // silence unused warnings for shapes only used by some arms
-        let _ = a_rows;
+    // B does not depend on the band; A's view starts at the band's first
+    // row (a row offset under N, a column offset under T — both are just
+    // a slice start since transposition is a stride swap).
+    let b_view = match op_b {
+        Trans::N => PanelView::new(b_data, b_cols, 1),
+        Trans::T => PanelView::new(b_data, 1, b_cols),
     };
-
-    let rows_per_band = m.div_ceil(threads);
     let body = |band: &mut [f32], row0: usize| {
         // Report the band's write set to the exec race sanitizer from the
         // kernel side (a no-op without `--features sanitize`); gemm writes
         // every element of its band, so the whole slice is the interval.
         exec::record_write(band);
-        compute_band(band, row0, band.len() / n)
+        let rows = band.len() / n;
+        let a_view = match op_a {
+            Trans::N => PanelView::new(&a_data[row0 * a_cols..], a_cols, 1),
+            Trans::T => PanelView::new(&a_data[row0..], 1, a_cols),
+        };
+        kernel::block_gemm(rows, n, k, alpha, a_view, b_view, band, n);
     };
+
+    let rows_per_band = m.div_ceil(threads);
     exec::LaunchPlan::over_items("gemm", c_data, n, rows_per_band, &body).launch();
     sanitize_output("gemm", c_data);
 }
 
-/// Computes `a * b` into a fresh matrix.
-///
-/// # Panics
-///
-/// Panics if `a.cols() != b.rows()`.
-pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    let mut c = Matrix::zeros(a.rows(), b.cols());
-    gemm(1.0, a, Trans::N, b, Trans::N, 0.0, &mut c);
-    c
+/// Generates the `matmul*` convenience wrappers: each allocates the
+/// right-shaped output and runs one [`gemm`] with fixed transpositions —
+/// the per-combination loop bodies they used to carry all live in
+/// [`crate::kernel`] now.
+macro_rules! matmul_wrappers {
+    ($($(#[$attr:meta])* $name:ident: ($opa:expr, $opb:expr) -> |$a:ident, $b:ident| ($rows:expr, $cols:expr);)*) => {$(
+        $(#[$attr])*
+        pub fn $name($a: &Matrix, $b: &Matrix) -> Matrix {
+            let mut c = Matrix::zeros($rows, $cols);
+            gemm(1.0, $a, $opa, $b, $opb, 0.0, &mut c);
+            c
+        }
+    )*};
 }
 
-/// Computes `a^T * b` into a fresh matrix (used for weight gradients).
-///
-/// # Panics
-///
-/// Panics if `a.rows() != b.rows()`.
-pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
-    let mut c = Matrix::zeros(a.cols(), b.cols());
-    gemm(1.0, a, Trans::T, b, Trans::N, 0.0, &mut c);
-    c
-}
+matmul_wrappers! {
+    /// Computes `a * b` into a fresh matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.rows()`.
+    matmul: (Trans::N, Trans::N) -> |a, b| (a.rows(), b.cols());
 
-/// Computes `a * b^T` into a fresh matrix (used for data gradients).
-///
-/// # Panics
-///
-/// Panics if `a.cols() != b.cols()`.
-pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
-    let mut c = Matrix::zeros(a.rows(), b.rows());
-    gemm(1.0, a, Trans::N, b, Trans::T, 0.0, &mut c);
-    c
+    /// Computes `a^T * b` into a fresh matrix (used for weight gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.rows() != b.rows()`.
+    matmul_tn: (Trans::T, Trans::N) -> |a, b| (a.cols(), b.cols());
+
+    /// Computes `a * b^T` into a fresh matrix (used for data gradients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols() != b.cols()`.
+    matmul_nt: (Trans::N, Trans::T) -> |a, b| (a.rows(), b.rows());
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernel::{configure_kernel_backend, KernelBackend};
 
     fn reference(a: &Matrix, op_a: Trans, b: &Matrix, op_b: Trans) -> Matrix {
         let am = match op_a {
@@ -321,6 +258,20 @@ mod tests {
         let c = matmul(&a, &b);
         let want = reference(&a, Trans::N, &b, Trans::N);
         assert!(c.approx_eq(&want, 1e-3), "diff {}", c.max_abs_diff(&want));
+    }
+
+    #[test]
+    fn backends_agree_bitwise_on_gemm() {
+        let original = crate::kernel::kernel_backend();
+        let a = rand_matrix(90, 130, 41);
+        let b = rand_matrix(130, 75, 42);
+        configure_kernel_backend(KernelBackend::Scalar);
+        let scalar = matmul_nt(&rand_matrix(90, 130, 41), &rand_matrix(75, 130, 43));
+        configure_kernel_backend(KernelBackend::Tiled);
+        let tiled = matmul_nt(&rand_matrix(90, 130, 41), &rand_matrix(75, 130, 43));
+        configure_kernel_backend(original);
+        assert_eq!(scalar.as_slice(), tiled.as_slice());
+        let _ = (a, b);
     }
 
     #[test]

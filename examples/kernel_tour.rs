@@ -4,14 +4,24 @@
 //! A100 model at paper scale.
 //!
 //! Run with: `cargo run --release --example kernel_tour`
+//!
+//! Every product below executes through the microkernel dispatch layer;
+//! set `MEGABLOCKS_KERNEL=scalar` (or `tiled`, the default) to pick the
+//! backend — the printed numbers are bit-identical either way.
 
 use megablocks::gpusim::sparse::{moe_op_time, MoeOp, MoeProblem};
 use megablocks::gpusim::DeviceSpec;
 use megablocks::sparse::{ops, BlockSize, Topology};
 use megablocks::tensor::init::{normal, seeded_rng};
-use megablocks::tensor::matmul;
+use megablocks::tensor::{kernel_backend, matmul};
 
 fn main() {
+    println!(
+        "kernel backend: {:?} (MEGABLOCKS_KERNEL or configure_kernel_backend \
+         selects; scalar and tiled are bit-identical)",
+        kernel_backend()
+    );
+
     // Three experts with 2, 1 and 3 blocks of tokens (block size 4):
     // the Figure 3C block-diagonal topology.
     let block = BlockSize::new(4).expect("nonzero");
