@@ -151,12 +151,40 @@ impl DroplessMoe {
     ///
     /// Panics if `x.cols() != hidden_size`.
     pub fn try_forward(&self, x: &Matrix) -> Result<DmoeOutput, SparseError> {
+        self.try_forward_ctx(x, &exec::Ctx::none())
+    }
+
+    /// Deadline-aware form of [`DroplessMoe::try_forward`]: the whole
+    /// pass — router, permutation, and every kernel launch — runs under
+    /// `ctx`, installed as the thread's ambient context for the
+    /// duration, and additionally returns [`SparseError::Cancelled`]
+    /// when the context trips (checked at entry, at every launch's band
+    /// boundaries, and inside the tiled microkernel's panel loop). An
+    /// empty context ([`exec::Ctx::none`]) inherits the caller's ambient
+    /// context, making this exactly [`DroplessMoe::try_forward`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DroplessMoe::try_forward`] returns, plus
+    /// [`SparseError::Cancelled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != hidden_size`.
+    pub fn try_forward_ctx(&self, x: &Matrix, ctx: &exec::Ctx) -> Result<DmoeOutput, SparseError> {
         assert_eq!(
             x.cols(),
             self.cfg.hidden_size,
             "input feature size mismatch"
         );
         let _span = telemetry::span("moe.dmoe.forward");
+        let _ambient = exec::cancel::enter(ctx);
+        if let Some(kind) = ctx.status() {
+            return Err(SparseError::Cancelled {
+                op: "moe.dmoe.forward",
+                kind,
+            });
+        }
 
         // (1) Assign tokens to experts.
         let routing = self.router.forward(x);
@@ -187,7 +215,16 @@ impl DroplessMoe {
                 }
             };
             exec::LaunchPlan::over_items("moe.gelu", &mut act, 1, pre.len().div_ceil(bands), &body)
-                .launch();
+                .try_launch()
+                .map_err(|e| match e.kind() {
+                    Some(kind) => SparseError::Cancelled {
+                        op: "moe.gelu",
+                        kind,
+                    },
+                    // Race violations keep the panicking behavior the
+                    // plain `launch()` had before cancellation existed.
+                    None => panic!("{e}"),
+                })?;
             let h_act = BlockSparseMatrix::from_raw(&topology, act)?;
             let y = ops::try_dsd(&h_act, self.w2.value())?;
             (h_pre, h_act, y)

@@ -28,11 +28,18 @@
 //!   [`DroplessMoe::forward`]. Every detection and recovery emits
 //!   `resilience.*` telemetry against the `ep.shard_fail` /
 //!   `ep.shard_delay` fault sites.
+//! * [`resilient_expert_parallel_forward_with_breaker`] — the same
+//!   recovery path behind a per-shard circuit breaker ([`EpBreaker`]):
+//!   a shard that keeps failing (or timing out against
+//!   [`EpPolicy::shard_deadline`]) across calls opens its circuit, and
+//!   subsequent layer calls short-circuit straight to the single-device
+//!   fallback — no doomed shard work, no exchange — until the breaker
+//!   half-opens and a probe call proves the shard healthy again.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use megablocks_exec as exec;
 use megablocks_resilience as resilience;
@@ -131,6 +138,13 @@ pub struct EpPolicy {
     /// Straggler floor in microseconds — below this, slowness is noise,
     /// never a straggler.
     pub straggler_floor_us: u64,
+    /// Wall-clock budget for one shard attempt. Each attempt (first run
+    /// and every retry) executes under a fresh
+    /// [`megablocks_exec::Deadline`] this far in the future, so a shard
+    /// stuck past it unwinds at the next cooperative cancellation point
+    /// and counts as a shard failure — feeding retry, fallback, and the
+    /// circuit breaker. `None` leaves shards unbounded.
+    pub shard_deadline: Option<Duration>,
 }
 
 impl Default for EpPolicy {
@@ -139,6 +153,7 @@ impl Default for EpPolicy {
             max_shard_retries: 2,
             straggler_factor: 8.0,
             straggler_floor_us: 10_000,
+            shard_deadline: None,
         }
     }
 }
@@ -154,6 +169,150 @@ pub struct EpRecovery {
     pub stragglers_detected: u32,
     /// Whether the layer degraded to the single-device forward.
     pub fell_back: bool,
+    /// Layer calls answered by the fallback *without* attempting EP at
+    /// all, because a shard's circuit breaker was open.
+    pub breaker_short_circuits: u32,
+}
+
+/// Tuning knobs for a per-shard circuit breaker ([`EpBreaker`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive unhealed failures of a shard that open its circuit.
+    pub open_after: u32,
+    /// Short-circuited layer calls an open circuit absorbs before
+    /// letting one half-open probe attempt through.
+    pub probe_after: u32,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            open_after: 3,
+            probe_after: 2,
+        }
+    }
+}
+
+/// One shard's circuit state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Healthy: calls flow through.
+    #[default]
+    Closed,
+    /// Tripped: EP attempts short-circuit to the single-device fallback.
+    Open,
+    /// Probing: the next EP attempt runs; success closes the circuit,
+    /// failure re-opens it immediately.
+    HalfOpen,
+}
+
+/// Per-shard circuit breaker for
+/// [`resilient_expert_parallel_forward_with_breaker`].
+///
+/// The classic state machine, one circuit per shard: `Closed` until
+/// [`BreakerPolicy::open_after`] consecutive unhealed failures, then
+/// `Open` (layer calls short-circuit to the single-device fallback
+/// without attempting EP), then after [`BreakerPolicy::probe_after`]
+/// absorbed calls `HalfOpen` — the next call runs a full EP probe whose
+/// outcome either closes or re-opens the circuit. State transitions emit
+/// `ep.breaker` counters (`open` / `half_open` / `close` /
+/// `short_circuit`).
+#[derive(Debug, Clone, Default)]
+pub struct EpBreaker {
+    policy: BreakerPolicy,
+    shards: Vec<ShardCircuit>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardCircuit {
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_calls: u32,
+}
+
+impl EpBreaker {
+    /// A fully closed breaker with the given policy; per-shard circuits
+    /// materialize on first use.
+    pub fn new(policy: BreakerPolicy) -> Self {
+        EpBreaker {
+            policy,
+            shards: Vec::new(),
+        }
+    }
+
+    /// A breaker that never opens — the effective policy of
+    /// [`resilient_expert_parallel_forward`], which retries and falls
+    /// back per call without remembering failures across calls.
+    pub fn never() -> Self {
+        EpBreaker::new(BreakerPolicy {
+            open_after: u32::MAX,
+            probe_after: u32::MAX,
+        })
+    }
+
+    /// The circuit state of `shard` (`Closed` for shards never seen).
+    pub fn state(&self, shard: usize) -> BreakerState {
+        self.shards
+            .get(shard)
+            .map_or(BreakerState::Closed, |s| s.state)
+    }
+
+    fn resize(&mut self, num_shards: usize) {
+        if self.shards.len() < num_shards {
+            self.shards.resize(num_shards, ShardCircuit::default());
+        }
+    }
+
+    /// Advances open circuits one layer call: each either keeps
+    /// absorbing (short-circuiting this call) or, after
+    /// [`BreakerPolicy::probe_after`] absorbed calls, goes half-open.
+    /// Returns the first shard still blocking, if any.
+    fn tick_open(&mut self) -> Option<usize> {
+        let mut blocked = None;
+        for (i, s) in self.shards.iter_mut().enumerate() {
+            if s.state != BreakerState::Open {
+                continue;
+            }
+            if s.open_calls >= self.policy.probe_after {
+                s.state = BreakerState::HalfOpen;
+                telemetry::counter_with("ep.breaker", "half_open").inc();
+            } else {
+                s.open_calls += 1;
+                blocked.get_or_insert(i);
+            }
+        }
+        blocked
+    }
+
+    fn record_success(&mut self, shard: usize) {
+        let s = &mut self.shards[shard];
+        if s.state != BreakerState::Closed {
+            telemetry::counter_with("ep.breaker", "close").inc();
+        }
+        *s = ShardCircuit::default();
+    }
+
+    fn record_failure(&mut self, shard: usize) {
+        let s = &mut self.shards[shard];
+        s.consecutive_failures = s.consecutive_failures.saturating_add(1);
+        let reopen = s.state == BreakerState::HalfOpen;
+        if reopen || s.consecutive_failures >= self.policy.open_after {
+            s.state = BreakerState::Open;
+            s.open_calls = 0;
+            telemetry::counter_with("ep.breaker", "open").inc();
+            telemetry::trace_instant("ep.breaker.open");
+        }
+    }
+}
+
+/// The execution context for one shard attempt: a fresh deadline when
+/// the policy bounds shard latency, empty (inheriting the submitter's
+/// ambient context) otherwise.
+fn shard_ctx(shard_deadline: Option<Duration>) -> exec::Ctx {
+    match shard_deadline {
+        Some(budget) => exec::Ctx::none().with_deadline(exec::Deadline::after(budget)),
+        None => exec::Ctx::none(),
+    }
 }
 
 /// Result of a resilient expert-parallel forward. When the layer had to
@@ -206,7 +365,7 @@ pub fn try_expert_parallel_forward(
 ) -> Result<(Matrix, EpStats, AllToAllBuffers), EpError> {
     let plan = EpPlan::new(layer, x, num_shards)?;
     let mut y = Matrix::pooled_zeros(plan.permute.padded_rows(), plan.hidden);
-    let attempt = run_all_shards(&plan, &mut y);
+    let attempt = run_all_shards(&plan, &mut y, None);
     if let Some((shard, reason)) = attempt.first_failure() {
         resilience::record_detected(&EP_SHARD_FAIL);
         return Err(EpError::ShardFailed { shard, reason });
@@ -232,14 +391,61 @@ pub fn resilient_expert_parallel_forward(
     num_shards: usize,
     policy: &EpPolicy,
 ) -> Result<EpOutcome, EpError> {
+    let mut breaker = EpBreaker::never();
+    resilient_expert_parallel_forward_with_breaker(layer, x, num_shards, policy, &mut breaker)
+}
+
+/// [`resilient_expert_parallel_forward`] composed with a per-shard
+/// circuit breaker that persists across layer calls.
+///
+/// When any shard's circuit is open, the call short-circuits straight to
+/// the single-device [`DroplessMoe::forward`] — the doomed shard work,
+/// its retries, and both all-to-alls are skipped entirely — and
+/// [`EpRecovery::breaker_short_circuits`] records it. Otherwise the
+/// normal retry/straggler/fallback machinery runs and every shard's
+/// outcome (success, or failure after retries) feeds its circuit.
+///
+/// # Errors
+///
+/// Only argument problems ([`EpError::InvalidShardCount`],
+/// [`EpError::InputShape`]), exactly as the breaker-less form.
+pub fn resilient_expert_parallel_forward_with_breaker(
+    layer: &DroplessMoe,
+    x: &Matrix,
+    num_shards: usize,
+    policy: &EpPolicy,
+    breaker: &mut EpBreaker,
+) -> Result<EpOutcome, EpError> {
     let plan = EpPlan::new(layer, x, num_shards)?;
-    let mut y = Matrix::pooled_zeros(plan.permute.padded_rows(), plan.hidden);
-    let attempt = run_all_shards(&plan, &mut y);
+    breaker.resize(num_shards);
     let mut recovery = EpRecovery::default();
+
+    // Open circuits absorb the call before any shard work happens: the
+    // whole layer degrades to the single-device forward until the
+    // breaker half-opens and lets a probe attempt through.
+    if let Some(shard) = breaker.tick_open() {
+        telemetry::counter_with("ep.breaker", "short_circuit").inc();
+        let _ = shard; // which circuit blocked is visible via state()
+        recovery.breaker_short_circuits += 1;
+        recovery.fell_back = true;
+        let output = layer.forward(x).output;
+        return Ok(EpOutcome {
+            output,
+            stats: None,
+            buffers: None,
+            recovery,
+        });
+    }
+
+    let mut y = Matrix::pooled_zeros(plan.permute.padded_rows(), plan.hidden);
+    let attempt = run_all_shards(&plan, &mut y, policy.shard_deadline);
     count_stragglers(&attempt.elapsed_us, policy, &mut recovery);
 
     for (shard, failure) in attempt.failures.iter().enumerate() {
-        let Some(reason) = failure else { continue };
+        let Some(reason) = failure else {
+            breaker.record_success(shard);
+            continue;
+        };
         resilience::record_detected(&EP_SHARD_FAIL);
         telemetry::counter_with("resilience.ep.shard_failures", plan.op_label(shard)).inc();
         let mut healed = false;
@@ -247,6 +453,9 @@ pub fn resilient_expert_parallel_forward(
             recovery.shard_retries += 1;
             telemetry::counter_with("resilience.retries", "ep.shard").inc();
             let rerun = catch_unwind(AssertUnwindSafe(|| {
+                // A fresh deadline per attempt: deadline expiry is
+                // retryable precisely because the retry gets new budget.
+                let _ambient = exec::cancel::enter(&shard_ctx(policy.shard_deadline));
                 resilience::maybe_panic(&EP_SHARD_FAIL);
                 plan.compute_shard(shard)
             }));
@@ -260,6 +469,7 @@ pub fn resilient_expert_parallel_forward(
             }
         }
         if !healed {
+            breaker.record_failure(shard);
             // Graceful degradation: the shard is gone for good, so run
             // the whole layer single-device. Correctness over speed.
             telemetry::counter("resilience.ep.fallback").inc();
@@ -273,6 +483,7 @@ pub fn resilient_expert_parallel_forward(
                 recovery,
             });
         }
+        breaker.record_success(shard);
     }
 
     let (output, stats, buffers) = plan.finish(y);
@@ -445,14 +656,21 @@ impl Attempt {
 /// Launches every shard as a band of one plan. Shards that panic
 /// (genuine bugs or injected `ep.shard_fail` faults) are contained and
 /// reported per shard; the `ep.shard_delay` site and a wall-clock timer
-/// sit inside each band for straggler detection.
-fn run_all_shards(plan: &EpPlan<'_>, y: &mut Matrix) -> Attempt {
+/// sit inside each band for straggler detection, and `shard_deadline`
+/// (when set) bounds each shard attempt with a fresh exec deadline.
+fn run_all_shards(plan: &EpPlan<'_>, y: &mut Matrix, shard_deadline: Option<Duration>) -> Attempt {
     let failures: Vec<Mutex<Option<String>>> =
         (0..plan.num_shards).map(|_| Mutex::new(None)).collect();
     let elapsed_us: Vec<AtomicU64> = (0..plan.num_shards).map(|_| AtomicU64::new(0)).collect();
     let shard_body = |band: &mut [f32], s: usize| {
         let t0 = Instant::now();
         let result = catch_unwind(AssertUnwindSafe(|| {
+            // The shard's deadline clock starts when the shard does, and
+            // the ambient context covers every kernel the shard launches
+            // — an injected `ep.shard_delay` that outlives the budget
+            // turns the next kernel entry into a deadline panic, which
+            // is contained here as an ordinary shard failure.
+            let _ambient = exec::cancel::enter(&shard_ctx(shard_deadline));
             resilience::maybe_panic(&EP_SHARD_FAIL);
             resilience::inject_delay(&EP_SHARD_DELAY);
             plan.compute_shard(s)
@@ -599,6 +817,144 @@ mod tests {
         let bad = normal(8, 5, 1.0, &mut rng);
         let err = try_expert_parallel_forward(&l, &bad, 2).unwrap_err();
         assert!(matches!(err, EpError::InputShape { .. }), "{err}");
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_then_probes_and_closes() {
+        let mut b = EpBreaker::new(BreakerPolicy {
+            open_after: 2,
+            probe_after: 2,
+        });
+        b.resize(2);
+        // One failure is not enough; the second opens the circuit.
+        b.record_failure(0);
+        assert_eq!(b.state(0), BreakerState::Closed);
+        b.record_failure(0);
+        assert_eq!(b.state(0), BreakerState::Open);
+        // The open circuit absorbs `probe_after` calls, then half-opens.
+        assert_eq!(b.tick_open(), Some(0));
+        assert_eq!(b.tick_open(), Some(0));
+        assert_eq!(b.tick_open(), None, "probe attempt must be let through");
+        assert_eq!(b.state(0), BreakerState::HalfOpen);
+        // A successful probe closes the circuit and resets its counters.
+        b.record_success(0);
+        assert_eq!(b.state(0), BreakerState::Closed);
+        b.record_failure(0);
+        assert_eq!(b.state(0), BreakerState::Closed, "failure streak was reset");
+    }
+
+    #[test]
+    fn half_open_failure_reopens_immediately() {
+        let mut b = EpBreaker::new(BreakerPolicy {
+            open_after: 3,
+            probe_after: 1,
+        });
+        b.resize(1);
+        for _ in 0..3 {
+            b.record_failure(0);
+        }
+        assert_eq!(b.state(0), BreakerState::Open);
+        assert_eq!(b.tick_open(), Some(0));
+        assert_eq!(b.tick_open(), None);
+        assert_eq!(b.state(0), BreakerState::HalfOpen);
+        // The probe failing re-opens at once — no fresh failure streak
+        // is required to keep a known-bad shard fenced off.
+        b.record_failure(0);
+        assert_eq!(b.state(0), BreakerState::Open);
+        assert_eq!(b.tick_open(), Some(0), "reopened circuit absorbs again");
+    }
+
+    #[test]
+    fn circuits_are_isolated_per_shard_and_never_breaker_stays_closed() {
+        let mut b = EpBreaker::new(BreakerPolicy {
+            open_after: 1,
+            probe_after: 1,
+        });
+        b.resize(3);
+        b.record_failure(1);
+        assert_eq!(b.state(0), BreakerState::Closed);
+        assert_eq!(b.state(1), BreakerState::Open);
+        assert_eq!(b.state(2), BreakerState::Closed);
+        // Shards the breaker never saw read as closed.
+        assert_eq!(b.state(99), BreakerState::Closed);
+
+        let mut never = EpBreaker::never();
+        never.resize(2);
+        for _ in 0..1000 {
+            never.record_failure(0);
+        }
+        assert_eq!(never.state(0), BreakerState::Closed);
+        assert_eq!(never.tick_open(), None);
+    }
+
+    #[test]
+    fn expired_shard_deadline_degrades_opens_the_circuit_and_short_circuits() {
+        let l = layer(13);
+        let mut rng = seeded_rng(14);
+        let x = normal(20, 6, 1.0, &mut rng);
+        let reference = l.forward(&x).output;
+        // A zero deadline expires before any shard kernel launches, so
+        // every attempt (and its fresh-deadline retry) dies at a
+        // cancellation point; the layer must degrade to the
+        // single-device fallback, never panic.
+        let policy = EpPolicy {
+            shard_deadline: Some(Duration::ZERO),
+            max_shard_retries: 1,
+            ..EpPolicy::default()
+        };
+        let mut breaker = EpBreaker::new(BreakerPolicy {
+            open_after: 1,
+            probe_after: 1,
+        });
+        let outcome =
+            resilient_expert_parallel_forward_with_breaker(&l, &x, 2, &policy, &mut breaker)
+                .expect("valid args");
+        assert!(outcome.recovery.fell_back);
+        assert_eq!(outcome.recovery.breaker_short_circuits, 0);
+        assert!(outcome.output.approx_eq(&reference, 1e-4));
+        // The unhealed shard opened its circuit; the next call must
+        // short-circuit without attempting EP at all.
+        assert_eq!(breaker.state(0), BreakerState::Open);
+        let outcome =
+            resilient_expert_parallel_forward_with_breaker(&l, &x, 2, &policy, &mut breaker)
+                .expect("valid args");
+        assert!(outcome.recovery.fell_back);
+        assert_eq!(outcome.recovery.breaker_short_circuits, 1);
+        assert_eq!(outcome.recovery.shard_retries, 0, "EP was never attempted");
+        assert!(outcome.output.approx_eq(&reference, 1e-4));
+    }
+
+    #[test]
+    fn half_open_probe_with_healthy_deadline_closes_the_circuit() {
+        let l = layer(15);
+        let mut rng = seeded_rng(16);
+        let x = normal(16, 6, 1.0, &mut rng);
+        let reference = l.forward(&x).output;
+        let healthy = EpPolicy {
+            shard_deadline: Some(Duration::from_secs(3600)),
+            ..EpPolicy::default()
+        };
+        let mut breaker = EpBreaker::new(BreakerPolicy {
+            open_after: 1,
+            probe_after: 1,
+        });
+        breaker.resize(2);
+        breaker.record_failure(0);
+        assert_eq!(breaker.state(0), BreakerState::Open);
+        // Call 1: the open circuit absorbs it (short-circuit fallback).
+        let outcome =
+            resilient_expert_parallel_forward_with_breaker(&l, &x, 2, &healthy, &mut breaker)
+                .expect("valid args");
+        assert_eq!(outcome.recovery.breaker_short_circuits, 1);
+        // Call 2: the circuit half-opens and the probe succeeds — full
+        // EP results come back and the circuit closes.
+        let outcome =
+            resilient_expert_parallel_forward_with_breaker(&l, &x, 2, &healthy, &mut breaker)
+                .expect("valid args");
+        assert!(!outcome.recovery.fell_back);
+        assert!(outcome.stats.is_some());
+        assert!(outcome.output.approx_eq(&reference, 1e-4));
+        assert_eq!(breaker.state(0), BreakerState::Closed);
     }
 
     #[test]

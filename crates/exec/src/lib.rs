@@ -30,20 +30,41 @@
 //!   overlaps. Violations surface from [`LaunchPlan::try_launch`] or as
 //!   panics prefixed with [`RACE_PANIC_PREFIX`].
 //!
+//! * **Deadlines, cancellation & overload control** ([`cancel`],
+//!   [`CancelToken`], [`Deadline`], [`Ctx`], [`ExecError`]) — every
+//!   launch runs under a cancellation context (explicit or inherited
+//!   from the thread), checked cooperatively at band boundaries and
+//!   inside the tiled microkernel's panel loop; a background watchdog
+//!   ([`configure_stall_budget`] / `MEGABLOCKS_STALL_MS`) cancels
+//!   launches whose bands stall past a median-based budget; and pool
+//!   admission is bounded ([`configure_queue_cap`] /
+//!   `MEGABLOCKS_QUEUE_CAP`) with explicit load shedding for
+//!   latency-bound launches.
+//!
 //! Pool occupancy, queue depth, launch counts and workspace hit rates
 //! are reported through `megablocks-telemetry` (`exec.*` metrics).
 
 #![deny(missing_docs)]
 
+pub mod cancel;
 mod plan;
 mod pool;
 mod sanitizer;
+mod watchdog;
 pub mod workspace;
 
+pub use cancel::{
+    CancelKind, CancelToken, Ctx, Deadline, ExecError, CANCELLED_PANIC_PREFIX,
+    DEADLINE_PANIC_PREFIX, OVERLOADED_PANIC_PREFIX,
+};
 pub use plan::LaunchPlan;
-pub use pool::{configure_threads, parallelism, parallelism_for, pool, scoped_parallelism, Pool};
+pub use pool::{
+    configure_queue_cap, configure_threads, parallelism, parallelism_for, pool, queue_cap,
+    scoped_parallelism, Pool,
+};
 pub use sanitizer::{
     band_order, perturbation_seed, record_write, record_write_span, set_perturbation, stall_slots,
     RaceViolation, RACE_PANIC_PREFIX,
 };
+pub use watchdog::{configure_stall_budget, stall_budget};
 pub use workspace::{configure_workspace_cap, workspace_cap, Workspace, WorkspaceStats};

@@ -23,12 +23,26 @@
 //! coherent before launch — the declared geometry must tile the output
 //! exactly — which moves the old per-kernel band-partition audit into
 //! the one place every launch passes through.
+//!
+//! Every launch also runs under a cancellation [`Ctx`] — attached
+//! explicitly with [`LaunchPlan::with_ctx`] or inherited from the
+//! submitting thread's ambient context — and is checked cooperatively
+//! at band boundaries: a launch whose token trips or whose deadline
+//! passes skips unstarted bands, unwinds in bounded time, and reports a
+//! structured [`ExecError`]. Queue admission is bounded too: a launch
+//! that would flood the pool past its depth cap is shed with
+//! [`ExecError::Overloaded`] when latency-bound, or degraded to inline
+//! execution when not.
+
+use std::time::{Duration, Instant};
 
 use megablocks_resilience as resilience;
 use megablocks_telemetry as telemetry;
 
+use crate::cancel::{self, CancelKind, CancelToken, Ctx, ExecError};
 use crate::pool;
-use crate::sanitizer::{self, RaceViolation};
+use crate::sanitizer;
+use crate::watchdog;
 
 /// How a plan slices its output.
 enum Partition {
@@ -48,6 +62,8 @@ pub struct LaunchPlan<'data, 'body> {
     data: &'data mut [f32],
     partition: Partition,
     body: &'body (dyn Fn(&mut [f32], usize) + Sync),
+    ctx: Ctx,
+    stall_budget: Option<Duration>,
 }
 
 impl<'data, 'body> LaunchPlan<'data, 'body> {
@@ -79,6 +95,8 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
                 items_per_band: items_per_band.max(1),
             },
             body,
+            ctx: Ctx::none(),
+            stall_budget: None,
         }
     }
 
@@ -107,7 +125,29 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
             data,
             partition: Partition::Explicit { band_lens },
             body,
+            ctx: Ctx::none(),
+            stall_budget: None,
         }
+    }
+
+    /// Attaches a cancellation/deadline context to the launch. Plans
+    /// without an explicit context inherit the submitting thread's
+    /// ambient context (see [`crate::cancel::enter`]), so one `enter` at
+    /// an outer layer covers every nested launch.
+    pub fn with_ctx(mut self, ctx: Ctx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
+    /// Puts this launch under the stall watchdog with an explicit
+    /// budget, overriding the process-wide
+    /// [`crate::configure_stall_budget`] / `MEGABLOCKS_STALL_MS`
+    /// setting. A band exceeding `max(budget, 8 x median finished-band
+    /// time)` gets the launch cancelled with
+    /// [`ExecError::DeadlineExceeded`].
+    pub fn with_stall_budget(mut self, budget: Duration) -> Self {
+        self.stall_budget = Some(budget);
+        self
     }
 
     /// The op name the plan was built for (telemetry label).
@@ -137,22 +177,27 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
     ///
     /// # Panics
     ///
-    /// Under `--features sanitize`, panics with a message starting with
-    /// [`crate::RACE_PANIC_PREFIX`] when the dynamic race sanitizer
-    /// detects overlapping band write sets or a claim escape. Use
-    /// [`LaunchPlan::try_launch`] to receive the violation as a value.
+    /// Panics with a message starting with one of the classification
+    /// prefixes when the launch fails structurally: under
+    /// `--features sanitize`, [`crate::RACE_PANIC_PREFIX`] when the
+    /// dynamic race sanitizer detects overlapping band write sets or a
+    /// claim escape; [`crate::CANCELLED_PANIC_PREFIX`] /
+    /// [`crate::DEADLINE_PANIC_PREFIX`] when the launch's context was
+    /// cancelled or timed out. Use [`LaunchPlan::try_launch`] to receive
+    /// the failure as a value.
     pub fn launch(self) {
-        if let Err(violation) = self.run(false) {
-            panic!("{violation}");
+        if let Err(error) = self.run(false) {
+            panic!("{error}");
         }
     }
 
     /// Executes the plan like [`LaunchPlan::launch`], but returns the
-    /// race sanitizer's verdict instead of panicking on a detected
-    /// violation. Without `--features sanitize` the dynamic checks
-    /// compile out and this always returns `Ok(())` (band panics are
-    /// still re-raised either way).
-    pub fn try_launch(self) -> Result<(), RaceViolation> {
+    /// structured [`ExecError`] — detected race, cancellation, deadline
+    /// expiry, or overload shed — instead of panicking. With no context
+    /// attached or inherited and without `--features sanitize`, the
+    /// dynamic checks compile out or short-circuit and this always
+    /// returns `Ok(())` (band panics are still re-raised either way).
+    pub fn try_launch(self) -> Result<(), ExecError> {
         self.run(false)
     }
 
@@ -164,12 +209,12 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
     ///
     /// As [`LaunchPlan::launch`], including detected race violations.
     pub fn launch_spawn_per_op(self) {
-        if let Err(violation) = self.run(true) {
-            panic!("{violation}");
+        if let Err(error) = self.run(true) {
+            panic!("{error}");
         }
     }
 
-    fn run(self, spawn_per_op: bool) -> Result<(), RaceViolation> {
+    fn run(self, spawn_per_op: bool) -> Result<(), ExecError> {
         verify_plan(&self);
         let bands = self.bands();
         telemetry::histogram("exec.launch.bands").record(bands as u64);
@@ -178,7 +223,28 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
             data,
             partition,
             body,
+            ctx,
+            stall_budget,
         } = self;
+        // Inherit the submitter's ambient context when the plan carries
+        // none, so a deadline installed at (say) the trainer step reaches
+        // every nested kernel launch without each call site threading it
+        // through. An empty inherited context keeps the fast path: every
+        // check below short-circuits on `None`.
+        let mut ctx = if ctx.is_empty() {
+            cancel::current()
+        } else {
+            ctx
+        };
+        // Pre-launch cancellation point: refuse already-dead work before
+        // building a single task.
+        if let Some(kind) = ctx.status() {
+            return Err(abort_error(op, kind));
+        }
+        // Whether the *caller* attached a deadline/token — the watchdog
+        // may add a private token below, but that must not change the
+        // overload policy (only caller-bound launches shed).
+        let latency_bound = !ctx.is_empty();
         // Chaos injection site: under an installed FaultPlan (chaos
         // feature only) a band task may panic before running its body,
         // exercising the pool's park-and-reraise recovery path end to
@@ -198,13 +264,59 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
         };
         if bands <= 1 {
             telemetry::counter_with("exec.launches", "inline").inc();
+            let _ambient = cancel::enter(&ctx);
             guarded(data, 0);
-            return Ok(());
+            return finish_status(op, &ctx);
         }
+        // Put the launch under the stall watchdog when a budget is
+        // active (per-plan override first, then the process setting).
+        // The watchdog cancels through the context's token, so a watched
+        // context without one gets a private token here.
+        let watch = match stall_budget.or_else(watchdog::stall_budget) {
+            Some(budget) => {
+                let token = match ctx.token() {
+                    Some(t) => t.clone(),
+                    None => {
+                        let t = CancelToken::new();
+                        ctx = ctx.with_token(&t);
+                        t
+                    }
+                };
+                Some(watchdog::register(op, token, bands, budget))
+            }
+            None => None,
+        };
         let race_monitor =
             sanitizer::Monitor::begin(op, data, partition_claims(&partition, data.len()));
         let monitor = &race_monitor;
         let guarded = &guarded;
+        let ctx_ref = &ctx;
+        let watch_ref = &watch;
+        // One band task: re-installs the launch context on whichever
+        // thread runs the band (so kernel panel loops can poll it),
+        // checks the band-boundary cancellation point, and reports
+        // start/finish to the watchdog. A cancelled launch skips every
+        // band that has not started; its output is discarded with the
+        // launch error, so the skipped writes are unobservable.
+        let run_band = |b: usize, band: &mut [f32], i: usize| {
+            sanitizer::stall(b);
+            let _ambient = cancel::enter(ctx_ref);
+            let _claim = monitor.enter(b, band);
+            if ctx_ref.status().is_some() {
+                return;
+            }
+            if let Some(w) = watch_ref {
+                w.watch().band_started(b);
+            }
+            chaos_stall_band();
+            if ctx_ref.status().is_none() {
+                guarded(band, i);
+            }
+            if let Some(w) = watch_ref {
+                w.watch().band_finished(b);
+            }
+        };
+        let run_band = &run_band;
         let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(bands);
         match partition {
             Partition::Uniform {
@@ -212,11 +324,7 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
                 items_per_band,
             } => {
                 for (b, band) in data.chunks_mut(items_per_band * unit).enumerate() {
-                    tasks.push(Box::new(move || {
-                        sanitizer::stall(b);
-                        let _scope = monitor.enter(b, band);
-                        guarded(band, b * items_per_band)
-                    }));
+                    tasks.push(Box::new(move || run_band(b, band, b * items_per_band)));
                 }
             }
             Partition::Explicit { band_lens } => {
@@ -224,11 +332,7 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
                 for (b, &len) in band_lens.iter().enumerate() {
                     let (band, tail) = rest.split_at_mut(len);
                     rest = tail;
-                    tasks.push(Box::new(move || {
-                        sanitizer::stall(b);
-                        let _scope = monitor.enter(b, band);
-                        guarded(band, b)
-                    }));
+                    tasks.push(Box::new(move || run_band(b, band, b)));
                 }
             }
         }
@@ -239,9 +343,86 @@ impl<'data, 'body> LaunchPlan<'data, 'body> {
             run_spawn_per_op(tasks);
         } else {
             telemetry::counter_with("exec.launches", "pooled").inc();
-            pool::pool().run(tasks);
+            // Chaos `pool.queue_flood` site: force the admission decision
+            // this launch would face on a flooded queue. Compiles to
+            // `false` without the chaos feature.
+            let outcome = if resilience::should_fail(&resilience::sites::POOL_QUEUE_FLOOD) {
+                Err(pool::Rejected {
+                    tasks,
+                    depth: pool::pool().queue_depth(),
+                    cap: pool::queue_cap(),
+                })
+            } else {
+                pool::pool().try_run(tasks)
+            };
+            if let Err(rejected) = outcome {
+                resilience::record_detected(&resilience::sites::POOL_QUEUE_FLOOD);
+                telemetry::trace_instant("exec.shed");
+                telemetry::histogram("exec.shed.depth").record(rejected.depth as u64);
+                telemetry::gauge("exec.pool.queue_cap").set(rejected.cap as f64);
+                if !latency_bound {
+                    // Plain throughput work has no deadline to miss:
+                    // degrade to inline execution on the submitter. The
+                    // queue stays bounded and the work still completes —
+                    // the recovery this site's counter pins.
+                    telemetry::counter_with("exec.shed", "inline").inc();
+                    for task in rejected.tasks {
+                        task();
+                    }
+                    resilience::record_recovered(&resilience::sites::POOL_QUEUE_FLOOD);
+                } else {
+                    // Latency-bound work (it carries a deadline/token):
+                    // shed explicitly rather than queue into the flood.
+                    telemetry::counter_with("exec.shed", "rejected").inc();
+                    drop(rejected.tasks);
+                    return Err(abort_error(op, CancelKind::Overloaded));
+                }
+            }
         }
-        race_monitor.finish()
+        race_monitor.finish().map_err(ExecError::Race)?;
+        finish_status(op, &ctx)
+    }
+}
+
+/// Maps an aborted context into the launch's structured error, emitting
+/// the `exec.cancelled` counter (labelled by kind) and a trace instant.
+fn abort_error(op: &'static str, kind: CancelKind) -> ExecError {
+    telemetry::counter_with("exec.cancelled", kind.label()).inc();
+    telemetry::trace_instant("exec.cancelled");
+    match kind {
+        CancelKind::Cancelled => ExecError::Cancelled { op },
+        CancelKind::DeadlineExceeded => ExecError::DeadlineExceeded { op },
+        CancelKind::Overloaded => ExecError::Overloaded { op },
+    }
+}
+
+/// Post-launch verdict of the context: `Err` when the launch was
+/// cancelled mid-flight (by its token, its deadline, or the watchdog),
+/// in which case the output must be considered garbage.
+fn finish_status(op: &'static str, ctx: &Ctx) -> Result<(), ExecError> {
+    match ctx.status() {
+        Some(kind) => Err(abort_error(op, kind)),
+        None => Ok(()),
+    }
+}
+
+/// Chaos `exec.band_stall` site: parks the current band for the plan's
+/// configured delay, sleeping in short slices and polling the ambient
+/// context between them — an injected stall still unwinds promptly once
+/// the watchdog (or an explicit cancel) fires, which is exactly the
+/// recovery the site exists to prove. Compiles to a no-op without the
+/// chaos feature.
+fn chaos_stall_band() {
+    let ms = resilience::delay_requested(&resilience::sites::EXEC_BAND_STALL);
+    if ms == 0 {
+        return;
+    }
+    let until = Instant::now() + Duration::from_millis(ms);
+    while Instant::now() < until {
+        if cancel::poll_cancelled() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
     }
 }
 

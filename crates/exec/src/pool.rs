@@ -11,12 +11,18 @@
 //! after every task of the launch has finished. Workers never unwind, so
 //! one poisoned launch cannot wedge the queue or leak a lock; the next
 //! launch sees a clean pool.
+//!
+//! Admission is bounded: a launch that would push the queue past the
+//! configured depth cap ([`configure_queue_cap`] / `MEGABLOCKS_QUEUE_CAP`)
+//! is rejected with its tasks handed back, and the launch plan decides
+//! whether to shed it explicitly (deadline-bound work) or degrade to
+//! inline execution (plain work — the queue stays bounded either way).
 
 use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use megablocks_telemetry as telemetry;
@@ -30,8 +36,15 @@ type Job = Box<dyn FnOnce() + Send>;
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
     available: Condvar,
-    /// Workers currently executing a task (pool occupancy).
-    busy: AtomicUsize,
+    /// Workers currently executing a task (pool occupancy). Signed so a
+    /// torn read interleaved with a worker's increment/decrement pair can
+    /// only ever look *negative* — which the accessor clamps — instead of
+    /// wrapping a `usize` to an absurd occupancy.
+    busy: AtomicIsize,
+    /// Tasks currently queued, mirrored outside the mutex so occupancy
+    /// probes never contend with the dispatch hot path. Signed and
+    /// clamped on read for the same reason as `busy`.
+    queued: AtomicIsize,
 }
 
 /// Completion tracking for one launch: the submitter waits on `done`
@@ -106,6 +119,19 @@ static TARGET: OnceLock<usize> = OnceLock::new();
 /// The process-wide pool (spawned lazily, on the first pooled launch).
 static POOL: OnceLock<Pool> = OnceLock::new();
 
+/// Queue-depth cap requested via [`configure_queue_cap`] before first
+/// use, stored as `cap + 1` so a configured cap of zero is
+/// distinguishable from unset.
+static CONFIGURED_QUEUE_CAP: AtomicUsize = AtomicUsize::new(0);
+
+/// The resolved process-wide queue-depth cap.
+static QUEUE_CAP: OnceLock<usize> = OnceLock::new();
+
+/// Default queue-depth cap: generous for kernel fan-out (a launch queues
+/// at most `parallelism - 1` bands) while bounding memory and latency
+/// when many submitters flood the pool at once.
+const DEFAULT_QUEUE_CAP: usize = 1024;
+
 /// Requests a process-wide parallelism target, overriding the
 /// `MEGABLOCKS_THREADS` environment variable and the detected CPU count.
 ///
@@ -114,6 +140,35 @@ static POOL: OnceLock<Pool> = OnceLock::new();
 pub fn configure_threads(threads: usize) -> bool {
     CONFIGURED.store(threads.max(1), Relaxed);
     TARGET.get().is_none()
+}
+
+/// Requests a process-wide queue-depth cap (0 = never queue; every
+/// multi-band launch degrades or sheds), overriding the
+/// `MEGABLOCKS_QUEUE_CAP` environment variable and the default.
+///
+/// Returns `false` if the runtime already resolved its cap (the original
+/// configuration is kept in that case).
+pub fn configure_queue_cap(cap: usize) -> bool {
+    CONFIGURED_QUEUE_CAP.store(cap.saturating_add(1), Relaxed);
+    QUEUE_CAP.get().is_none()
+}
+
+/// The resolved queue-depth cap: explicit [`configure_queue_cap`], then
+/// the `MEGABLOCKS_QUEUE_CAP` environment variable, then
+/// [`DEFAULT_QUEUE_CAP`].
+pub fn queue_cap() -> usize {
+    *QUEUE_CAP.get_or_init(|| {
+        let configured = CONFIGURED_QUEUE_CAP.load(Relaxed);
+        if configured > 0 {
+            return configured - 1;
+        }
+        if let Ok(v) = std::env::var("MEGABLOCKS_QUEUE_CAP") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                return n;
+            }
+        }
+        DEFAULT_QUEUE_CAP
+    })
 }
 
 /// Resolves the parallelism target: explicit [`configure_threads`] call,
@@ -183,13 +238,26 @@ pub fn pool() -> &'static Pool {
     POOL.get_or_init(|| Pool::new(*TARGET.get_or_init(resolve_target)))
 }
 
+/// A launch handed back by bounded admission: queueing its tasks would
+/// have pushed the queue past `cap`. The tasks are returned untouched so
+/// the caller can run them inline or drop them.
+pub(crate) struct Rejected<'scope> {
+    /// The launch's tasks, in submission order.
+    pub tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>,
+    /// Queue depth observed at the admission decision.
+    pub depth: usize,
+    /// The cap the launch was held to.
+    pub cap: usize,
+}
+
 impl Pool {
     fn new(target: usize) -> Self {
         let workers = target.saturating_sub(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
-            busy: AtomicUsize::new(0),
+            busy: AtomicIsize::new(0),
+            queued: AtomicIsize::new(0),
         });
         for i in 0..workers {
             let shared = Arc::clone(&shared);
@@ -209,18 +277,19 @@ impl Pool {
         self.workers
     }
 
-    /// Tasks currently queued (for tests and occupancy metrics).
+    /// Tasks currently queued (for tests and occupancy metrics). Read
+    /// from the lock-free mirror and clamped at zero: a probe racing a
+    /// worker wakeup may observe the decrement before the matching
+    /// enqueue count, and a transient `-1` must read as empty, not as
+    /// `usize::MAX`.
     pub fn queue_depth(&self) -> usize {
-        self.shared
-            .queue
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .len()
+        self.shared.queued.load(Relaxed).max(0) as usize
     }
 
-    /// Workers currently executing a task.
+    /// Workers currently executing a task, clamped at zero against the
+    /// same torn-interleaving reads as [`Pool::queue_depth`].
     pub fn busy_workers(&self) -> usize {
-        self.shared.busy.load(Relaxed)
+        self.shared.busy.load(Relaxed).max(0) as usize
     }
 
     /// Executes `tasks` to completion, one per band of a launch plan.
@@ -236,23 +305,60 @@ impl Pool {
     /// single task or on a worker-less pool, run inline on the calling
     /// thread; panics then propagate directly.
     pub fn run<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if let Err(rejected) = self.submit(tasks, None) {
+            // Uncapped submission cannot be rejected; run the launch
+            // inline rather than lose it if that invariant ever breaks.
+            for task in rejected.tasks {
+                task();
+            }
+        }
+    }
+
+    /// Executes `tasks` like [`Pool::run`], but under bounded admission:
+    /// if queueing them would push the queue past [`queue_cap`], nothing
+    /// is queued and the tasks come back in [`Rejected`] for the caller
+    /// to shed or degrade.
+    pub(crate) fn try_run<'scope>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>,
+    ) -> Result<(), Rejected<'scope>> {
+        self.submit(tasks, Some(queue_cap()))
+    }
+
+    /// The submission path shared by [`Pool::run`] (uncapped) and
+    /// [`Pool::try_run`] (capped). The admission decision is taken under
+    /// the queue lock, so the cap is exact even with many concurrent
+    /// submitters.
+    fn submit<'scope>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>,
+        cap: Option<usize>,
+    ) -> Result<(), Rejected<'scope>> {
         let queued = tasks.len().saturating_sub(1);
         if queued == 0 || self.workers == 0 || in_worker() {
             for task in tasks {
                 task();
             }
-            return;
+            return Ok(());
         }
 
         let state = Arc::new(LaunchState::new(queued));
-        let mut tasks = tasks.into_iter();
-        let first = match tasks.next() {
-            Some(t) => t,
-            None => return,
-        };
         let enqueued_us = telemetry::trace_now_us();
+        let first;
         {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = cap {
+                let depth = queue.len();
+                if depth + queued > cap {
+                    drop(queue);
+                    return Err(Rejected { tasks, depth, cap });
+                }
+            }
+            let mut tasks = tasks.into_iter();
+            first = match tasks.next() {
+                Some(t) => t,
+                None => return Ok(()),
+            };
             for task in tasks {
                 // SAFETY: the erased closure borrows from the caller's
                 // stack frame ('scope). This function does not return —
@@ -276,6 +382,7 @@ impl Pool {
                     state.finish(payload);
                 }));
             }
+            self.shared.queued.fetch_add(queued as isize, Relaxed);
             telemetry::gauge("exec.pool.queue_depth").set(queue.len() as f64);
         }
         self.shared.available.notify_all();
@@ -288,6 +395,7 @@ impl Pool {
         if let Some(p) = inline_panic.or_else(|| state.take_panic()) {
             resume_unwind(p);
         }
+        Ok(())
     }
 }
 
@@ -317,6 +425,7 @@ fn worker_loop(shared: &Shared) {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(job) = queue.pop_front() {
+                    shared.queued.fetch_sub(1, Relaxed);
                     telemetry::gauge("exec.pool.queue_depth").set(queue.len() as f64);
                     break job;
                 }
@@ -327,7 +436,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let busy = shared.busy.fetch_add(1, Relaxed) + 1;
-        telemetry::gauge("exec.pool.busy_workers").set(busy as f64);
+        telemetry::gauge("exec.pool.busy_workers").set(busy.max(0) as f64);
         telemetry::counter("exec.pool.tasks").inc();
         job();
         shared.busy.fetch_sub(1, Relaxed);

@@ -8,8 +8,10 @@
 //! completion state).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::time::{Duration, Instant};
 
-use megablocks_exec::{configure_threads, parallelism, scoped_parallelism, LaunchPlan};
+use megablocks_exec::{configure_threads, parallelism, pool, scoped_parallelism, LaunchPlan};
 
 /// Sums `1..=n` through a multi-band plan; the workhorse "normal launch"
 /// the panic tests interleave with.
@@ -130,6 +132,51 @@ fn scoped_parallelism_overrides_and_restores() {
     });
     assert_eq!(inside, (2, 7, 2), "override must nest and restore");
     assert_eq!(parallelism(), outside, "override must not leak");
+}
+
+#[test]
+fn occupancy_gauges_never_underflow() {
+    configure_threads(4);
+    // Regression test for the signed-and-clamped occupancy mirrors: a
+    // probe racing a worker's increment/decrement pair used to be able
+    // to observe a `usize` wrapped to an absurd value. Hammer the pool
+    // with launches while a sampler thread reads both gauges; every
+    // sample must stay within physical bounds.
+    let stop = AtomicBool::new(false);
+    let workers = pool().workers();
+    std::thread::scope(|s| {
+        let sampler = s.spawn(|| {
+            let mut max_depth = 0usize;
+            let mut max_busy = 0usize;
+            while !stop.load(Relaxed) {
+                max_depth = max_depth.max(pool().queue_depth());
+                max_busy = max_busy.max(pool().busy_workers());
+            }
+            (max_depth, max_busy)
+        });
+        for _ in 0..200 {
+            banded_sum(4096, 8);
+        }
+        stop.store(true, Relaxed);
+        let (max_depth, max_busy) = sampler.join().expect("sampler thread");
+        assert!(
+            max_depth <= 10_000,
+            "queue depth gauge wrapped or leaked: {max_depth}"
+        );
+        assert!(
+            max_busy <= workers,
+            "busy gauge exceeded the pool's {workers} workers: {max_busy}"
+        );
+    });
+    // Once the traffic stops, both mirrors drain back to empty. Sibling
+    // tests share the pool and may still be launching, so poll for the
+    // drained state rather than asserting it instantaneously.
+    let settle = Instant::now() + Duration::from_secs(30);
+    while (pool().queue_depth() > 0 || pool().busy_workers() > 0) && Instant::now() < settle {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(pool().queue_depth(), 0, "queue mirror must drain to zero");
+    assert_eq!(pool().busy_workers(), 0, "busy mirror must drain to zero");
 }
 
 #[test]

@@ -13,8 +13,8 @@ use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 
 use megablocks_exec::{
-    band_order, configure_threads, record_write_span, set_perturbation, LaunchPlan, RaceViolation,
-    RACE_PANIC_PREFIX,
+    band_order, configure_threads, record_write_span, set_perturbation, ExecError, LaunchPlan,
+    RaceViolation, RACE_PANIC_PREFIX,
 };
 
 /// Serializes the tests in this file (they mutate the process-wide
@@ -68,13 +68,13 @@ fn cross_band_overlap_is_detected() {
         .try_launch()
         .expect_err("seeded overlap must be detected");
     match err {
-        RaceViolation::Overlap {
+        ExecError::Race(RaceViolation::Overlap {
             op,
             first_band,
             second_band,
             start,
             end,
-        } => {
+        }) => {
             assert_eq!(op, "race.overlap");
             assert_eq!((first_band, second_band), (0, 1));
             // floats 0..1 == bytes 0..4
@@ -100,12 +100,12 @@ fn claim_escape_is_detected() {
         .try_launch()
         .expect_err("claim escape must be detected");
     match err {
-        RaceViolation::ClaimMismatch {
+        ExecError::Race(RaceViolation::ClaimMismatch {
             op,
             band,
             claimed,
             recorded,
-        } => {
+        }) => {
             assert_eq!(op, "race.escape");
             assert_eq!(band, 1);
             assert_eq!(claimed, (8, 16));
@@ -148,7 +148,7 @@ fn overlap_reachable_only_under_schedule_perturbation() {
     // partial result through a stale index. In the natural submission
     // order band 0 runs first, so the overlap never happens; only a
     // perturbed schedule that places band 3 before band 0 exposes it.
-    let run = |seed: u64| -> Result<(), RaceViolation> {
+    let run = |seed: u64| -> Result<(), ExecError> {
         set_perturbation(seed);
         let band3_ran = AtomicBool::new(false);
         let body = |_band: &mut [f32], first: usize| match band_of(first, ITEMS_PER_BAND) {
@@ -180,11 +180,11 @@ fn overlap_reachable_only_under_schedule_perturbation() {
         })
         .expect("some small seed must order band 3 before band 0");
     match run(seed) {
-        Err(RaceViolation::Overlap {
+        Err(ExecError::Race(RaceViolation::Overlap {
             first_band,
             second_band,
             ..
-        }) => assert_eq!((first_band, second_band), (0, 1)),
+        })) => assert_eq!((first_band, second_band), (0, 1)),
         other => panic!("perturbed schedule (seed {seed}) must race, got {other:?}"),
     }
 
@@ -216,11 +216,11 @@ fn explicit_band_plans_are_monitored_too() {
         .try_launch()
         .expect_err("explicit-band overlap must be detected");
     match err {
-        RaceViolation::Overlap {
+        ExecError::Race(RaceViolation::Overlap {
             first_band,
             second_band,
             ..
-        } => assert_eq!((first_band, second_band), (0, 2)),
+        }) => assert_eq!((first_band, second_band), (0, 2)),
         other => panic!("expected Overlap, got {other:?}"),
     }
 }

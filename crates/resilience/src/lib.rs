@@ -10,7 +10,8 @@
 //!   behind the `chaos` cargo feature. A plan is seeded and installed
 //!   process-wide; registered injection sites ([`Site`]) query it through
 //!   hooks ([`maybe_panic`], [`maybe_poison`], [`should_fail`],
-//!   [`inject_delay`], [`maybe_io_error`]) that compile to inlined no-ops
+//!   [`inject_delay`], [`delay_requested`], [`maybe_io_error`]) that
+//!   compile to inlined no-ops
 //!   when the feature is off — production builds carry no chaos machinery.
 //! * **CRC-checked, atomic file I/O** ([`crc32`], [`Crc32`],
 //!   [`atomic_write`]) — the write-temp + fsync + rename discipline the
@@ -37,8 +38,9 @@ pub mod sites;
 pub use crc::{crc32, Crc32};
 pub use io::atomic_write;
 pub use plan::{
-    clear_plan, inject_delay, install_plan, maybe_io_error, maybe_panic, maybe_poison,
-    plan_installed, report, should_fail, FaultPlan, FaultReport, SiteReport, INJECTED_PANIC_PREFIX,
+    clear_plan, delay_requested, inject_delay, install_plan, maybe_io_error, maybe_panic,
+    maybe_poison, plan_installed, report, should_fail, FaultPlan, FaultReport, SiteReport,
+    INJECTED_PANIC_PREFIX,
 };
 pub use retry::{run_with_retry, RetryPolicy};
 pub use sites::Site;

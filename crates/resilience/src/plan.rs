@@ -352,6 +352,23 @@ pub fn inject_delay(site: &Site) -> u64 {
     0
 }
 
+/// Cooperative-stall hook: if the plan fires at `site`, returns the
+/// plan's configured delay in milliseconds *without sleeping* — the
+/// caller parks on its own terms (typically in short slices, polling a
+/// cancellation token between them), so an injected stall still unwinds
+/// promptly once a watchdog cancels it. Inlines to `0` without the
+/// `chaos` feature.
+#[inline]
+pub fn delay_requested(site: &Site) -> u64 {
+    #[cfg(feature = "chaos")]
+    if active::fires(site) {
+        return active::delay_ms();
+    }
+    #[cfg(not(feature = "chaos"))]
+    let _ = site;
+    0
+}
+
 /// Checkpoint-I/O hook: returns an injected `io::Error` if the plan fires
 /// at `site`. Inlines to `Ok(())` without the `chaos` feature.
 #[inline]

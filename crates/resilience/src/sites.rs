@@ -74,6 +74,27 @@ pub const CHECKPOINT_IO: Site = Site {
     recovered: "resilience.recovered.checkpoint.io",
 };
 
+/// Band stall inside the exec launch path: one band of a launch plan
+/// parks for the plan's configured delay (cooperatively, via
+/// [`crate::delay_requested`]), exercising the stall watchdog's
+/// cancel-and-unwind path.
+pub const EXEC_BAND_STALL: Site = Site {
+    name: "exec.band_stall",
+    injected: "resilience.injected.exec.band_stall",
+    detected: "resilience.detected.exec.band_stall",
+    recovered: "resilience.recovered.exec.band_stall",
+};
+
+/// Pool-queue flood: a launch is treated as if the worker queue were at
+/// its depth cap, exercising bounded admission — explicit shedding for
+/// latency-bound launches, inline degradation for the rest.
+pub const POOL_QUEUE_FLOOD: Site = Site {
+    name: "pool.queue_flood",
+    injected: "resilience.injected.pool.queue_flood",
+    detected: "resilience.detected.pool.queue_flood",
+    recovered: "resilience.recovered.pool.queue_flood",
+};
+
 /// Every registered site, in catalogue order.
 pub const ALL: &[Site] = &[
     EXEC_WORKER_PANIC,
@@ -81,6 +102,8 @@ pub const ALL: &[Site] = &[
     EP_SHARD_FAIL,
     EP_SHARD_DELAY,
     CHECKPOINT_IO,
+    EXEC_BAND_STALL,
+    POOL_QUEUE_FLOOD,
 ];
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 use std::error::Error;
 use std::fmt;
 
+use megablocks_exec::CancelKind;
+
 use crate::audit::AuditError;
 
 /// Error type for block-sparse construction and validation.
@@ -40,6 +42,17 @@ pub enum SparseError {
     },
     /// Mismatched input lengths or shapes.
     Mismatch(String),
+    /// The product's kernel launch was abandoned before completion: its
+    /// cancellation context tripped (explicit cancel or expired
+    /// deadline), the stall watchdog fired, or the pool shed the launch
+    /// under overload. The partially-written output is discarded with
+    /// this error.
+    Cancelled {
+        /// The telemetry name of the abandoned product.
+        op: &'static str,
+        /// Why the launch was abandoned.
+        kind: CancelKind,
+    },
 }
 
 impl fmt::Display for SparseError {
@@ -68,6 +81,16 @@ impl fmt::Display for SparseError {
                 write!(f, "duplicate nonzero block at ({row}, {col})")
             }
             SparseError::Mismatch(s) => write!(f, "{s}"),
+            // Leads with the exec panic prefix for the kind, so a message
+            // crossing a panic boundary still classifies uniformly
+            // (retryable deadline vs. non-retryable cancel).
+            SparseError::Cancelled { op, kind } => {
+                write!(
+                    f,
+                    "{}: {op} abandoned before completion",
+                    kind.panic_prefix()
+                )
+            }
         }
     }
 }

@@ -144,6 +144,30 @@ mod sanitize {
     }
 }
 
+/// Maps a launch result into the sparse error space: race violations go
+/// through the sanitizer mapping (an inlined no-op without the feature)
+/// and cancellation flavors — explicit cancel, expired deadline, watchdog
+/// stall, pool shed — surface as [`SparseError::Cancelled`], carrying the
+/// [`exec::CancelKind`] upper layers classify retryability by.
+fn launch_result(result: Result<(), exec::ExecError>) -> Result<(), SparseError> {
+    match result {
+        Ok(()) => Ok(()),
+        Err(exec::ExecError::Race(violation)) => sanitize::race(Err(violation)),
+        Err(exec::ExecError::Cancelled { op }) => Err(SparseError::Cancelled {
+            op,
+            kind: exec::CancelKind::Cancelled,
+        }),
+        Err(exec::ExecError::DeadlineExceeded { op }) => Err(SparseError::Cancelled {
+            op,
+            kind: exec::CancelKind::DeadlineExceeded,
+        }),
+        Err(exec::ExecError::Overloaded { op }) => Err(SparseError::Cancelled {
+            op,
+            kind: exec::CancelKind::Overloaded,
+        }),
+    }
+}
+
 /// Work below this many f32 multiply-adds stays single-banded: even a
 /// pooled launch costs a queue round-trip per band.
 const PARALLEL_THRESHOLD: usize = 1 << 16;
@@ -232,6 +256,22 @@ product_wrappers! {
         = try_sdd_op(a, Trans::N, b, Trans::T, topo);
 }
 
+/// Deadline-aware form of [`try_sdd`]: the forward-pass SDD run under
+/// `ctx`, additionally returning [`SparseError::Cancelled`] when the
+/// context trips or the launch is shed under overload.
+///
+/// # Errors
+///
+/// Everything [`try_sdd`] returns, plus [`SparseError::Cancelled`].
+pub fn try_sdd_ctx(
+    a: &Matrix,
+    b: &Matrix,
+    topo: &Topology,
+    ctx: &exec::Ctx,
+) -> Result<BlockSparseMatrix, SparseError> {
+    try_sdd_op_ctx(a, Trans::N, b, Trans::N, topo, ctx)
+}
+
 /// General SDD with transpose control over both dense inputs:
 /// `out = op_a(a) * op_b(b)` restricted to the nonzero blocks of `topo`.
 ///
@@ -263,6 +303,27 @@ pub fn try_sdd_op(
     op_b: Trans,
     topo: &Topology,
 ) -> Result<BlockSparseMatrix, SparseError> {
+    try_sdd_op_ctx(a, op_a, b, op_b, topo, &exec::Ctx::none())
+}
+
+/// Deadline-aware form of [`try_sdd_op`]: the product runs under `ctx`,
+/// checked at entry, at every band boundary and inside the tiled
+/// microkernel's panel loop. An empty context ([`exec::Ctx::none`])
+/// inherits the submitting thread's ambient context, making this exactly
+/// [`try_sdd_op`].
+///
+/// # Errors
+///
+/// Everything [`try_sdd_op`] returns, plus [`SparseError::Cancelled`]
+/// when the context trips (or the launch is shed under overload).
+pub fn try_sdd_op_ctx(
+    a: &Matrix,
+    op_a: Trans,
+    b: &Matrix,
+    op_b: Trans,
+    topo: &Topology,
+    ctx: &exec::Ctx,
+) -> Result<BlockSparseMatrix, SparseError> {
     let (m, n) = topo.shape();
     let (am, ak) = logical(a, op_a);
     let (bk, bn) = logical(b, op_b);
@@ -286,6 +347,9 @@ pub fn try_sdd_op(
 
     let variant = sdd_variant(op_a, op_b);
     let _span = telemetry::span(variant);
+    if let Some(kind) = ctx.status() {
+        return Err(SparseError::Cancelled { op: variant, kind });
+    }
     sanitize::topology(topo)?;
 
     let mut out = BlockSparseMatrix::pooled_zeros(topo);
@@ -334,7 +398,7 @@ pub fn try_sdd_op(
     if threads > 1 {
         sanitize::sdd_partition(topo, threads, blocks_per_thread)?;
     }
-    sanitize::race(
+    launch_result(
         exec::LaunchPlan::over_items(
             variant,
             out.as_mut_slice(),
@@ -342,6 +406,7 @@ pub fn try_sdd_op(
             blocks_per_thread,
             &compute,
         )
+        .with_ctx(ctx.clone())
         .try_launch(),
     )?;
     sanitize::output(variant, out.as_slice())?;
@@ -368,6 +433,20 @@ product_wrappers! {
     /// transpose-index secondary index; no values are copied or transposed.
     dst_d / try_dst_d: (s: &BlockSparseMatrix, d: &Matrix) -> Matrix
         = try_dsd_op(s, Trans::T, d, Trans::N);
+}
+
+/// Deadline-aware form of [`try_dsd`]: the forward-pass DSD run under
+/// `ctx`.
+///
+/// # Errors
+///
+/// Everything [`try_dsd`] returns, plus [`SparseError::Cancelled`].
+pub fn try_dsd_ctx(
+    s: &BlockSparseMatrix,
+    d: &Matrix,
+    ctx: &exec::Ctx,
+) -> Result<Matrix, SparseError> {
+    try_dsd_op_ctx(s, Trans::N, d, Trans::N, ctx)
 }
 
 /// DS^TD via explicit transposition — the ablation baseline for §5.1.4.
@@ -419,6 +498,23 @@ pub fn try_dsd_op(
     d: &Matrix,
     op_d: Trans,
 ) -> Result<Matrix, SparseError> {
+    try_dsd_op_ctx(s, op_s, d, op_d, &exec::Ctx::none())
+}
+
+/// Deadline-aware form of [`try_dsd_op`] — see [`try_sdd_op_ctx`] for
+/// the context contract.
+///
+/// # Errors
+///
+/// Everything [`try_dsd_op`] returns, plus [`SparseError::Cancelled`]
+/// when the context trips (or the launch is shed under overload).
+pub fn try_dsd_op_ctx(
+    s: &BlockSparseMatrix,
+    op_s: Trans,
+    d: &Matrix,
+    op_d: Trans,
+    ctx: &exec::Ctx,
+) -> Result<Matrix, SparseError> {
     let topo = s.topology();
     let bs = topo.block_size().get();
     let (sm, sk) = match op_s {
@@ -438,6 +534,9 @@ pub fn try_dsd_op(
 
     let variant = dsd_variant(op_s, op_d);
     let _span = telemetry::span(variant);
+    if let Some(kind) = ctx.status() {
+        return Err(SparseError::Cancelled { op: variant, kind });
+    }
     sanitize::topology(topo)?;
     telemetry::counter_with("sparse.blocks", variant).add(topo.nnz_blocks() as u64);
     telemetry::counter_with("sparse.flops", variant).add(2 * topo.nnz() as u64 * n as u64);
@@ -500,7 +599,7 @@ pub fn try_dsd_op(
             compute_group(band, g0 + off);
         }
     };
-    sanitize::race(
+    launch_result(
         exec::LaunchPlan::over_items(
             variant,
             out.as_mut_slice(),
@@ -508,6 +607,7 @@ pub fn try_dsd_op(
             groups_per_thread,
             &body,
         )
+        .with_ctx(ctx.clone())
         .try_launch(),
     )?;
     sanitize::output(variant, out.as_slice())?;
@@ -534,6 +634,19 @@ product_wrappers! {
         = try_dds_op(d, Trans::T, s, Trans::N);
 }
 
+/// Deadline-aware form of [`try_dds`]: `out = d * s` run under `ctx`.
+///
+/// # Errors
+///
+/// Everything [`try_dds`] returns, plus [`SparseError::Cancelled`].
+pub fn try_dds_ctx(
+    d: &Matrix,
+    s: &BlockSparseMatrix,
+    ctx: &exec::Ctx,
+) -> Result<Matrix, SparseError> {
+    try_dds_op_ctx(d, Trans::N, s, Trans::N, ctx)
+}
+
 /// General DDS: `out = op_d(d) * op_s(s)`.
 ///
 /// # Panics
@@ -556,6 +669,23 @@ pub fn try_dds_op(
     s: &BlockSparseMatrix,
     op_s: Trans,
 ) -> Result<Matrix, SparseError> {
+    try_dds_op_ctx(d, op_d, s, op_s, &exec::Ctx::none())
+}
+
+/// Deadline-aware form of [`try_dds_op`] — see [`try_sdd_op_ctx`] for
+/// the context contract.
+///
+/// # Errors
+///
+/// Everything [`try_dds_op`] returns, plus [`SparseError::Cancelled`]
+/// when the context trips (or the launch is shed under overload).
+pub fn try_dds_op_ctx(
+    d: &Matrix,
+    op_d: Trans,
+    s: &BlockSparseMatrix,
+    op_s: Trans,
+    ctx: &exec::Ctx,
+) -> Result<Matrix, SparseError> {
     let topo = s.topology();
     let bs = topo.block_size().get();
     let (dm, dk) = logical(d, op_d);
@@ -576,6 +706,9 @@ pub fn try_dds_op(
 
     let variant = dds_variant(op_d, op_s);
     let _span = telemetry::span(variant);
+    if let Some(kind) = ctx.status() {
+        return Err(SparseError::Cancelled { op: variant, kind });
+    }
     sanitize::topology(topo)?;
     telemetry::counter_with("sparse.blocks", variant).add(topo.nnz_blocks() as u64);
     telemetry::counter_with("sparse.flops", variant).add(2 * topo.nnz() as u64 * m as u64);
@@ -625,8 +758,9 @@ pub fn try_dds_op(
 
     let rows_per_thread = m.div_ceil(threads);
     let body = |band: &mut [f32], i0: usize| compute_band(band, i0, band.len() / n);
-    sanitize::race(
+    launch_result(
         exec::LaunchPlan::over_items(variant, out.as_mut_slice(), n, rows_per_thread, &body)
+            .with_ctx(ctx.clone())
             .try_launch(),
     )?;
     sanitize::output(variant, out.as_slice())?;

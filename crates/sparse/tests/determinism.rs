@@ -94,6 +94,64 @@ fn moe_layer_shapes_are_deterministic_too() {
 }
 
 #[test]
+fn live_cancellation_contexts_do_not_perturb_results() {
+    // Satellite of the cancellation layer: carrying a live (never
+    // tripped) context through the `try_*_ctx` entry points must be
+    // bit-invisible — same outputs as the context-free paths, at every
+    // worker count. The cancellation checks sit at band boundaries and
+    // panel-loop edges, never inside a reduction, so a context that
+    // stays live cannot reorder a single float addition.
+    let token = megablocks_exec::CancelToken::new();
+    let ctx = megablocks_exec::Ctx::none().with_token(&token);
+    let run_ctx = || {
+        let topo = moe_topology();
+        let (a, b) = inputs(&topo);
+        let (_rows, cols) = topo.shape();
+        let s = ops::try_sdd_ctx(&a, &b, &topo, &ctx).expect("live ctx");
+        let d = Matrix::from_fn(cols, 24, |i, j| ((i * 3 + j * 11) as f32).sin());
+        let dsd = ops::try_dsd_ctx(&s, &d, &ctx).expect("live ctx");
+        let lhs = Matrix::from_fn(24, topo.shape().0, |i, j| ((i + j * 29) as f32).sin());
+        let dds = ops::try_dds_ctx(&lhs, &s, &ctx).expect("live ctx");
+        (
+            s.as_slice().to_vec(),
+            dsd.as_slice().to_vec(),
+            dds.as_slice().to_vec(),
+        )
+    };
+    let run_plain = || {
+        let topo = moe_topology();
+        let (a, b) = inputs(&topo);
+        let (_rows, cols) = topo.shape();
+        let s = ops::sdd(&a, &b, &topo);
+        let d = Matrix::from_fn(cols, 24, |i, j| ((i * 3 + j * 11) as f32).sin());
+        let dsd = ops::dsd(&s, &d);
+        let lhs = Matrix::from_fn(24, topo.shape().0, |i, j| ((i + j * 29) as f32).sin());
+        let dds = ops::dds(&lhs, &s);
+        (
+            s.as_slice().to_vec(),
+            dsd.as_slice().to_vec(),
+            dds.as_slice().to_vec(),
+        )
+    };
+    let reference = scoped_parallelism(1, run_plain);
+    for threads in [1usize, 2, 8] {
+        let got = scoped_parallelism(threads, run_ctx);
+        let to_bits = |triple: &(Vec<f32>, Vec<f32>, Vec<f32>)| {
+            [
+                triple.0.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+                triple.1.iter().map(|v| v.to_bits()).collect(),
+                triple.2.iter().map(|v| v.to_bits()).collect(),
+            ]
+        };
+        assert_eq!(
+            to_bits(&got),
+            to_bits(&reference),
+            "a live context changed results at {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn concurrent_submitters_share_the_pool_safely() {
     // Many OS threads drive full kernel chains through the one shared
     // pool at the same time; every result must match the single-band

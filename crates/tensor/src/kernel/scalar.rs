@@ -43,11 +43,11 @@ impl GemmMicrokernel for ScalarKernel {
                 let mut ai = a_row;
                 let mut bi = b_col;
                 for _ in 0..k {
-                    // SAFETY: block_gemm asserted both views cover their
-                    // logical shapes, so the largest reached offsets —
-                    // (m-1)*a_rs + (k-1)*a_cs and (k-1)*b_rs + (n-1)*b_cs
-                    // — are in bounds, and ai/bi only step toward them.
                     let (av, bv) =
+                        // SAFETY: block_gemm asserted both views cover their
+                        // logical shapes, so the largest reached offsets —
+                        // (m-1)*a_rs + (k-1)*a_cs and (k-1)*b_rs + (n-1)*b_cs
+                        // — are in bounds, and ai/bi only step toward them.
                         unsafe { (*a_data.get_unchecked(ai), *b_data.get_unchecked(bi)) };
                     acc += av * bv;
                     ai += a_cs;

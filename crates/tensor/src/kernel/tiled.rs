@@ -93,7 +93,7 @@ fn run_blocked(
     let mut b_pack = workspace::take_zeroed(KC * NC);
     let mut acc = workspace::take_zeroed(MC * NC);
 
-    for jc in (0..n).step_by(NC) {
+    'tiles: for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
         let nc_pad = nc.div_ceil(NR) * NR;
         for ic in (0..m).step_by(MC) {
@@ -101,6 +101,15 @@ fn run_blocked(
             let mc_pad = mc.div_ceil(MR) * MR;
             acc[..mc_pad * nc_pad].fill(0.0);
             for kc0 in (0..k).step_by(KC) {
+                // Cooperative cancellation point, once per packed
+                // `MC x NC x KC` chunk (millions of muladds, so the poll
+                // — one thread-local read when no context is installed —
+                // is free at kernel granularity). A cancelled launch's
+                // output is discarded with the launch error, so bailing
+                // mid-accumulation cannot be observed.
+                if megablocks_exec::cancel::poll_cancelled() {
+                    break 'tiles;
+                }
                 let kc = KC.min(k - kc0);
                 pack_a(&mut a_pack, &a, ic, mc, mc_pad, kc0, kc);
                 pack_b(&mut b_pack, &b, jc, nc, nc_pad, kc0, kc);

@@ -19,6 +19,14 @@
 //!   checksummed) is written via write-temp + fsync + rename, with its
 //!   own retry budget; old checkpoints are pruned. A torn or injected
 //!   I/O failure can never leave a corrupt committed file.
+//! * **Deadline & cancellation discipline.** With
+//!   [`ResilienceConfig::step_deadline`] set, every step attempt runs
+//!   under a *fresh* exec deadline; an attempt that blows its budget
+//!   unwinds at the next cooperative cancellation point and is retried
+//!   with new budget (deadline expiry is transient by construction). A
+//!   tripped [`ResilienceConfig::cancel`] token is the opposite: a
+//!   command, not a fault — the step rolls back immediately and is
+//!   never retried, mirroring the race-sanitizer rule.
 //! * **Auto-resume.** [`ResilientTrainer::resume_latest`] scans the
 //!   checkpoint directory newest-first, skips any file that fails CRC or
 //!   structural validation, and restores the first valid one.
@@ -29,11 +37,15 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use megablocks_core::checkpoint::{load_train_state_file, save_train_state_atomic, TrainState};
 use megablocks_data::TokenDataset;
+use megablocks_exec as exec;
 use megablocks_resilience as resilience;
-use megablocks_resilience::sites::{CHECKPOINT_IO, EXEC_WORKER_PANIC, KERNEL_NAN_POISON};
+use megablocks_resilience::sites::{
+    CHECKPOINT_IO, EXEC_BAND_STALL, EXEC_WORKER_PANIC, KERNEL_NAN_POISON,
+};
 use megablocks_resilience::RetryPolicy;
 use megablocks_telemetry as telemetry;
 
@@ -52,6 +64,14 @@ pub struct ResilienceConfig {
     pub retry: RetryPolicy,
     /// Consecutive skipped steps tolerated before training aborts.
     pub max_consecutive_skips: usize,
+    /// Wall-clock budget for one step attempt. Each attempt (first run
+    /// and every retry) executes under a fresh [`exec::Deadline`] this
+    /// far in the future; `None` leaves steps unbounded.
+    pub step_deadline: Option<Duration>,
+    /// External cancellation: when this token (or an ancestor) trips,
+    /// the in-flight step unwinds at its next cooperative check, rolls
+    /// back, and is *not* retried. `None` disables external cancel.
+    pub cancel: Option<exec::CancelToken>,
     /// When set, the trainer holds a [`telemetry::FlushOnDrop`] guard
     /// exporting the metric registry (JSONL, at this path) and the
     /// timeline trace (same path with a `.trace.json` extension) when it
@@ -68,6 +88,8 @@ impl Default for ResilienceConfig {
             keep_checkpoints: 2,
             retry: RetryPolicy::default_transient(),
             max_consecutive_skips: 4,
+            step_deadline: None,
+            cancel: None,
             telemetry_export: None,
         }
     }
@@ -86,6 +108,11 @@ pub struct ResilienceReport {
     pub worker_panics: usize,
     /// Attempts rolled back for a non-finite loss or gradient.
     pub nonfinite_steps: usize,
+    /// Attempts rolled back because the step deadline (or the exec
+    /// stall watchdog) expired; each was retried with a fresh budget.
+    pub deadline_steps: usize,
+    /// Steps rolled back and abandoned because the cancel token tripped.
+    pub cancelled_steps: usize,
     /// Checkpoints successfully committed to disk.
     pub checkpoints_written: usize,
     /// Checkpoint saves that failed even after retries (training
@@ -168,6 +195,20 @@ impl ResilientTrainer {
         &self.report
     }
 
+    /// The context one step attempt runs under: the configured cancel
+    /// token plus a *fresh* deadline (the budget restarts per attempt —
+    /// that is what makes deadline expiry retryable).
+    fn step_ctx(&self) -> exec::Ctx {
+        let mut ctx = exec::Ctx::none();
+        if let Some(token) = &self.cfg.cancel {
+            ctx = ctx.with_token(token);
+        }
+        if let Some(budget) = self.cfg.step_deadline {
+            ctx = ctx.with_deadline(exec::Deadline::after(budget));
+        }
+        ctx
+    }
+
     /// Restores the newest valid checkpoint in the configured directory,
     /// returning its step. Corrupt or torn files (bad CRC, truncation,
     /// architecture mismatch) are skipped — older checkpoints are tried
@@ -235,6 +276,7 @@ impl ResilientTrainer {
         let mut last_reason = String::new();
         let mut saw_panic = false;
         let mut saw_nonfinite = false;
+        let mut saw_deadline = false;
         for attempt in 0..=self.cfg.retry.max_retries {
             if attempt > 0 {
                 self.report.step_retries += 1;
@@ -245,7 +287,11 @@ impl ResilientTrainer {
                     std::thread::sleep(delay);
                 }
             }
-            let outcome = catch_unwind(AssertUnwindSafe(|| self.trainer.accumulate_step(data)));
+            let ctx = self.step_ctx();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _ambient = exec::cancel::enter(&ctx);
+                self.trainer.accumulate_step(data)
+            }));
             match outcome {
                 Ok(pending) => {
                     if pending.ce_loss().is_finite() && self.trainer.grads_finite() {
@@ -254,6 +300,9 @@ impl ResilientTrainer {
                         }
                         if saw_nonfinite {
                             resilience::record_recovered(&KERNEL_NAN_POISON);
+                        }
+                        if saw_deadline {
+                            resilience::record_recovered(&EXEC_BAND_STALL);
                         }
                         let log = self.trainer.apply_step(pending);
                         self.report.steps_completed += 1;
@@ -269,11 +318,34 @@ impl ResilientTrainer {
                         format!("non-finite loss or gradient (ce = {})", pending.ce_loss());
                 }
                 Err(payload) => {
+                    last_reason = panic_reason(payload.as_ref());
+                    // A cancelled step is a command, not a fault:
+                    // retrying work someone asked to stop cannot
+                    // succeed. Roll back, count it, and skip without
+                    // burning the retry budget.
+                    if last_reason.starts_with(exec::CANCELLED_PANIC_PREFIX) {
+                        self.report.cancelled_steps += 1;
+                        telemetry::counter("resilience.trainer.cancelled").inc();
+                        telemetry::trace_instant("resilience.step_cancelled");
+                        self.trainer.zero_grads();
+                        self.trainer.set_rng_state(rng_snapshot);
+                        break;
+                    }
+                    // A blown deadline (or a watchdog-declared stall) is
+                    // retryable *because* the next attempt gets a fresh
+                    // budget; classify it apart from worker panics.
+                    if last_reason.starts_with(exec::DEADLINE_PANIC_PREFIX) {
+                        self.report.deadline_steps += 1;
+                        telemetry::counter("resilience.trainer.deadline").inc();
+                        saw_deadline = true;
+                        self.trainer.zero_grads();
+                        self.trainer.set_rng_state(rng_snapshot);
+                        continue;
+                    }
                     resilience::record_detected(&EXEC_WORKER_PANIC);
                     self.report.worker_panics += 1;
                     telemetry::counter("resilience.trainer.panics").inc();
                     saw_panic = true;
-                    last_reason = panic_reason(payload.as_ref());
                     // A race reported by the exec sanitizer is a kernel
                     // bug, not a transient fault: the same bands collide
                     // on every replay, so retrying only burns the budget.
@@ -564,5 +636,99 @@ mod tests {
         assert_eq!(rt.resume_latest(), None);
         assert_eq!(rt.trainer().step_count(), 0);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn expired_step_deadline_is_retried_then_skipped() {
+        let data = dataset();
+        // A zero budget expires before the first kernel launch of every
+        // attempt, so each one dies at a cooperative cancellation point.
+        // The loop must classify those as retryable deadline rollbacks
+        // (fresh budget per attempt), burn the retry budget, and skip —
+        // never panic and never touch the weights.
+        let cfg = ResilienceConfig {
+            step_deadline: Some(Duration::ZERO),
+            retry: RetryPolicy::immediate(2),
+            ..ResilienceConfig::default()
+        };
+        let mut rt = ResilientTrainer::new(trainer(4), cfg);
+        let outcome = rt
+            .train_step(&data)
+            .expect("one skip is below the abort bar");
+        assert!(outcome.is_none(), "the step must be skipped, not completed");
+        let report = rt.report();
+        assert_eq!(report.deadline_steps, 3, "initial attempt + 2 retries");
+        assert_eq!(report.step_retries, 2);
+        assert_eq!(report.steps_skipped, 1);
+        assert_eq!(report.cancelled_steps, 0);
+        assert_eq!(
+            report.worker_panics, 0,
+            "deadline expiry must not be misclassified as a worker panic"
+        );
+        assert_eq!(rt.trainer().step_count(), 0, "weights stay untouched");
+    }
+
+    #[test]
+    fn generous_step_deadline_trains_normally() {
+        let data = dataset();
+        let cfg = ResilienceConfig {
+            step_deadline: Some(Duration::from_secs(3600)),
+            ..ResilienceConfig::default()
+        };
+        let mut rt = ResilientTrainer::new(trainer(3), cfg);
+        let logs = rt.train(&data, 3).expect("healthy run");
+        assert_eq!(logs.len(), 3);
+        let report = rt.report();
+        assert_eq!(report.steps_completed, 3);
+        assert_eq!(report.deadline_steps, 0);
+        assert_eq!(report.step_retries, 0);
+    }
+
+    #[test]
+    fn tripped_cancel_token_rolls_back_without_retrying() {
+        let data = dataset();
+        let token = exec::CancelToken::new();
+        let cfg = ResilienceConfig {
+            cancel: Some(token.clone()),
+            retry: RetryPolicy::immediate(3),
+            max_consecutive_skips: 10,
+            ..ResilienceConfig::default()
+        };
+        let mut rt = ResilientTrainer::new(trainer(4), cfg);
+        // A healthy step first, to prove the live token is inert.
+        let first = rt.train_step(&data).expect("live token");
+        assert!(first.is_some());
+
+        // Cancellation is a command, not a fault: the step rolls back
+        // and is skipped without spending a single retry.
+        token.cancel();
+        let rng_before = rt.trainer().rng_state();
+        let outcome = rt.train_step(&data).expect("one skip is tolerated");
+        assert!(outcome.is_none());
+        let report = rt.report();
+        assert_eq!(report.cancelled_steps, 1);
+        assert_eq!(report.step_retries, 0, "cancel must not burn retries");
+        assert_eq!(report.deadline_steps, 0);
+        assert_eq!(report.steps_skipped, 1);
+        assert_eq!(rt.trainer().step_count(), 1, "only the healthy step landed");
+        // The skip advanced the data stream past the cancelled batches.
+        assert_ne!(rt.trainer().rng_state(), rng_before);
+    }
+
+    #[test]
+    fn parent_token_cancellation_reaches_the_trainer() {
+        let data = dataset();
+        let parent = exec::CancelToken::new();
+        let cfg = ResilienceConfig {
+            cancel: Some(parent.child()),
+            retry: RetryPolicy::immediate(3),
+            ..ResilienceConfig::default()
+        };
+        let mut rt = ResilientTrainer::new(trainer(4), cfg);
+        parent.cancel();
+        let outcome = rt.train_step(&data).expect("one skip is tolerated");
+        assert!(outcome.is_none());
+        assert_eq!(rt.report().cancelled_steps, 1);
+        assert_eq!(rt.report().step_retries, 0);
     }
 }
