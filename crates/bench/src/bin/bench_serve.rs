@@ -1,0 +1,31 @@
+//! Serving-engine benchmark: micro-batched vs sequential inference.
+//!
+//! Runs the same request stream closed-loop (one `infer` at a time, the
+//! no-engine baseline) and open-loop through the deadline-aware
+//! micro-batching engine — a burst plus a steady arrival-rate sweep —
+//! then runs a flood drill past the admission queue's capacity with a
+//! mixed deadline population. The measurement core lives in
+//! `megablocks_bench::serve_bench`, shared with the `megablocks-bench
+//! gate` regression check.
+//!
+//! ```text
+//! cargo run --release -p megablocks-bench --bin bench_serve [--quick] [> BENCH_serve.json]
+//! ```
+//!
+//! Emits one JSON document with per-scenario totals, the batch speedup
+//! (sequential total over batched total), batched p50/p99 latency, the
+//! flood drill's shed/expired/queue-depth counters, and a `meta`
+//! provenance block (threads, git rev, recording time) the gate uses to
+//! refuse apples-to-oranges comparisons.
+
+use megablocks_bench::exec_bench::BenchMeta;
+use megablocks_bench::serve_bench::{measure_serve, render_serve_json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iter_scale = if quick { 0.2 } else { 1.0 };
+    let (rows, flood) = measure_serve(iter_scale);
+    let threads = rows.first().map_or(0, |m| m.threads);
+    let meta = BenchMeta::collect(threads);
+    print!("{}", render_serve_json(&meta, &rows, &flood));
+}

@@ -8,17 +8,21 @@
 //! ```
 //!
 //! Subcommands:
-//!   gate    Re-run the exec launch benchmark (and, when a committed
-//!           BENCH_kernel.json exists, the microkernel backend benchmark)
-//!           and compare against the committed baselines; nonzero exit on
-//!           regression. Flags: --baseline <path>, --tolerance <frac>,
-//!           --quick (shrink iterations), --inflate <factor> (synthetic
-//!           slowdown, for proving the gate trips), --kernel-baseline
-//!           <path>, --min-kernel-speedup <factor> (absolute tiled-vs-
-//!           scalar floor, default 1.3), --kernel-tolerance <frac>
-//!           (relative tolerance for the kernel speedups, default 0.5 —
-//!           wider than the exec tolerance because 5-12x ratios swing
-//!           more with machine load; the floor backstops the contract).
+//!   gate    Re-run the exec launch benchmark (and, when the committed
+//!           BENCH_kernel.json / BENCH_serve.json exist, the microkernel
+//!           backend and serving-engine benchmarks) and compare against
+//!           the committed baselines; nonzero exit on regression. Flags:
+//!           --baseline <path>, --tolerance <frac>, --quick (shrink
+//!           iterations), --inflate <factor> (synthetic slowdown, for
+//!           proving the gate trips), --kernel-baseline <path>,
+//!           --min-kernel-speedup <factor> (absolute tiled-vs-scalar
+//!           floor, default 1.3), --kernel-tolerance <frac> (relative
+//!           tolerance for the kernel speedups, default 0.5 — wider than
+//!           the exec tolerance because 5-12x ratios swing more with
+//!           machine load; the floor backstops the contract),
+//!           --serve-baseline <path>, --min-serve-speedup <factor>
+//!           (absolute batched-vs-sequential floor, default 1.1), and
+//!           --serve-tolerance <frac> (default 0.6).
 //!   health  Summarize a results/health_<cmd>.json MoE health report.
 //!   trace   Summarize a Chrome-trace JSON export (lanes, span counts).
 
@@ -35,7 +39,8 @@ fn usage() -> ! {
          \n\
          gate [--baseline <path>] [--tolerance <frac>] [--quick] [--inflate <factor>]\n\
          \x20    [--kernel-baseline <path>] [--min-kernel-speedup <factor>]\n\
-         \x20    [--kernel-tolerance <frac>]\n\
+         \x20    [--kernel-tolerance <frac>] [--serve-baseline <path>]\n\
+         \x20    [--min-serve-speedup <factor>] [--serve-tolerance <frac>]\n\
          health <health_json_path>\n\
          trace <trace_json_path>"
     );
@@ -66,6 +71,19 @@ fn gate_cmd(args: &[String]) -> i32 {
             "--baseline" => cfg.baseline = value("--baseline").into(),
             "--trace-baseline" => cfg.trace_baseline = value("--trace-baseline").into(),
             "--kernel-baseline" => cfg.kernel_baseline = value("--kernel-baseline").into(),
+            "--serve-baseline" => cfg.serve_baseline = value("--serve-baseline").into(),
+            "--serve-tolerance" => {
+                cfg.serve_tolerance = value("--serve-tolerance").parse().unwrap_or_else(|_| {
+                    eprintln!("gate: --serve-tolerance expects a fraction like 0.5");
+                    exit(2);
+                })
+            }
+            "--min-serve-speedup" => {
+                cfg.min_serve_speedup = value("--min-serve-speedup").parse().unwrap_or_else(|_| {
+                    eprintln!("gate: --min-serve-speedup expects a factor like 1.1");
+                    exit(2);
+                })
+            }
             "--kernel-tolerance" => {
                 cfg.kernel_tolerance = value("--kernel-tolerance").parse().unwrap_or_else(|_| {
                     eprintln!("gate: --kernel-tolerance expects a fraction like 0.5");

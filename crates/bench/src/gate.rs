@@ -19,6 +19,14 @@
 //! longer beats scalar by the contracted margin is a regression even if
 //! the committed baseline was already slow.
 //!
+//! When a committed `BENCH_serve.json` exists, the gate also re-runs
+//! the serving-engine benchmark and enforces the batch speedup: each
+//! throughput scenario must clear both `baseline * (1 - tolerance)` and
+//! the absolute acceptance floor (`--min-serve-speedup`, default 1.1x —
+//! an engine that no longer beats sequential single-request inference
+//! has lost its reason to exist), and the flood drill must show a
+//! bounded queue depth with nonzero shed and pre-batch expiry counts.
+//!
 //! Exit codes: 0 pass · 1 regression · 2 usage/configuration error ·
 //! 3 metadata mismatch (comparison refused).
 
@@ -28,6 +36,7 @@ use megablocks_telemetry::json::Json;
 
 use crate::exec_bench::{measure_all, ExecMeasurement};
 use crate::kernel_bench::{measure_kernels, KernelMeasurement};
+use crate::serve_bench::{measure_serve, ServeMeasurement};
 
 /// Gate configuration (CLI flags of the `gate` subcommand).
 #[derive(Debug, Clone)]
@@ -59,6 +68,18 @@ pub struct GateConfig {
     /// 5-12x and swing far more with machine load than the ~1x exec
     /// ratios; the `min_kernel_speedup` floor backstops the contract.
     pub kernel_tolerance: f64,
+    /// Committed serving benchmark to re-run and validate (skipped when
+    /// the file does not exist).
+    pub serve_baseline: PathBuf,
+    /// Absolute acceptance floor for the engine's batch speedup over
+    /// closed-loop sequential inference on each throughput scenario.
+    pub min_serve_speedup: f64,
+    /// Relative tolerance for the serve speedups — wider even than
+    /// [`GateConfig::kernel_tolerance`]: end-to-end scheduling ratios
+    /// swing with machine load, and `--quick` runs systematically
+    /// under-batch (fewer requests amortize less overhead); the
+    /// `min_serve_speedup` floor backstops the contract.
+    pub serve_tolerance: f64,
 }
 
 impl Default for GateConfig {
@@ -73,6 +94,9 @@ impl Default for GateConfig {
             kernel_baseline: PathBuf::from("BENCH_kernel.json"),
             min_kernel_speedup: 1.3,
             kernel_tolerance: 0.5,
+            serve_baseline: PathBuf::from("BENCH_serve.json"),
+            min_serve_speedup: 1.1,
+            serve_tolerance: 0.6,
         }
     }
 }
@@ -283,6 +307,109 @@ pub fn compare_kernel(
     outcome
 }
 
+/// One scenario row parsed from a committed `BENCH_serve.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBaselineRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Recorded batch speedup (sequential total over batched total).
+    pub batch_speedup: f64,
+}
+
+/// A parsed `BENCH_serve.json` baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBaseline {
+    /// Pool parallelism the baseline was recorded with.
+    pub threads: usize,
+    /// Recording commit.
+    pub git_rev: String,
+    /// Per-scenario rows.
+    pub rows: Vec<ServeBaselineRow>,
+}
+
+/// Parses a `BENCH_serve.json` document.
+pub fn parse_serve_baseline(src: &str) -> Result<ServeBaseline, String> {
+    let doc = Json::parse(src)?;
+    let threads = doc
+        .get("meta")
+        .and_then(|m| m.get("threads"))
+        .or_else(|| doc.get("threads"))
+        .and_then(Json::as_u64)
+        .ok_or("serve baseline missing threads")? as usize;
+    let git_rev = doc
+        .get("meta")
+        .and_then(|m| m.get("git_rev"))
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("serve baseline missing results array")?;
+    let mut rows = Vec::with_capacity(results.len());
+    for (i, row) in results.iter().enumerate() {
+        rows.push(ServeBaselineRow {
+            scenario: row
+                .get("scenario")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("result {i}: missing scenario"))?
+                .to_string(),
+            batch_speedup: row
+                .get("batch_speedup")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("result {i}: missing batch_speedup"))?,
+        });
+    }
+    if rows.is_empty() {
+        return Err("serve baseline has no results".to_string());
+    }
+    Ok(ServeBaseline {
+        threads,
+        git_rev,
+        rows,
+    })
+}
+
+/// Compares fresh serving measurements against the baseline rows: each
+/// scenario's batch speedup must clear both the baseline within
+/// `tolerance` *and* the absolute `floor` — a serving engine that no
+/// longer beats sequential single-request inference has lost its reason
+/// to exist, regardless of what was last committed. Pure logic,
+/// separated from I/O so tests can drive it with synthetic numbers.
+pub fn compare_serve(
+    baseline: &ServeBaseline,
+    fresh: &[ServeMeasurement],
+    tolerance: f64,
+    floor: f64,
+) -> GateOutcome {
+    let mut outcome = GateOutcome::default();
+    for base in &baseline.rows {
+        let Some(m) = fresh.iter().find(|m| m.scenario == base.scenario) else {
+            outcome
+                .failures
+                .push(format!("{}: missing from fresh serve run", base.scenario));
+            continue;
+        };
+        let required = (base.batch_speedup * (1.0 - tolerance)).max(floor);
+        let speedup = m.batch_speedup();
+        if speedup < required {
+            outcome.failures.push(format!(
+                "serve {}: batch speedup {speedup:.3}x below required {required:.3}x \
+                 (baseline {:.3}x, tolerance {:.0}%, floor {floor:.2}x)",
+                base.scenario,
+                base.batch_speedup,
+                tolerance * 100.0
+            ));
+        } else {
+            outcome.passes.push(format!(
+                "serve {}: batch speedup {speedup:.3}x >= required {required:.3}x (baseline {:.3}x)",
+                base.scenario, base.batch_speedup
+            ));
+        }
+    }
+    outcome
+}
+
 /// Validates the committed `BENCH_trace.json` overhead figure, if the
 /// file exists. `Ok(None)` when absent.
 pub fn check_trace_overhead(path: &Path, max_pct: f64) -> Result<Option<String>, String> {
@@ -388,6 +515,53 @@ pub fn run_gate(cfg: &GateConfig) -> i32 {
             );
             outcome.passes.extend(kernel_outcome.passes);
             outcome.failures.extend(kernel_outcome.failures);
+        }
+    }
+
+    // Serving-engine check, when a baseline is committed.
+    match std::fs::read_to_string(&cfg.serve_baseline) {
+        Err(_) => {}
+        Ok(src) => {
+            let serve_baseline = match parse_serve_baseline(&src) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("gate: cannot parse {}: {e}", cfg.serve_baseline.display());
+                    return 2;
+                }
+            };
+            println!(
+                "gate: serve baseline {} (threads {}, rev {})",
+                cfg.serve_baseline.display(),
+                serve_baseline.threads,
+                serve_baseline.git_rev
+            );
+            let (serve_fresh, flood) = measure_serve(cfg.iter_scale);
+            let serve_threads = serve_fresh.first().map_or(0, |m| m.threads);
+            if serve_threads != serve_baseline.threads {
+                eprintln!(
+                    "gate: REFUSED — serve baseline recorded at {} threads, this run uses \
+                     {serve_threads}; re-record the baseline or set MEGABLOCKS_THREADS={}",
+                    serve_baseline.threads, serve_baseline.threads
+                );
+                return 3;
+            }
+            let serve_outcome = compare_serve(
+                &serve_baseline,
+                &serve_fresh,
+                cfg.serve_tolerance,
+                cfg.min_serve_speedup,
+            );
+            outcome.passes.extend(serve_outcome.passes);
+            outcome.failures.extend(serve_outcome.failures);
+            match flood.validate() {
+                Ok(()) => outcome.passes.push(format!(
+                    "serve flood: depth {}/{} bounded, {} shed, {} expired pre-batch, {} served",
+                    flood.max_queue_depth, flood.queue_cap, flood.shed, flood.expired, flood.served
+                )),
+                Err(violations) => outcome
+                    .failures
+                    .extend(violations.into_iter().map(|v| format!("serve flood: {v}"))),
+            }
         }
     }
 
@@ -590,6 +764,151 @@ mod tests {
         assert_eq!(parsed.git_rev, "deadbee");
         assert_eq!(parsed.rows.len(), 1);
         assert!((parsed.rows[0].tiled_speedup - 2.0).abs() < 1e-9);
+    }
+
+    fn serve_meas(name: &str, sequential: u128, batched: u128) -> ServeMeasurement {
+        ServeMeasurement {
+            scenario: name.to_string(),
+            threads: 4,
+            requests: 96,
+            sequential_ns_total: sequential,
+            batched_ns_total: batched,
+            batched_p50_us: 500,
+            batched_p99_us: 2000,
+        }
+    }
+
+    fn serve_baseline() -> ServeBaseline {
+        ServeBaseline {
+            threads: 4,
+            git_rev: "abc1234".to_string(),
+            rows: vec![
+                ServeBaselineRow {
+                    scenario: "burst".to_string(),
+                    batch_speedup: 3.0,
+                },
+                ServeBaselineRow {
+                    scenario: "steady_50us".to_string(),
+                    batch_speedup: 2.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn serve_matching_run_passes() {
+        let fresh = vec![
+            serve_meas("burst", 300, 100),
+            serve_meas("steady_50us", 200, 100),
+        ];
+        let out = compare_serve(&serve_baseline(), &fresh, 0.5, 1.1);
+        assert!(out.failures.is_empty(), "{:?}", out.failures);
+        assert_eq!(out.passes.len(), 2);
+    }
+
+    #[test]
+    fn serve_floor_binds_even_when_baseline_is_slow() {
+        // A 1.2x baseline with 50% tolerance allows 0.6x — but batched
+        // inference falling behind sequential must still fail.
+        let baseline = ServeBaseline {
+            threads: 4,
+            git_rev: "abc1234".to_string(),
+            rows: vec![ServeBaselineRow {
+                scenario: "burst".to_string(),
+                batch_speedup: 1.2,
+            }],
+        };
+        let fresh = vec![serve_meas("burst", 100, 105)];
+        let out = compare_serve(&baseline, &fresh, 0.5, 1.1);
+        assert_eq!(out.failures.len(), 1);
+        assert!(
+            out.failures[0].contains("floor 1.10x"),
+            "{}",
+            out.failures[0]
+        );
+    }
+
+    #[test]
+    fn serve_regression_against_baseline_fails() {
+        // 3.0x baseline, 50% tolerance => 1.5x required; 1.2x fails
+        // even though it clears the absolute floor.
+        let fresh = vec![
+            serve_meas("burst", 120, 100),
+            serve_meas("steady_50us", 200, 100),
+        ];
+        let out = compare_serve(&serve_baseline(), &fresh, 0.5, 1.1);
+        assert_eq!(out.failures.len(), 1);
+        assert!(out.failures[0].contains("burst"));
+    }
+
+    #[test]
+    fn serve_missing_scenario_fails() {
+        let fresh = vec![serve_meas("burst", 300, 100)];
+        let out = compare_serve(&serve_baseline(), &fresh, 0.5, 1.1);
+        assert!(out.failures.iter().any(|f| f.contains("steady_50us")));
+    }
+
+    #[test]
+    fn serve_baseline_round_trips_through_render() {
+        use crate::exec_bench::BenchMeta;
+        use crate::serve_bench::{render_serve_json, FloodMeasurement};
+        let meta = BenchMeta {
+            threads: 4,
+            git_rev: "deadbee".to_string(),
+            recorded_unix: 1_754_000_000,
+        };
+        let rows = vec![serve_meas("burst", 300, 100)];
+        let flood = FloodMeasurement {
+            submitted: 120,
+            served: 100,
+            shed: 40,
+            expired: 64,
+            queue_cap: 16,
+            max_queue_depth: 16,
+        };
+        let parsed = parse_serve_baseline(&render_serve_json(&meta, &rows, &flood)).unwrap();
+        assert_eq!(parsed.threads, 4);
+        assert_eq!(parsed.git_rev, "deadbee");
+        assert_eq!(parsed.rows.len(), 1);
+        assert!((parsed.rows[0].batch_speedup - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flood_validation_catches_unbounded_queues() {
+        use crate::serve_bench::FloodMeasurement;
+        let healthy = FloodMeasurement {
+            submitted: 120,
+            served: 100,
+            shed: 40,
+            expired: 64,
+            queue_cap: 16,
+            max_queue_depth: 16,
+        };
+        assert!(healthy.validate().is_ok());
+        let unbounded = FloodMeasurement {
+            max_queue_depth: 17,
+            ..healthy.clone()
+        };
+        let violations = unbounded.validate().unwrap_err();
+        assert!(violations.iter().any(|v| v.contains("exceeded the cap")));
+        let never_sheds = FloodMeasurement {
+            shed: 0,
+            ..healthy.clone()
+        };
+        assert!(never_sheds
+            .validate()
+            .unwrap_err()
+            .iter()
+            .any(|v| v.contains("never shed")));
+        let never_expires = FloodMeasurement {
+            expired: 0,
+            ..healthy
+        };
+        assert!(never_expires
+            .validate()
+            .unwrap_err()
+            .iter()
+            .any(|v| v.contains("expired")));
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod gate;
 pub mod kernel_bench;
 pub mod report;
 pub mod scaled;
+pub mod serve_bench;
 
 pub use frontier::hours_at_loss;
 pub use report::Table;

@@ -1,0 +1,378 @@
+//! The serving-engine benchmark core, shared between the `bench_serve`
+//! binary (which prints `BENCH_serve.json`) and the `megablocks-bench
+//! gate` subcommand (which re-runs the same measurement and compares it
+//! against the committed baseline).
+//!
+//! Two load shapes:
+//!
+//! * **Throughput scenarios** — the same request stream evaluated two
+//!   ways: *closed-loop sequential* (one request at a time through
+//!   [`DroplessMoe::infer`], the no-engine baseline) and *open-loop
+//!   batched* (all requests submitted to a serve [`Engine`] at a fixed
+//!   arrival gap — zero for a burst — and resolved through deadline-
+//!   aware micro-batching). The figure of merit is the **batch
+//!   speedup**: sequential total time over batched total time.
+//!   Dimensionless, so comparable across machines, like the kernel
+//!   benchmark's tiled speedup. Both paths compute bit-identical
+//!   outputs, so the speedup is pure scheduling headroom: per-request
+//!   routing, topology-build, launch and block-padding overhead
+//!   amortized across a micro-batch.
+//! * **A flood drill** — an open-loop burst far past the admission
+//!   queue's capacity with a mixed deadline population. This one is not
+//!   about speed: it proves the queue depth stays bounded at the cap,
+//!   overload sheds (`Overloaded`) instead of queueing unboundedly, and
+//!   already-dead requests are dropped before batch formation
+//!   (`Expired`) rather than burned through the kernels.
+
+use std::time::{Duration, Instant};
+
+use megablocks_core::{DroplessMoe, MoeConfig};
+use megablocks_serve::{Engine, ServeConfig, ServeError};
+use megablocks_tensor::init::seeded_rng;
+use megablocks_tensor::{init, Matrix};
+
+use crate::exec_bench::{ensure_pool, p50, BenchMeta};
+
+/// Hidden size of the benchmark layer.
+const HIDDEN: usize = 64;
+/// FFN width per expert.
+const FFN: usize = 128;
+/// Expert count.
+const EXPERTS: usize = 4;
+/// Sparse block size (each nonzero expert group pads to this).
+const BLOCK: usize = 32;
+/// Tokens per request — small on purpose: single-request inference pads
+/// every touched expert group to a full block, which is exactly the
+/// overhead micro-batching amortizes.
+const TOKENS_PER_REQUEST: usize = 4;
+
+/// One throughput scenario: a request stream at a fixed arrival gap.
+pub struct ServeScenario {
+    /// Stable scenario name (the gate joins baseline and fresh on it).
+    pub name: &'static str,
+    /// Requests in the stream at scale 1.0.
+    pub requests: usize,
+    /// Gap between consecutive submissions (zero = burst).
+    pub arrival_gap: Duration,
+    /// Engine micro-batch cap for this scenario.
+    pub max_batch: usize,
+    /// Engine batching wait.
+    pub max_wait: Duration,
+}
+
+/// The fixed scenario set: a burst (pure batching headroom) and a
+/// steady arrival stream (requests trickle in faster than sequential
+/// service, so queues form and batching still wins).
+pub fn serve_scenarios() -> Vec<ServeScenario> {
+    vec![
+        ServeScenario {
+            name: "burst",
+            requests: 96,
+            arrival_gap: Duration::ZERO,
+            max_batch: 8,
+            max_wait: Duration::from_micros(500),
+        },
+        ServeScenario {
+            name: "steady_50us",
+            requests: 96,
+            arrival_gap: Duration::from_micros(50),
+            max_batch: 8,
+            max_wait: Duration::from_micros(500),
+        },
+    ]
+}
+
+/// One throughput scenario's measured result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMeasurement {
+    /// Scenario name.
+    pub scenario: String,
+    /// Pool parallelism during the run.
+    pub threads: usize,
+    /// Requests actually served.
+    pub requests: usize,
+    /// Closed-loop sequential total (ns) for the whole stream.
+    pub sequential_ns_total: u128,
+    /// Batched (engine) total (ns) from first submit to last response.
+    pub batched_ns_total: u128,
+    /// Batched per-request end-to-end latency p50 (µs).
+    pub batched_p50_us: u128,
+    /// Batched per-request end-to-end latency p99 (µs).
+    pub batched_p99_us: u128,
+}
+
+impl ServeMeasurement {
+    /// Sequential total over batched total (>1 means batching wins).
+    pub fn batch_speedup(&self) -> f64 {
+        self.sequential_ns_total as f64 / self.batched_ns_total.max(1) as f64
+    }
+}
+
+/// The flood drill's measured result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FloodMeasurement {
+    /// Requests thrown at the engine.
+    pub submitted: u64,
+    /// Requests resolved with an output.
+    pub served: u64,
+    /// Requests shed at admission (`Overloaded`).
+    pub shed: u64,
+    /// Requests dropped for a passed deadline (pre-batch or
+    /// post-compute).
+    pub expired: u64,
+    /// The admission-queue cap the drill ran with.
+    pub queue_cap: u64,
+    /// Largest queue depth the engine observed — bounded by the cap.
+    pub max_queue_depth: u64,
+}
+
+impl FloodMeasurement {
+    /// The invariants the drill must prove; `Err` lists the violations.
+    pub fn validate(&self) -> Result<(), Vec<String>> {
+        let mut violations = Vec::new();
+        if self.max_queue_depth > self.queue_cap {
+            violations.push(format!(
+                "queue depth {} exceeded the cap {}",
+                self.max_queue_depth, self.queue_cap
+            ));
+        }
+        if self.shed == 0 {
+            violations.push("flood never shed — admission queue is unbounded".to_string());
+        }
+        if self.expired == 0 {
+            violations
+                .push("no request expired pre-batch despite dead-on-arrival deadlines".to_string());
+        }
+        if self.served == 0 {
+            violations.push("flood served nothing".to_string());
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations)
+        }
+    }
+}
+
+fn bench_layer() -> DroplessMoe {
+    let cfg = MoeConfig::new(HIDDEN, FFN, EXPERTS).with_block_size(BLOCK);
+    let mut rng = seeded_rng(42);
+    DroplessMoe::new(cfg, &mut rng)
+}
+
+fn request_stream(n: usize) -> Vec<Matrix> {
+    let mut rng = seeded_rng(7);
+    (0..n)
+        .map(|_| init::normal(TOKENS_PER_REQUEST, HIDDEN, 1.0, &mut rng))
+        .collect()
+}
+
+/// Busy-waits out an arrival gap (sleep granularity on a loaded box is
+/// far coarser than the 50µs gaps the sweep uses).
+fn spin_gap(gap: Duration) {
+    if gap.is_zero() {
+        return;
+    }
+    let until = Instant::now() + gap;
+    while Instant::now() < until {
+        std::hint::spin_loop();
+    }
+}
+
+/// The p99 of `samples` (sorted in place).
+pub fn p99(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[(samples.len() * 99 / 100).min(samples.len() - 1)]
+}
+
+/// Runs one throughput scenario: sequential closed-loop first, then the
+/// engine under the scenario's arrival pattern, on identical request
+/// streams.
+fn run_scenario(s: &ServeScenario, threads: usize, iter_scale: f64) -> ServeMeasurement {
+    // Never below 32 requests: the figure of merit is amortization
+    // across micro-batches, and a handful of requests under-batches so
+    // badly the ratio stops being comparable to the full-scale baseline.
+    let n = ((s.requests as f64 * iter_scale) as usize).max(32);
+    let layer = bench_layer();
+    let requests = request_stream(n);
+
+    // Warm both paths (pool, workspace arenas) off the clock.
+    layer.infer(&requests[0]).expect("warmup infer").recycle();
+
+    let seq_start = Instant::now();
+    for request in &requests {
+        layer.infer(request).expect("sequential infer").recycle();
+    }
+    let sequential_ns_total = seq_start.elapsed().as_nanos();
+
+    let engine = Engine::new(
+        layer,
+        ServeConfig::default()
+            .with_max_batch(s.max_batch)
+            .with_max_wait(s.max_wait)
+            .with_queue_cap(n),
+    );
+    let batch_start = Instant::now();
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|request| {
+            spin_gap(s.arrival_gap);
+            engine
+                .submit(request.clone(), None)
+                .expect("cap covers the whole stream")
+        })
+        .collect();
+    let mut latencies: Vec<u128> = handles
+        .into_iter()
+        .map(|h| {
+            let response = h.wait().expect("batched request served");
+            let us = response.latency.as_micros();
+            response.output.recycle();
+            us
+        })
+        .collect();
+    let batched_ns_total = batch_start.elapsed().as_nanos();
+
+    ServeMeasurement {
+        scenario: s.name.to_string(),
+        threads,
+        requests: n,
+        sequential_ns_total,
+        batched_ns_total,
+        batched_p50_us: p50(&mut latencies),
+        batched_p99_us: p99(&mut latencies),
+    }
+}
+
+/// Runs the flood drill: a burst of `12 x queue_cap` requests with a
+/// mixed deadline population (a third dead on arrival or nearly so, the
+/// rest unhurried) against a small admission queue.
+pub fn run_flood(iter_scale: f64) -> FloodMeasurement {
+    let queue_cap = 16usize;
+    let n = ((192.0 * iter_scale) as usize).max(64);
+    let engine = Engine::new(
+        bench_layer(),
+        ServeConfig::default()
+            .with_max_batch(8)
+            .with_max_wait(Duration::from_micros(200))
+            .with_queue_cap(queue_cap),
+    );
+    let requests = request_stream(n);
+    let mut handles = Vec::new();
+    for (i, request) in requests.into_iter().enumerate() {
+        // Deadline mix: a third effectively dead on arrival, a third
+        // tight (may or may not ride a batch in time), a third open.
+        let deadline = match i % 3 {
+            0 => Some(megablocks_exec::Deadline::after(Duration::ZERO)),
+            1 => Some(megablocks_exec::Deadline::after(Duration::from_micros(300))),
+            _ => None,
+        };
+        match engine.submit(request, deadline) {
+            Ok(handle) => handles.push(handle),
+            Err(ServeError::Overloaded { .. }) | Err(ServeError::Expired) => {}
+            Err(other) => panic!("unexpected flood error: {other}"),
+        }
+    }
+    let mut served = 0u64;
+    for handle in handles {
+        match handle.wait() {
+            Ok(response) => {
+                response.output.recycle();
+                served += 1;
+            }
+            Err(ServeError::Expired) => {}
+            Err(other) => panic!("unexpected flood resolution: {other}"),
+        }
+    }
+    let stats = engine.stats();
+    FloodMeasurement {
+        submitted: stats.submitted,
+        served,
+        shed: stats.shed,
+        expired: stats.expired,
+        queue_cap: queue_cap as u64,
+        max_queue_depth: stats.max_queue_depth,
+    }
+}
+
+/// Runs every throughput scenario plus the flood drill at `iter_scale`,
+/// printing progress to stderr.
+pub fn measure_serve(iter_scale: f64) -> (Vec<ServeMeasurement>, FloodMeasurement) {
+    let threads = ensure_pool();
+    let rows: Vec<ServeMeasurement> = serve_scenarios()
+        .iter()
+        .map(|s| {
+            let m = run_scenario(s, threads, iter_scale);
+            eprintln!(
+                "{:<12} threads={threads} sequential {:>11} ns   batched {:>11} ns   \
+                 speedup {:.2}x   p50 {} µs   p99 {} µs",
+                m.scenario,
+                m.sequential_ns_total,
+                m.batched_ns_total,
+                m.batch_speedup(),
+                m.batched_p50_us,
+                m.batched_p99_us
+            );
+            m
+        })
+        .collect();
+    let flood = run_flood(iter_scale);
+    eprintln!(
+        "flood        submitted {} served {} shed {} expired {} depth {}/{}",
+        flood.submitted,
+        flood.served,
+        flood.shed,
+        flood.expired,
+        flood.max_queue_depth,
+        flood.queue_cap
+    );
+    (rows, flood)
+}
+
+/// Renders the `BENCH_serve.json` document: a `meta` provenance block,
+/// one result object per throughput scenario, and the flood drill
+/// (same layout family as the other `BENCH_*.json` files so the gate
+/// shares its parsing helpers).
+pub fn render_serve_json(
+    meta: &BenchMeta,
+    rows: &[ServeMeasurement],
+    flood: &FloodMeasurement,
+) -> String {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"scenario\": \"{}\", \"threads\": {}, \"requests\": {}, \
+                 \"sequential_ns_total\": {}, \"batched_ns_total\": {}, \
+                 \"batched_p50_us\": {}, \"batched_p99_us\": {}, \
+                 \"batch_speedup\": {:.4}}}",
+                m.scenario,
+                m.threads,
+                m.requests,
+                m.sequential_ns_total,
+                m.batched_ns_total,
+                m.batched_p50_us,
+                m.batched_p99_us,
+                m.batch_speedup()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"serve_microbatching\",\n  \"threads\": {},\n  \
+         \"meta\": {{\"threads\": {}, \"git_rev\": \"{}\", \"recorded_unix\": {}}},\n  \
+         \"results\": [\n{}\n  ],\n  \
+         \"flood\": {{\"submitted\": {}, \"served\": {}, \"shed\": {}, \"expired\": {}, \
+         \"queue_cap\": {}, \"max_queue_depth\": {}}}\n}}\n",
+        meta.threads,
+        meta.threads,
+        meta.git_rev,
+        meta.recorded_unix,
+        entries.join(",\n"),
+        flood.submitted,
+        flood.served,
+        flood.shed,
+        flood.expired,
+        flood.queue_cap,
+        flood.max_queue_depth
+    )
+}

@@ -264,6 +264,103 @@ impl DroplessMoe {
         })
     }
 
+    /// Inference-only forward pass: [`DroplessMoe::infer_ctx`] with an
+    /// empty context (inheriting the caller's ambient context).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DroplessMoe::infer_ctx`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != hidden_size`.
+    pub fn infer(&self, x: &Matrix) -> Result<Matrix, SparseError> {
+        self.infer_ctx(x, &exec::Ctx::none())
+    }
+
+    /// Deadline-aware inference-only forward pass.
+    ///
+    /// Numerically identical to [`DroplessMoe::try_forward_ctx`] — same
+    /// kernels, same accumulation order, bit-identical outputs — but it
+    /// keeps nothing for a backward pass: no [`DmoeCache`] is built, the
+    /// input is never cloned, the GeLU runs in place on the SDD output
+    /// blocks instead of into a second activation buffer, and every
+    /// intermediate (gathered tokens, expert activations, expert
+    /// outputs) is recycled through the workspace arena the moment its
+    /// last consumer finishes. A steady-state serving loop therefore
+    /// allocates nothing per request beyond the returned output matrix.
+    ///
+    /// The whole pass runs under `ctx` (installed as the thread's
+    /// ambient context), checked at entry, at every launch's band
+    /// boundaries, and inside the tiled microkernel's panel loop — a
+    /// serving engine can hang a per-batch deadline or cancel token here
+    /// and the pass unwinds with [`SparseError::Cancelled`] mid-kernel.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DroplessMoe::try_forward`] returns, plus
+    /// [`SparseError::Cancelled`] when `ctx` trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != hidden_size`.
+    pub fn infer_ctx(&self, x: &Matrix, ctx: &exec::Ctx) -> Result<Matrix, SparseError> {
+        assert_eq!(
+            x.cols(),
+            self.cfg.hidden_size,
+            "input feature size mismatch"
+        );
+        let _span = telemetry::span("moe.dmoe.infer");
+        let _ambient = exec::cancel::enter(ctx);
+        if let Some(kind) = ctx.status() {
+            return Err(SparseError::Cancelled {
+                op: "moe.dmoe.infer",
+                kind,
+            });
+        }
+
+        // Route, build the per-batch topology, and gather — identical to
+        // the training path.
+        let routing = self.router.forward(x);
+        let permute = PermuteInfo::new(&routing, self.cfg.num_experts, self.cfg.block_size);
+        let topology = Topology::for_moe(
+            permute.padded_tokens_per_expert(),
+            self.cfg.ffn_hidden_size,
+            self.cfg.block_size,
+        )?;
+        let xg = padded_gather(x, &permute);
+
+        // SDD -> in-place GeLU -> DSD, recycling each intermediate as
+        // soon as its last consumer is done with it.
+        let mut h = ops::try_sdd(&xg, self.w1.value(), &topology)?;
+        xg.recycle();
+        {
+            let data = h.as_mut_slice();
+            let bands = exec::parallelism_for(data.len(), PARALLEL_THRESHOLD);
+            let per_band = data.len().div_ceil(bands);
+            let body = |band: &mut [f32], _i0: usize| {
+                for v in band.iter_mut() {
+                    *v = gelu_scalar(*v);
+                }
+            };
+            exec::LaunchPlan::over_items("moe.gelu", data, 1, per_band, &body)
+                .try_launch()
+                .map_err(|e| match e.kind() {
+                    Some(kind) => SparseError::Cancelled {
+                        op: "moe.gelu",
+                        kind,
+                    },
+                    None => panic!("{e}"),
+                })?;
+        }
+        let y = ops::try_dsd(&h, self.w2.value())?;
+        h.recycle();
+
+        let output = padded_scatter(&y, &permute, &routing.weights);
+        y.recycle();
+        Ok(output)
+    }
+
     /// Runs the backward pass for one forward invocation.
     ///
     /// Accumulates parameter gradients (including the load-balancing loss
@@ -522,6 +619,67 @@ mod tests {
         assert_eq!(out.output.shape(), (5, 6));
         // Total assignments = tokens * 2.
         assert_eq!(out.stats.tokens_per_expert.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn infer_is_bit_identical_to_forward() {
+        // Same kernels, same accumulation order: the inference-only path
+        // must reproduce the training forward exactly, not approximately.
+        let (layer, mut rng) = small_layer(7);
+        let x = init::normal(11, 6, 1.0, &mut rng);
+        let trained = layer.forward(&x);
+        let inferred = layer.infer(&x).unwrap();
+        assert_eq!(inferred.shape(), (11, 6));
+        assert_eq!(
+            inferred.as_slice(),
+            trained.output.as_slice(),
+            "infer diverged from forward"
+        );
+    }
+
+    #[test]
+    fn infer_recycles_intermediates_through_the_workspace() {
+        let (layer, mut rng) = small_layer(8);
+        let x = init::normal(12, 6, 1.0, &mut rng);
+        let warm = layer.infer(&x).unwrap();
+        warm.recycle();
+        let before = exec::workspace::stats();
+        let out = layer.infer(&x).unwrap();
+        let after = exec::workspace::stats();
+        assert!(
+            after.hits > before.hits,
+            "steady-state infer should reuse the arena: {before:?} -> {after:?}"
+        );
+        out.recycle();
+    }
+
+    #[test]
+    fn infer_ctx_respects_an_expired_deadline() {
+        let (layer, mut rng) = small_layer(9);
+        let x = init::normal(8, 6, 1.0, &mut rng);
+        let ctx = exec::Ctx::none().with_deadline(exec::Deadline::after(std::time::Duration::ZERO));
+        match layer.infer_ctx(&x, &ctx) {
+            Err(SparseError::Cancelled { kind, .. }) => {
+                assert_eq!(kind, exec::CancelKind::DeadlineExceeded);
+            }
+            other => panic!("expected deadline cancellation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infer_ctx_respects_a_cancelled_token() {
+        let (layer, mut rng) = small_layer(10);
+        let x = init::normal(8, 6, 1.0, &mut rng);
+        let token = exec::CancelToken::new();
+        token.cancel();
+        let ctx = exec::Ctx::none().with_token(&token);
+        match layer.infer_ctx(&x, &ctx) {
+            Err(SparseError::Cancelled { op, kind }) => {
+                assert_eq!(op, "moe.dmoe.infer");
+                assert_eq!(kind, exec::CancelKind::Cancelled);
+            }
+            other => panic!("expected cancellation, got {other:?}"),
+        }
     }
 
     #[test]

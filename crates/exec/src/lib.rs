@@ -67,4 +67,6 @@ pub use sanitizer::{
     RaceViolation, RACE_PANIC_PREFIX,
 };
 pub use watchdog::{configure_stall_budget, stall_budget};
-pub use workspace::{configure_workspace_cap, workspace_cap, Workspace, WorkspaceStats};
+pub use workspace::{
+    configure_workspace_cap, workspace_cap, Workspace, WorkspaceStats, MAX_WORKSPACE_CAP,
+};

@@ -44,14 +44,25 @@ fn env_cap() -> usize {
     })
 }
 
+/// The largest representable configured cap: the sentinel encoding stores
+/// `cap + 1` in a `usize`, so `usize::MAX` itself cannot be represented
+/// and requests for it clamp here. (No real arena ever reaches either
+/// value — a `usize::MAX`-float shelf would be the entire address space.)
+pub const MAX_WORKSPACE_CAP: usize = usize::MAX - 1;
+
 /// Overrides the per-thread holding cap (in floats) for every arena in the
 /// process, taking precedence over `MEGABLOCKS_WORKSPACE_CAP`. Returns the
-/// previously effective cap. A cap of `0` disables shelving entirely.
+/// previously effective cap. A cap of `0` disables shelving entirely; a
+/// cap above [`MAX_WORKSPACE_CAP`] is clamped to it (the `cap + 1`
+/// sentinel encoding cannot represent `usize::MAX`), so the value
+/// returned by a later call — and by [`workspace_cap`] — is always the
+/// cap actually in effect, never the unrepresentable request.
 ///
 /// Buffers already shelved above a lowered cap are not evicted eagerly;
 /// they drain as [`Workspace::recycle`] rejects further deposits.
 pub fn configure_workspace_cap(cap_floats: usize) -> usize {
-    let prev = CONFIGURED_CAP.swap(cap_floats.saturating_add(1), Ordering::Relaxed);
+    let effective = cap_floats.min(MAX_WORKSPACE_CAP);
+    let prev = CONFIGURED_CAP.swap(effective + 1, Ordering::Relaxed);
     if prev == 0 {
         env_cap()
     } else {
@@ -250,5 +261,22 @@ mod tests {
         let restored = configure_workspace_cap(prev);
         assert_eq!(restored, 0, "previous effective cap is returned");
         assert_eq!(workspace_cap(), prev);
+    }
+
+    #[test]
+    fn usize_max_cap_clamps_to_the_effective_maximum() {
+        let _guard = cap_lock();
+        let prev = configure_workspace_cap(usize::MAX);
+        // The sentinel encoding cannot represent usize::MAX; the request
+        // clamps to MAX_WORKSPACE_CAP and reads back exactly as stored
+        // instead of silently dropping one more unit.
+        assert_eq!(workspace_cap(), MAX_WORKSPACE_CAP);
+        let effective = configure_workspace_cap(MAX_WORKSPACE_CAP);
+        assert_eq!(
+            effective, MAX_WORKSPACE_CAP,
+            "the actually-effective cap is returned, not the request"
+        );
+        assert_eq!(workspace_cap(), MAX_WORKSPACE_CAP);
+        configure_workspace_cap(prev);
     }
 }

@@ -1,0 +1,796 @@
+//! The micro-batching engine: bounded admission queue, dual-trigger
+//! batch formation, deadline-aware execution, per-request responses.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use megablocks_core::DroplessMoe;
+use megablocks_exec::{CancelKind, CancelToken, Ctx, Deadline};
+use megablocks_sparse::SparseError;
+use megablocks_telemetry as telemetry;
+use megablocks_tensor::Matrix;
+
+/// Tuning knobs for the serving engine.
+///
+/// [`ServeConfig::from_env`] reads the `MEGABLOCKS_SERVE_*` environment
+/// variables; the builder methods override them programmatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum requests per micro-batch (`MEGABLOCKS_SERVE_BATCH`,
+    /// default 8). A batch closes as soon as this many requests wait.
+    pub max_batch: usize,
+    /// Maximum time the oldest request waits for co-riders before the
+    /// batch closes anyway (`MEGABLOCKS_SERVE_MAX_WAIT_US`,
+    /// default 2000 µs). Also the slack threshold: a request whose
+    /// deadline is closer than this stops the wait immediately.
+    pub max_wait: Duration,
+    /// Admission-queue bound (`MEGABLOCKS_SERVE_QUEUE_CAP`, default 64).
+    /// Submissions past this shed with [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_micros(2000),
+            queue_cap: 64,
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl ServeConfig {
+    /// The default config with any `MEGABLOCKS_SERVE_*` environment
+    /// overrides applied (invalid values fall back to the defaults).
+    pub fn from_env() -> Self {
+        let d = ServeConfig::default();
+        ServeConfig {
+            max_batch: env_usize("MEGABLOCKS_SERVE_BATCH")
+                .filter(|&n| n > 0)
+                .unwrap_or(d.max_batch),
+            max_wait: env_usize("MEGABLOCKS_SERVE_MAX_WAIT_US")
+                .map(|us| Duration::from_micros(us as u64))
+                .unwrap_or(d.max_wait),
+            queue_cap: env_usize("MEGABLOCKS_SERVE_QUEUE_CAP")
+                .filter(|&n| n > 0)
+                .unwrap_or(d.queue_cap),
+        }
+    }
+
+    /// Overrides the per-batch request cap (must be nonzero).
+    pub fn with_max_batch(mut self, n: usize) -> Self {
+        assert!(n > 0, "max_batch must be nonzero");
+        self.max_batch = n;
+        self
+    }
+
+    /// Overrides the batching wait / slack threshold.
+    pub fn with_max_wait(mut self, d: Duration) -> Self {
+        self.max_wait = d;
+        self
+    }
+
+    /// Overrides the admission-queue bound (must be nonzero).
+    pub fn with_queue_cap(mut self, n: usize) -> Self {
+        assert!(n > 0, "queue_cap must be nonzero");
+        self.queue_cap = n;
+        self
+    }
+}
+
+/// Why a request did not produce an output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue was at [`ServeConfig::queue_cap`]; the
+    /// request was shed without being enqueued. Carries the queue
+    /// depth observed at rejection.
+    Overloaded {
+        /// Queue depth at the moment of rejection.
+        depth: usize,
+    },
+    /// The request's deadline passed before its batch was formed (or
+    /// before its batch finished computing).
+    Expired,
+    /// The batch this request rode in was cancelled mid-flight
+    /// (engine shutdown, or a composite-context trip).
+    Cancelled(CancelKind),
+    /// A kernel rejected the batch (corrupt topology metadata or a
+    /// sanitizer failure) — not load-related.
+    Kernel(String),
+    /// The engine is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "serve queue overloaded (depth {depth})")
+            }
+            ServeError::Expired => write!(f, "request deadline expired before completion"),
+            ServeError::Cancelled(kind) => write!(f, "batch cancelled: {kind:?}"),
+            ServeError::Kernel(msg) => write!(f, "kernel error: {msg}"),
+            ServeError::ShuttingDown => write!(f, "serving engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A completed request: the layer output plus latency accounting.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Layer output for this request's tokens (`rows x hidden_size`).
+    pub output: Matrix,
+    /// Time spent queued before the batch closed.
+    pub queue_wait: Duration,
+    /// End-to-end latency from submit to resolution.
+    pub latency: Duration,
+    /// Number of requests in the batch this one rode in.
+    pub batch_size: usize,
+}
+
+/// One request's resolution slot, shared between the submitting thread
+/// and the batcher.
+#[derive(Debug, Default)]
+struct Slot {
+    state: Mutex<Option<Result<Response, ServeError>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn resolve(&self, result: Result<Response, ServeError>) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        *state = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// A handle to a submitted request; redeem it with
+/// [`ResponseHandle::wait`].
+#[derive(Debug)]
+pub struct ResponseHandle {
+    slot: Arc<Slot>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request resolves.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        let mut state = self.slot.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self.slot.cv.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// The resolution, if the request already resolved (non-blocking).
+    pub fn try_take(&self) -> Option<Result<Response, ServeError>> {
+        self.slot
+            .state
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .take()
+    }
+}
+
+/// A queued request awaiting batch formation.
+struct Pending {
+    tokens: Matrix,
+    deadline: Option<Deadline>,
+    submitted: Instant,
+    slot: Arc<Slot>,
+}
+
+impl Pending {
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| d.expired())
+    }
+}
+
+/// Monotonic counters describing an engine's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests resolved with an output.
+    pub completed: u64,
+    /// Requests shed at admission ([`ServeError::Overloaded`]).
+    pub shed: u64,
+    /// Requests dropped for a passed deadline (pre-batch or
+    /// post-compute).
+    pub expired: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Largest queue depth observed at any admission.
+    pub max_queue_depth: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    batches: AtomicU64,
+    max_queue_depth: AtomicUsize,
+}
+
+impl Counters {
+    fn observe_depth(&self, depth: usize) {
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed) as u64,
+        }
+    }
+}
+
+struct State {
+    queue: VecDeque<Pending>,
+    running: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    cfg: ServeConfig,
+    root: CancelToken,
+    counters: Counters,
+    layer: DroplessMoe,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// The batched inference serving engine.
+///
+/// Owns a dMoE layer and one batcher thread. Submitting threads hand
+/// token batches to [`Engine::submit`] and block on the returned
+/// [`ResponseHandle`]; the batcher forms micro-batches, runs them
+/// through [`DroplessMoe::infer_ctx`], and resolves each member. The
+/// engine shuts down (cancelling in-flight batches mid-kernel) on
+/// [`Engine::shutdown`] or drop.
+pub struct Engine {
+    shared: Arc<Shared>,
+    batcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("cfg", &self.shared.cfg)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Starts an engine serving `layer` under `cfg`.
+    pub fn new(layer: DroplessMoe, cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch > 0, "max_batch must be nonzero");
+        assert!(cfg.queue_cap > 0, "queue_cap must be nonzero");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                running: true,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            root: CancelToken::new(),
+            counters: Counters::default(),
+            layer,
+        });
+        let worker = Arc::clone(&shared);
+        // The batcher is a control-plane thread (it blocks on a condvar
+        // waiting for requests), not a compute worker; all kernel work
+        // it triggers still launches through the exec pool.
+        // audit: allow(raw-parallelism) -- batcher control thread blocks on the admission condvar; compute still goes through the exec pool
+        let batcher = std::thread::Builder::new()
+            .name("mb-serve-batcher".into())
+            .spawn(move || batcher_loop(&worker))
+            .expect("spawn serve batcher");
+        Engine {
+            shared,
+            batcher: Some(batcher),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// The layer being served.
+    pub fn layer(&self) -> &DroplessMoe {
+        &self.shared.layer
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Submits `tokens` (`rows x hidden_size`) with an optional
+    /// deadline; returns a handle resolving to the layer output for
+    /// exactly those rows.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::Overloaded`] — queue at capacity; request shed.
+    /// * [`ServeError::Expired`] — the deadline had already passed.
+    /// * [`ServeError::ShuttingDown`] — the engine stopped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens.cols()` does not match the layer's hidden
+    /// size, or if `tokens` has zero rows.
+    pub fn submit(
+        &self,
+        tokens: Matrix,
+        deadline: Option<Deadline>,
+    ) -> Result<ResponseHandle, ServeError> {
+        assert_eq!(
+            tokens.cols(),
+            self.shared.layer.config().hidden_size,
+            "request feature size mismatch"
+        );
+        assert!(tokens.rows() > 0, "empty request");
+        if deadline.is_some_and(|d| d.expired()) {
+            self.shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter("serve.expired").inc();
+            return Err(ServeError::Expired);
+        }
+        let mut state = self.shared.lock();
+        if !state.running {
+            return Err(ServeError::ShuttingDown);
+        }
+        let depth = state.queue.len();
+        if depth >= self.shared.cfg.queue_cap {
+            drop(state);
+            self.shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter("serve.shed").inc();
+            telemetry::trace_instant("serve.shed");
+            return Err(ServeError::Overloaded { depth });
+        }
+        let slot = Arc::new(Slot::default());
+        state.queue.push_back(Pending {
+            tokens,
+            deadline,
+            submitted: Instant::now(),
+            slot: Arc::clone(&slot),
+        });
+        let depth = state.queue.len();
+        drop(state);
+        self.shared.counters.observe_depth(depth);
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        telemetry::counter("serve.submitted").inc();
+        telemetry::gauge("serve.queue_depth").set(depth as f64);
+        telemetry::trace_counter_event("serve.queue_depth", depth as f64);
+        self.shared.cv.notify_one();
+        Ok(ResponseHandle { slot })
+    }
+
+    /// Stops the engine: no further admissions, in-flight batches are
+    /// cancelled mid-kernel through the root token, queued requests
+    /// resolve [`ServeError::ShuttingDown`], and the batcher thread is
+    /// joined. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.shared.lock();
+            state.running = false;
+        }
+        self.shared.root.cancel();
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Walks the queue and resolves every already-expired request with
+/// [`ServeError::Expired`] — called before each batch formation so dead
+/// requests never occupy a batch slot.
+fn drop_expired(state: &mut State, counters: &Counters) {
+    let before = state.queue.len();
+    if before == 0 {
+        return;
+    }
+    let mut kept = VecDeque::with_capacity(before);
+    for pending in state.queue.drain(..) {
+        if pending.expired() {
+            // Count before resolving: a waiter woken by the resolve must
+            // already see this request in the stats.
+            counters.expired.fetch_add(1, Ordering::Relaxed);
+            telemetry::counter("serve.expired").inc();
+            telemetry::trace_instant("serve.expired");
+            pending.slot.resolve(Err(ServeError::Expired));
+        } else {
+            kept.push_back(pending);
+        }
+    }
+    state.queue = kept;
+}
+
+/// How long the batcher may keep waiting for co-riders, given the
+/// oldest queued request: `None` means a trigger already fired.
+fn wait_budget(oldest: &Pending, max_wait: Duration) -> Option<Duration> {
+    let waited = oldest.submitted.elapsed();
+    if waited >= max_wait {
+        return None;
+    }
+    let mut budget = max_wait - waited;
+    if let Some(deadline) = oldest.deadline {
+        let slack = deadline.remaining();
+        if slack <= max_wait {
+            // Less than a batching window of slack left: waiting any
+            // longer could not be recovered by batching efficiency.
+            return None;
+        }
+        budget = budget.min(slack - max_wait);
+    }
+    Some(budget)
+}
+
+fn batcher_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut state = shared.lock();
+            loop {
+                if !state.running {
+                    // Drain the queue so no submitter blocks forever.
+                    for pending in state.queue.drain(..) {
+                        pending.slot.resolve(Err(ServeError::ShuttingDown));
+                    }
+                    return;
+                }
+                drop_expired(&mut state, &shared.counters);
+                if state.queue.is_empty() {
+                    state = shared.cv.wait(state).unwrap_or_else(|p| p.into_inner());
+                    continue;
+                }
+                if state.queue.len() >= shared.cfg.max_batch {
+                    break;
+                }
+                let oldest = state.queue.front().expect("nonempty queue");
+                match wait_budget(oldest, shared.cfg.max_wait) {
+                    None => break,
+                    Some(budget) => {
+                        let (next, _timeout) = shared
+                            .cv
+                            .wait_timeout(state, budget)
+                            .unwrap_or_else(|p| p.into_inner());
+                        state = next;
+                    }
+                }
+            }
+            let take = state.queue.len().min(shared.cfg.max_batch);
+            state.queue.drain(..take).collect::<Vec<_>>()
+        };
+        if !batch.is_empty() {
+            run_batch(shared, batch);
+        }
+    }
+}
+
+/// Concatenates the batch's token rows, runs the inference pass under a
+/// composite context, and resolves every member.
+fn run_batch(shared: &Shared, batch: Vec<Pending>) {
+    let _span = telemetry::span("serve.batch");
+    let hidden = shared.layer.config().hidden_size;
+    let total_rows: usize = batch.iter().map(|p| p.tokens.rows()).sum();
+    let batch_size = batch.len();
+    let formed = Instant::now();
+
+    let mut input = Matrix::pooled_zeros(total_rows, hidden);
+    {
+        let data = input.as_mut_slice();
+        let mut row0 = 0;
+        for pending in &batch {
+            let rows = pending.tokens.rows();
+            data[row0 * hidden..(row0 + rows) * hidden].copy_from_slice(pending.tokens.as_slice());
+            row0 += rows;
+        }
+    }
+
+    // Composite context: cancellable by shutdown, bounded by the
+    // *latest* member deadline (the batch is still worth finishing
+    // while any member can meet its own deadline; members that
+    // individually expired mid-compute are filtered on resolution).
+    // A member without a deadline leaves the batch unbounded.
+    let mut ctx = Ctx::none().with_token(&shared.root.child());
+    if batch.iter().all(|p| p.deadline.is_some()) {
+        let latest = batch
+            .iter()
+            .filter_map(|p| p.deadline)
+            .max_by_key(Deadline::remaining);
+        if let Some(deadline) = latest {
+            ctx = ctx.with_deadline(deadline);
+        }
+    }
+
+    telemetry::histogram("serve.batch_size").record(batch_size as u64);
+    telemetry::counter("serve.batches").inc();
+    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+
+    match shared.layer.infer_ctx(&input, &ctx) {
+        Ok(output) => {
+            let mut row0 = 0;
+            for pending in batch {
+                let rows = pending.tokens.rows();
+                let slice = output.rows_range(row0, row0 + rows);
+                row0 += rows;
+                if pending.expired() {
+                    // Finished compute, but past this member's own
+                    // deadline: the caller's budget is blown either way.
+                    slice.recycle();
+                    shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter("serve.expired").inc();
+                    pending.slot.resolve(Err(ServeError::Expired));
+                    continue;
+                }
+                let queue_wait = formed.duration_since(pending.submitted);
+                let latency = pending.submitted.elapsed();
+                telemetry::histogram("serve.queue_wait_us").record(queue_wait.as_micros() as u64);
+                telemetry::histogram("serve.latency_us").record(latency.as_micros() as u64);
+                // Count before resolving so a waiter woken by its own
+                // resolution already sees itself in the stats.
+                shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+                telemetry::counter("serve.completed").inc();
+                pending.slot.resolve(Ok(Response {
+                    output: slice,
+                    queue_wait,
+                    latency,
+                    batch_size,
+                }));
+            }
+            output.recycle();
+        }
+        Err(SparseError::Cancelled { kind, .. }) => {
+            telemetry::counter("serve.batch_cancelled").inc();
+            telemetry::trace_instant("serve.batch_cancelled");
+            let error = match kind {
+                CancelKind::DeadlineExceeded => ServeError::Expired,
+                other => ServeError::Cancelled(other),
+            };
+            for pending in batch {
+                if matches!(error, ServeError::Expired) {
+                    shared.counters.expired.fetch_add(1, Ordering::Relaxed);
+                    telemetry::counter("serve.expired").inc();
+                }
+                pending.slot.resolve(Err(error.clone()));
+            }
+        }
+        Err(other) => {
+            let message = other.to_string();
+            for pending in batch {
+                pending
+                    .slot
+                    .resolve(Err(ServeError::Kernel(message.clone())));
+            }
+        }
+    }
+    input.recycle();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megablocks_core::MoeConfig;
+    use megablocks_tensor::init::{normal, seeded_rng};
+
+    fn small_engine(cfg: ServeConfig) -> (Engine, rand::rngs::StdRng) {
+        let moe = MoeConfig::new(6, 8, 3).with_block_size(4);
+        let mut rng = seeded_rng(11);
+        let layer = DroplessMoe::new(moe, &mut rng);
+        (Engine::new(layer, cfg), rng)
+    }
+
+    #[test]
+    fn batched_output_is_bit_identical_to_sequential() {
+        let (engine, mut rng) = small_engine(
+            ServeConfig::default()
+                .with_max_batch(4)
+                .with_max_wait(Duration::from_millis(20)),
+        );
+        let requests: Vec<Matrix> = (0..4).map(|_| normal(3, 6, 1.0, &mut rng)).collect();
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|r| engine.submit(r.clone(), None).expect("admitted"))
+            .collect();
+        for (request, handle) in requests.iter().zip(handles) {
+            let response = handle.wait().expect("served");
+            let sequential = engine.layer().infer(request).unwrap();
+            assert_eq!(
+                response.output.as_slice(),
+                sequential.as_slice(),
+                "batched result diverged from sequential"
+            );
+            assert!(response.batch_size >= 1 && response.batch_size <= 4);
+        }
+        assert_eq!(engine.stats().completed, 4);
+    }
+
+    #[test]
+    fn max_batch_trigger_groups_requests() {
+        // A long max_wait means only the size trigger can close the
+        // batch; submitting exactly max_batch requests must form one
+        // batch of that size.
+        let (engine, mut rng) = small_engine(
+            ServeConfig::default()
+                .with_max_batch(3)
+                .with_max_wait(Duration::from_secs(5)),
+        );
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                engine
+                    .submit(normal(2, 6, 1.0, &mut rng), None)
+                    .expect("admitted")
+            })
+            .collect();
+        for handle in handles {
+            let response = handle.wait().expect("served");
+            assert_eq!(response.batch_size, 3, "size trigger should batch all 3");
+        }
+        assert_eq!(engine.stats().batches, 1);
+    }
+
+    #[test]
+    fn max_wait_trigger_fires_for_a_lone_request() {
+        let (engine, mut rng) = small_engine(
+            ServeConfig::default()
+                .with_max_batch(64)
+                .with_max_wait(Duration::from_millis(2)),
+        );
+        let handle = engine
+            .submit(normal(2, 6, 1.0, &mut rng), None)
+            .expect("admitted");
+        let response = handle.wait().expect("served before max_batch fills");
+        assert_eq!(response.batch_size, 1);
+        assert!(response.queue_wait >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn overload_sheds_at_the_queue_cap() {
+        // Choke the batcher with a huge max_wait so the queue fills.
+        let (engine, mut rng) = small_engine(
+            ServeConfig::default()
+                .with_max_batch(64)
+                .with_queue_cap(2)
+                .with_max_wait(Duration::from_secs(30)),
+        );
+        let a = engine.submit(normal(1, 6, 1.0, &mut rng), None);
+        let b = engine.submit(normal(1, 6, 1.0, &mut rng), None);
+        assert!(a.is_ok() && b.is_ok());
+        match engine.submit(normal(1, 6, 1.0, &mut rng), None) {
+            Err(ServeError::Overloaded { depth }) => assert!(depth >= 2),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.shed, 1);
+        assert!(stats.max_queue_depth <= 2, "queue depth exceeded the cap");
+    }
+
+    #[test]
+    fn expired_requests_drop_before_batch_formation() {
+        let (engine, mut rng) = small_engine(
+            ServeConfig::default()
+                .with_max_batch(8)
+                .with_max_wait(Duration::from_millis(30)),
+        );
+        // Already-expired deadline: rejected at submit.
+        let dead = engine.submit(
+            normal(1, 6, 1.0, &mut rng),
+            Some(Deadline::after(Duration::ZERO)),
+        );
+        assert_eq!(dead.err(), Some(ServeError::Expired));
+
+        // A deadline that expires while queued behind an unhurried
+        // request: the batcher waits out the oldest request's budget,
+        // and by the time the batch forms the doomed co-rider has
+        // expired — it must be dropped *before* formation, so the
+        // healthy request rides alone.
+        let healthy = engine
+            .submit(normal(1, 6, 1.0, &mut rng), None)
+            .expect("admitted");
+        let doomed = engine
+            .submit(
+                normal(1, 6, 1.0, &mut rng),
+                Some(Deadline::after(Duration::from_millis(1))),
+            )
+            .expect("admitted with slack");
+        assert_eq!(doomed.wait().err(), Some(ServeError::Expired));
+        let response = healthy.wait().expect("healthy request served");
+        assert_eq!(response.batch_size, 1, "expired request rode in no batch");
+        assert!(engine.stats().expired >= 2);
+    }
+
+    #[test]
+    fn shutdown_resolves_queued_requests() {
+        let (mut engine, mut rng) = small_engine(
+            ServeConfig::default()
+                .with_max_batch(64)
+                .with_max_wait(Duration::from_secs(30)),
+        );
+        let handle = engine
+            .submit(normal(1, 6, 1.0, &mut rng), None)
+            .expect("admitted");
+        engine.shutdown();
+        match handle.wait() {
+            Err(ServeError::ShuttingDown) | Err(ServeError::Cancelled(_)) | Ok(_) => {}
+            other => panic!("unexpected shutdown resolution: {other:?}"),
+        }
+        let refused = engine.submit(normal(1, 6, 1.0, &mut rng), None);
+        assert_eq!(refused.err(), Some(ServeError::ShuttingDown));
+    }
+
+    #[test]
+    fn flood_keeps_queue_depth_bounded() {
+        // Open-loop flood at a tiny queue cap: everything either
+        // resolves or sheds, and the observed depth never exceeds the
+        // cap.
+        let cap = 4;
+        let (engine, mut rng) = small_engine(
+            ServeConfig::default()
+                .with_max_batch(2)
+                .with_queue_cap(cap)
+                .with_max_wait(Duration::from_micros(100)),
+        );
+        let mut handles = Vec::new();
+        let mut shed = 0u64;
+        for _ in 0..200 {
+            match engine.submit(normal(1, 6, 1.0, &mut rng), None) {
+                Ok(h) => handles.push(h),
+                Err(ServeError::Overloaded { depth }) => {
+                    assert!(depth <= cap, "shed at depth {depth} past cap {cap}");
+                    shed += 1;
+                }
+                Err(other) => panic!("unexpected flood error: {other:?}"),
+            }
+        }
+        let served = handles.len() as u64;
+        for handle in handles {
+            handle.wait().expect("admitted flood request served");
+        }
+        let stats = engine.stats();
+        assert!(
+            stats.max_queue_depth <= cap as u64,
+            "queue depth {} exceeded cap {cap}",
+            stats.max_queue_depth
+        );
+        assert_eq!(stats.submitted, served);
+        assert_eq!(stats.shed, shed);
+    }
+
+    #[test]
+    fn from_env_falls_back_to_defaults() {
+        // The test environment does not set MEGABLOCKS_SERVE_*.
+        assert_eq!(ServeConfig::from_env(), ServeConfig::default());
+    }
+}

@@ -275,9 +275,19 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        let num = text
+            .parse::<f64>()
+            .map_err(|_| format!("bad number {text:?} at byte {start}"))?;
+        // `f64::from_str` accepts overflowing literals like `1e999` and
+        // returns infinity; JSON has no non-finite numbers, so a literal
+        // that does not fit a finite f64 is a malformed document, not an
+        // infinity smuggled past the strict parser.
+        if !num.is_finite() {
+            return Err(format!(
+                "number {text:?} at byte {start} overflows to a non-finite value"
+            ));
+        }
+        Ok(Json::Num(num))
     }
 }
 
@@ -306,6 +316,19 @@ mod tests {
         assert!(Json::parse("{\"a\": 1} extra").is_err());
         assert!(Json::parse("\"unterminated").is_err());
         assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn rejects_nonfinite_number_literals() {
+        // `f64::from_str` would happily return inf for these; the strict
+        // parser must not let an overflowing literal round-trip as Inf.
+        assert!(Json::parse("1e999").is_err());
+        assert!(Json::parse("-1e999").is_err());
+        assert!(Json::parse("[1, 1e999]").is_err());
+        assert!(Json::parse("{\"v\": -1e400}").is_err());
+        // The largest finite f64 still parses.
+        let max = format!("{:e}", f64::MAX);
+        assert_eq!(Json::parse(&max).unwrap().as_f64(), Some(f64::MAX));
     }
 
     #[test]

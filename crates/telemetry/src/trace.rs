@@ -139,7 +139,15 @@ pub fn render_chrome_trace(snapshot: &TraceSnapshot) -> String {
                 json_escape(&ev.name)
             ),
             TracePhase::Counter { value } => {
-                let v = if value.is_finite() { *value } else { 0.0 };
+                // JSON has no NaN/Inf: a non-finite counter sample is
+                // exported as `null` so the document stays parseable,
+                // and the strict round-trip rejects it rather than
+                // resurrecting a fabricated number.
+                let v = if value.is_finite() {
+                    value.to_string()
+                } else {
+                    "null".to_string()
+                };
                 format!(
                     "{{\"ph\":\"C\",\"pid\":{TRACE_PID},\"tid\":{},\"ts\":{},\
                      \"cat\":\"counter\",\"name\":{},\"args\":{{\"value\":{v}}}}}",
@@ -207,11 +215,19 @@ pub fn parse_chrome_trace(src: &str) -> Result<TraceSnapshot, String> {
             },
             "i" => TracePhase::Instant,
             "C" => TracePhase::Counter {
+                // A `null` value is how the renderer exports a
+                // non-finite sample; the round-trip rejects it loudly
+                // instead of inventing a finite stand-in. (Overflowing
+                // literals like `1e999` are already rejected by the
+                // number parser itself.)
                 value: ev
                     .get("args")
                     .and_then(|a| a.get("value"))
                     .and_then(Json::as_f64)
-                    .ok_or(format!("event {i}: counter without args.value"))?,
+                    .ok_or(format!(
+                        "event {i}: counter without a finite args.value \
+                         (non-finite samples export as null and do not round-trip)"
+                    ))?,
             },
             other => return Err(format!("event {i}: unsupported phase {other:?}")),
         };
@@ -292,5 +308,48 @@ mod tests {
     fn parse_rejects_unknown_phase() {
         let bad = r#"{"traceEvents":[{"ph":"Q","pid":1,"tid":1,"ts":0,"name":"x"}]}"#;
         assert!(parse_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn nonfinite_counter_values_export_as_null_and_do_not_round_trip() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let snap = TraceSnapshot {
+                lanes: vec![TraceLane {
+                    tid: 1,
+                    name: "main".to_string(),
+                }],
+                events: vec![TraceEventRow {
+                    name: "exec.pool.busy".to_string(),
+                    ts_us: 1,
+                    tid: 1,
+                    phase: TracePhase::Counter { value: bad },
+                }],
+                dropped_events: 0,
+            };
+            let json = render_chrome_trace(&snap);
+            // The export must stay valid JSON (no bare NaN/inf tokens)...
+            let doc = Json::parse(&json).unwrap_or_else(|e| panic!("invalid JSON for {bad}: {e}"));
+            let value = doc.get("traceEvents").unwrap().as_arr().unwrap()[1]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap();
+            assert_eq!(value, &Json::Null, "non-finite {bad} must export as null");
+            // ...and the strict round-trip must reject the snapshot
+            // instead of silently substituting a finite value.
+            let err = parse_chrome_trace(&json).unwrap_err();
+            assert!(err.contains("finite"), "unexpected error: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_overflowing_counter_literal() {
+        // Hand-written trace with a literal that overflows f64: the
+        // number parser refuses it before phase decoding even runs.
+        let bad = r#"{"traceEvents":[
+            {"ph":"C","pid":1,"tid":1,"ts":0,"name":"x","args":{"value":1e999}}
+        ]}"#;
+        let err = parse_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("non-finite"), "unexpected error: {err}");
     }
 }

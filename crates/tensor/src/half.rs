@@ -95,19 +95,36 @@ pub fn round_to_f16(value: f32) -> f32 {
 }
 
 /// Rounds every element of a matrix through binary16.
+///
+/// The result is backed by the execution runtime's per-thread workspace
+/// arena (like every other kernel output); short-lived copies — a
+/// rounded operand that dies after one GEMM — should be returned with
+/// [`Matrix::recycle`] so repeated mixed-precision calls reuse storage
+/// instead of round-tripping the global allocator.
 pub fn round_matrix_to_f16(m: &Matrix) -> Matrix {
-    m.map(round_to_f16)
+    let mut out = Matrix::pooled_zeros(m.rows(), m.cols());
+    for (dst, &src) in out.as_mut_slice().iter_mut().zip(m.as_slice()) {
+        *dst = round_to_f16(src);
+    }
+    out
 }
 
 /// Mixed-precision GEMM: inputs rounded to f16, accumulation in f32 —
 /// the A100 tensor-core contract the paper's kernels (and the
-/// `gpusim` throughput model) assume.
+/// `gpusim` throughput model) assume. The two rounded operand copies
+/// live in the workspace arena for the duration of the product and are
+/// recycled before returning, so repeated calls allocate nothing new.
 ///
 /// # Panics
 ///
 /// Panics if `a.cols() != b.rows()`.
 pub fn mixed_precision_matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    matmul(&round_matrix_to_f16(a), &round_matrix_to_f16(b))
+    let ra = round_matrix_to_f16(a);
+    let rb = round_matrix_to_f16(b);
+    let out = matmul(&ra, &rb);
+    ra.recycle();
+    rb.recycle();
+    out
 }
 
 #[cfg(test)]
@@ -154,6 +171,77 @@ mod tests {
                 "value {v}: rounded {r}, rel {rel}"
             );
         }
+    }
+
+    #[test]
+    fn normal_encode_ties_round_to_even() {
+        // Exact-tie encodes (the dropped 13 mantissa bits are exactly
+        // 0x1000, i.e. half an f16 ulp) cannot be reached by the
+        // exhaustive decode-side round-trip: no f16 decodes to a tie
+        // point. Construct the f32 inputs bit-exactly instead.
+        let tie = |f16_mant: u32| f32::from_bits(0x3F80_0000 | (f16_mant << 13) | 0x1000);
+
+        // Tie with an even low mantissa bit stays put: 1 + 2^-11 is
+        // exactly between 0x3C00 (1.0) and 0x3C01, and 0x3C00 is even.
+        assert_eq!(f32_to_f16_bits(tie(0)), 0x3C00);
+        // Tie with an odd low bit rounds away: exactly between 0x3C01
+        // and 0x3C02, lands on even 0x3C02.
+        assert_eq!(f32_to_f16_bits(tie(1)), 0x3C02);
+        // One ulp either side of the tie is not a tie: nearest wins
+        // regardless of parity.
+        assert_eq!(
+            f32_to_f16_bits(f32::from_bits(0x3F80_0000 | 0x0FFF)),
+            0x3C00
+        );
+        assert_eq!(
+            f32_to_f16_bits(f32::from_bits(0x3F80_0000 | 0x1001)),
+            0x3C01
+        );
+        // A tie on the all-ones mantissa carries into the exponent:
+        // just below 2.0 rounds up to exactly 2.0 (0x4000).
+        assert_eq!(f32_to_f16_bits(tie(0x3FF)), 0x4000);
+        // Negative ties mirror the positive ones.
+        assert_eq!(f32_to_f16_bits(-tie(1)), 0xBC02);
+    }
+
+    #[test]
+    fn subnormal_encode_ties_round_to_even() {
+        let ulp = 2.0f32.powi(-24); // smallest f16 subnormal
+                                    // Exactly half the smallest subnormal: tie between 0x0000 and
+                                    // 0x0001; zero is even, so the value flushes to zero.
+        assert_eq!(f32_to_f16_bits(ulp / 2.0), 0x0000);
+        // 1.5 ulp: tie between 0x0001 and 0x0002, odd m rounds up.
+        assert_eq!(f32_to_f16_bits(1.5 * ulp), 0x0002);
+        // 2.5 ulp: tie between 0x0002 and 0x0003, even m stays.
+        assert_eq!(f32_to_f16_bits(2.5 * ulp), 0x0002);
+        // Off-tie neighbours still round to nearest.
+        assert_eq!(f32_to_f16_bits(2.25 * ulp), 0x0002);
+        assert_eq!(f32_to_f16_bits(2.75 * ulp), 0x0003);
+        // The top-of-range tie carries out of the subnormal encoding
+        // into the smallest normal (0x0400 = 2^-14).
+        assert_eq!(f32_to_f16_bits(1023.5 * ulp), 0x0400);
+        // Sign is preserved through the subnormal tie path.
+        assert_eq!(f32_to_f16_bits(-1.5 * ulp), 0x8002);
+    }
+
+    #[test]
+    fn rounded_matrices_recycle_through_the_workspace() {
+        use crate::init::{normal, seeded_rng};
+        megablocks_exec::workspace::clear();
+        let mut rng = seeded_rng(7);
+        let a = normal(8, 12, 1.0, &mut rng);
+        let b = normal(12, 6, 1.0, &mut rng);
+        let first = mixed_precision_matmul(&a, &b);
+        let before = megablocks_exec::workspace::stats();
+        // The rounded copies were recycled, so a second call is served
+        // from the arena instead of the global allocator.
+        let second = mixed_precision_matmul(&a, &b);
+        let after = megablocks_exec::workspace::stats();
+        assert!(
+            after.hits >= before.hits + 2,
+            "rounded temporaries not recycled: {before:?} -> {after:?}"
+        );
+        assert_eq!(first.as_slice(), second.as_slice());
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //! * [`resilience`] — fault injection (behind the `chaos` feature) and the
 //!   fault-tolerance primitives (CRC32, atomic writes, retry/backoff) the
 //!   checkpoint v2 format and [`transformer::ResilientTrainer`] build on.
+//! * [`serve`] — batched inference serving: a deadline-aware
+//!   micro-batching engine ([`serve::Engine`]) over the dMoE
+//!   inference-only path, with bounded admission and load shedding.
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@ pub use megablocks_data as data;
 pub use megablocks_exec as exec;
 pub use megablocks_gpusim as gpusim;
 pub use megablocks_resilience as resilience;
+pub use megablocks_serve as serve;
 pub use megablocks_sparse as sparse;
 pub use megablocks_telemetry as telemetry;
 pub use megablocks_tensor as tensor;
